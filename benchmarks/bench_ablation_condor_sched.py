@@ -1,0 +1,137 @@
+"""Ablation A2: schedulers inside vs outside the Condor pool (§5.4).
+
+Paper: "the overhead associated [with] managing the location transparency
+of rapidly moving (birthing and dying) schedulers proved prohibitive ...
+clients spent an appreciable amount of time simply locating a viable
+server. We, therefore, opted for a more stable configuration in which the
+Condor application clients only contacted schedulers that were located
+outside of the Condor pools. Since scheduler failure occurred much less
+frequently than resource reclamation, the overall performance improved."
+
+Setup: a churning Condor pool of model clients. Configuration A places
+the schedulers on dedicated hosts outside the pool; configuration B runs
+them on Condor workstations, dying with every reclamation and restarting
+when the machine idles again. Delivered ops and time-wasted-on-discovery
+tell the story.
+"""
+
+from repro.core.services.logging import LoggingServer
+from repro.core.services.scheduler import QueueWorkSource, SchedulerServer
+from repro.core.simdriver import SimDriver
+from repro.infra.condor import CondorPool
+from repro.ramsey.client import ModelEngine, RamseyClient
+from repro.ramsey.tasks import unit_generator
+from repro.simgrid.engine import Environment
+from repro.simgrid.host import Host, HostSpec
+from repro.simgrid.load import ConstantLoad
+from repro.simgrid.network import Network
+from repro.simgrid.rand import RngStreams
+
+from conftest import save_artifact
+
+DURATION = 4 * 3600.0
+N_SCHEDULERS = 2
+
+
+def run_world(schedulers_in_pool: bool, seed: int = 31):
+    env = Environment()
+    streams = RngStreams(seed=seed)
+    net = Network(env, streams, jitter=0.2)
+    net.start()
+
+    svc = Host(env, HostSpec(name="svc", speed=1e7,
+                             load_model=ConstantLoad(1.0)), streams)
+    net.add_host(svc)
+    logsrv = LoggingServer("log")
+    SimDriver(env, net, svc, "log", logsrv, streams).start()
+
+    # Short units (~5 min of work on these hosts): clients must return to
+    # a live scheduler for new work, so scheduler availability matters —
+    # exactly the §5.4 failure mode.
+    work = QueueWorkSource(generator=unit_generator(43, 5, ops_budget=1e9))
+
+    def make_scheduler(i):
+        return SchedulerServer(f"sched{i}", work, report_period=60,
+                               reap_period=120)
+
+    clients = []
+
+    def factory(host, infra, idx):
+        client = RamseyClient(
+            f"{infra}-{idx}",
+            schedulers=list(sched_contacts),
+            engine=ModelEngine(),
+            infra=infra,
+            loggers=["svc/log"],
+            work_period=60,
+            report_period=60,
+            hello_retry=45,
+            sched_dead_factor=2.0,
+            seed=idx,
+        )
+        clients.append(client)
+        return client
+
+    pool = CondorPool(env, net, streams, factory, n_hosts=16,
+                      idle_mean=900, busy_mean=1800, start_delay=15)
+
+    if schedulers_in_pool:
+        sched_contacts = []
+        pool.deploy()
+        # Schedulers live on (reclaimable) pool machines; like the paper's
+        # stateless schedulers, they are resubmitted whenever the machine
+        # idles again.
+        for i in range(N_SCHEDULERS):
+            host = pool.hosts[i]
+            sched_contacts.append(f"{host.name}/sched")
+
+            def keeper(host=host, i=i):
+                while True:
+                    if host.up:
+                        driver = SimDriver(env, net, host, "sched",
+                                           make_scheduler(i), streams)
+                        process = driver.start()
+                        yield process  # ends when the owner reclaims
+                    yield env.timeout(30)
+
+            env.process(keeper())
+    else:
+        sched_contacts = []
+        for i in range(N_SCHEDULERS):
+            h = Host(env, HostSpec(name=f"sched{i}", speed=1e7,
+                                   load_model=ConstantLoad(1.0)), streams)
+            net.add_host(h)
+            SimDriver(env, net, h, "sched", make_scheduler(i), streams).start()
+            sched_contacts.append(f"sched{i}/sched")
+        pool.deploy()
+
+    env.run(until=DURATION)
+    delivered = sum(r.data["ops"] for r in logsrv.by_kind("perf"))
+    switches = sum(c._sched_idx for c in clients)
+    return delivered, switches, pool
+
+
+def test_condor_scheduler_placement(benchmark, artifact_dir):
+    in_ops, in_switches, in_pool = run_world(schedulers_in_pool=True)
+    out_ops, out_switches, out_pool = benchmark.pedantic(
+        lambda: run_world(schedulers_in_pool=False), rounds=1, iterations=1)
+
+    lines = [
+        "Ablation A2: scheduler placement for Condor clients (§5.4)",
+        f"  ({DURATION / 3600:.0f} h, 16-workstation pool, "
+        f"{N_SCHEDULERS} schedulers)",
+        f"  schedulers IN the pool : {in_ops:,.0f} ops delivered, "
+        f"{in_switches} scheduler switches, "
+        f"{in_pool.reclamations} reclamations",
+        f"  schedulers OUTSIDE     : {out_ops:,.0f} ops delivered, "
+        f"{out_switches} scheduler switches, "
+        f"{out_pool.reclamations} reclamations",
+        "",
+        f"  outside/inside delivered ratio: {out_ops / max(in_ops, 1):.2f}x",
+        "Stable scheduler placement wins, as the paper found.",
+    ]
+    save_artifact(artifact_dir, "ablation_a2_condor_sched.txt", "\n".join(lines))
+
+    assert out_ops > in_ops
+    # Clients hunting for live schedulers is the in-pool pathology.
+    assert in_switches > out_switches

@@ -1,0 +1,86 @@
+"""Ablation A3: adaptive forecaster selection vs any single method (§2.2).
+
+The NWS claim EveryWare inherits: dynamically choosing the technique
+"that yields the greatest forecasting accuracy over time" tracks the best
+method per regime, so the chooser is near-best on *every* series while
+every fixed method has a series that punishes it. Four canonical traces:
+stationary noise, regime switches, a trend, and heavy-tailed spikes.
+
+The benchmark times the full bank update (all methods + scoring) — the
+per-measurement cost EveryWare pays inside its servers.
+"""
+
+import numpy as np
+
+from repro.core.forecasting import ForecasterBank
+
+from conftest import save_artifact
+
+
+def make_traces(n=800, seed=5):
+    rng = np.random.default_rng(seed)
+    traces = {}
+    traces["stationary"] = 10 + rng.normal(0, 1, n)
+    regime = np.concatenate([
+        np.full(n // 4, 2.0), np.full(n // 4, 12.0),
+        np.full(n // 4, 5.0), np.full(n - 3 * (n // 4), 20.0)])
+    traces["regime-switch"] = regime + rng.normal(0, 0.5, n)
+    traces["trend"] = np.linspace(1, 20, n) + rng.normal(0, 0.5, n)
+    spikes = 5 + rng.normal(0, 0.5, n)
+    mask = rng.random(n) < 0.05
+    spikes[mask] *= rng.uniform(3, 8, mask.sum())
+    traces["spiky"] = spikes
+    return {k: np.maximum(v, 0.01) for k, v in traces.items()}
+
+
+def chooser_mae(trace):
+    bank = ForecasterBank()
+    err, scored = 0.0, 0
+    for v in trace:
+        fc = bank.forecast()
+        if fc is not None:
+            err += abs(fc.value - float(v))
+            scored += 1
+        bank.update(float(v))
+    return err / scored, bank.errors()
+
+
+def test_adaptive_selection_beats_fixed_methods(benchmark, artifact_dir):
+    traces = make_traces()
+
+    # Benchmark the bank's per-measurement cost on one trace.
+    def feed_bank():
+        bank = ForecasterBank()
+        for v in traces["regime-switch"]:
+            bank.update(float(v))
+        return bank
+
+    benchmark(feed_bank)
+
+    lines = ["Ablation A3: adaptive forecaster selection vs single methods",
+             ""]
+    regrets = {}
+    worst_counts = {}
+    for name, trace in traces.items():
+        mae, method_errors = chooser_mae(trace)
+        best = min(method_errors.values())
+        worst = max(v for v in method_errors.values() if np.isfinite(v))
+        regrets[name] = mae / best
+        lines.append(f"  {name:>13}: chooser MAE {mae:.3f} | best single "
+                     f"{best:.3f} | worst single {worst:.3f} | "
+                     f"regret {mae / best:.2f}x")
+        # Track which method is best per trace: it changes.
+        best_name = min(method_errors, key=method_errors.get)
+        worst_counts[name] = best_name
+
+    lines.append("")
+    lines.append("best single method differs per trace: "
+                 + ", ".join(f"{t}->{m}" for t, m in worst_counts.items()))
+    lines.append("no fixed choice is safe; the adaptive chooser is near-best "
+                 "everywhere.")
+    save_artifact(artifact_dir, "ablation_a3_forecasters.txt", "\n".join(lines))
+
+    # Near-best on every series...
+    assert all(r < 1.6 for r in regrets.values()), regrets
+    # ...and the winning single method is not the same everywhere.
+    assert len(set(worst_counts.values())) >= 2

@@ -1,0 +1,108 @@
+"""Ablation A4: Gossip synchronization cost scaling (§2.3).
+
+Paper: "Because each Gossip does a pair-wise comparison of application
+component state, N^2 comparisons are required for N application
+components. ... We believe that the prototype state-exchange protocol we
+implemented for SC98 can be substantially optimized."
+
+Both designs are implemented: ``pairwise_compare=True`` replays the SC98
+prototype; the default compares each incoming record against the single
+freshest record. This bench measures comparison counts as the component
+population doubles and verifies the prototype's quadratic growth against
+the optimized design's linear growth.
+"""
+
+import numpy as np
+
+from repro.core.component import Component
+from repro.core.gossip import ComparatorRegistry, GossipAgent, GossipServer, StateStore
+from repro.core.simdriver import SimDriver
+from repro.simgrid.engine import Environment
+from repro.simgrid.host import Host, HostSpec
+from repro.simgrid.network import Network
+from repro.simgrid.rand import RngStreams
+
+from conftest import save_artifact
+
+DURATION = 1800.0
+
+
+class ChattyWorker(Component):
+    """Writes fresh state before every poll, maximizing comparisons."""
+
+    def __init__(self, name, well_known):
+        super().__init__(name)
+        self.well_known = well_known
+        self.writes = 0
+
+    def on_start(self, now):
+        self.store = StateStore(self.contact)
+        self.store.register("STATE", initial={"v": 0}, now=now)
+        self.agent = GossipAgent(self.store, self.well_known, register_period=60)
+        return self.agent.on_start(now, self.contact)
+
+    def on_message(self, message, now):
+        if message.mtype == "GOS_POLL":
+            self.writes += 1
+            self.store.set_local("STATE", {"v": self.writes}, now)
+        if GossipAgent.handles(message.mtype):
+            return self.agent.on_message(message, now, self.contact)
+        return []
+
+    def on_timer(self, key, now):
+        if GossipAgent.handles_timer(key):
+            return self.agent.on_timer(key, now, self.contact)
+        return []
+
+
+def run_pool(n_components: int, pairwise: bool, seed: int = 9) -> int:
+    env = Environment()
+    streams = RngStreams(seed=seed)
+    net = Network(env, streams, jitter=0.1)
+    gh = Host(env, HostSpec(name="gos0"), streams)
+    net.add_host(gh)
+    gossip = GossipServer("gos0", ["gos0/gossip"],
+                          comparators=ComparatorRegistry(),
+                          poll_period=30.0, sync_period=1e9,
+                          pairwise_compare=pairwise)
+    SimDriver(env, net, gh, "gossip", gossip, streams).start()
+    for i in range(n_components):
+        h = Host(env, HostSpec(name=f"w{i}"), streams)
+        net.add_host(h)
+        SimDriver(env, net, h, "app",
+                  ChattyWorker(f"w{i}", ["gos0/gossip"]), streams).start()
+    env.run(until=DURATION)
+    return gossip.stats.comparisons
+
+
+def growth_exponent(ns, counts):
+    """Least-squares slope of log(count) vs log(n)."""
+    return float(np.polyfit(np.log(ns), np.log(np.maximum(counts, 1)), 1)[0])
+
+
+def test_gossip_comparison_scaling(benchmark, artifact_dir):
+    ns = [4, 8, 16, 32]
+    pairwise = [run_pool(n, pairwise=True) for n in ns]
+    optimized = [run_pool(n, pairwise=False) for n in ns]
+    benchmark.pedantic(lambda: run_pool(16, pairwise=False),
+                       rounds=1, iterations=1)
+
+    exp_pair = growth_exponent(ns, pairwise)
+    exp_opt = growth_exponent(ns, optimized)
+
+    lines = ["Ablation A4: gossip state-comparison scaling",
+             f"  ({DURATION:.0f}s, every component dirties state each poll)",
+             "",
+             "  N components | prototype (pairwise) | optimized (freshest)"]
+    for n, p, o in zip(ns, pairwise, optimized):
+        lines.append(f"  {n:>12} | {p:>20,} | {o:>19,}")
+    lines.append("")
+    lines.append(f"  growth exponents: prototype ~N^{exp_pair:.2f}, "
+                 f"optimized ~N^{exp_opt:.2f}")
+    lines.append("The paper's N^2 cost is real in the prototype design and")
+    lines.append("removed by the optimization it anticipated.")
+    save_artifact(artifact_dir, "ablation_a4_gossip_scale.txt", "\n".join(lines))
+
+    assert exp_pair > 1.6, f"pairwise should be ~quadratic, got {exp_pair:.2f}"
+    assert exp_opt < 1.4, f"optimized should be ~linear, got {exp_opt:.2f}"
+    assert all(p >= o for p, o in zip(pairwise, optimized))

@@ -1,0 +1,88 @@
+"""Simulator substrate throughput.
+
+Not a paper figure — an engineering number for this reproduction: how
+many discrete events per second the substrate processes, and what one
+EveryWare message round trip costs end-to-end (encode, route, deliver,
+decode, reply). These bound how large an SC98-style scenario a given
+machine can replay.
+"""
+
+from repro.core.linguafranca.endpoint import SimEndpoint
+from repro.core.linguafranca.messages import Message
+from repro.simgrid.engine import Environment
+from repro.simgrid.host import Host, HostSpec
+from repro.simgrid.network import Address, Network
+from repro.simgrid.rand import RngStreams
+
+from conftest import save_artifact
+
+N_TIMEOUT_EVENTS = 200_000
+N_ROUNDTRIPS = 5_000
+
+
+def run_timeout_storm() -> float:
+    env = Environment()
+
+    def ticker(env, period):
+        while True:
+            yield env.timeout(period)
+
+    for i in range(20):
+        env.process(ticker(env, 1.0 + i * 0.01))
+    env.run(until=N_TIMEOUT_EVENTS / 20)
+    return env.now
+
+
+def run_message_pingpong() -> int:
+    env = Environment()
+    streams = RngStreams(seed=1)
+    net = Network(env, streams, jitter=0.0)
+    for name in ("a", "b"):
+        net.add_host(Host(env, HostSpec(name=name), streams))
+    server = SimEndpoint(env, net, Address("b", "svc"))
+    client = SimEndpoint(env, net, Address("a", "cli"))
+
+    def server_proc(env):
+        while True:
+            msg = yield from server.recv(None)
+            server.send(msg.sender, msg.reply("PONG", sender=server.contact))
+
+    def client_proc(env):
+        done = 0
+        for i in range(N_ROUNDTRIPS):
+            reply, _ = yield from client.request(
+                "b/svc", Message(mtype="PING", sender="", body={"i": i}),
+                timeout=10)
+            if reply is not None:
+                done += 1
+        return done
+
+    env.process(server_proc(env))
+    proc = env.process(client_proc(env))
+    env.run(until=proc)
+    return proc.value
+
+
+def test_engine_event_throughput(benchmark, artifact_dir):
+    elapsed = benchmark.pedantic(run_timeout_storm, rounds=1, iterations=1)
+    events_per_sec = N_TIMEOUT_EVENTS / benchmark.stats["mean"]
+    lines = [
+        "Simulator throughput on this machine:",
+        f"  bare timer events : {events_per_sec:,.0f} events/s "
+        f"({N_TIMEOUT_EVENTS:,} events)",
+    ]
+    save_artifact(artifact_dir, "engine_throughput.txt", "\n".join(lines))
+    assert elapsed > 0
+    assert events_per_sec > 10_000  # sanity floor, generous for any machine
+
+
+def test_message_roundtrip_throughput(benchmark, artifact_dir):
+    done = benchmark.pedantic(run_message_pingpong, rounds=1, iterations=1)
+    per_sec = N_ROUNDTRIPS / benchmark.stats["mean"]
+    lines = [
+        "Full lingua-franca round trips through the simulated network:",
+        f"  {per_sec:,.0f} request/response cycles per wall second "
+        f"({N_ROUNDTRIPS:,} cycles, every one through the real codec)",
+    ]
+    save_artifact(artifact_dir, "message_throughput.txt", "\n".join(lines))
+    assert done == N_ROUNDTRIPS

@@ -1,0 +1,46 @@
+"""Figure 3a / 4a: delivered performance by infrastructure type.
+
+The linear figure shows NT and Unix dominating with Condor next; the log
+figure makes the whole seven-way spread visible — Java and NetSolve
+contribute orders of magnitude less but contribute nonetheless, which is
+the paper's point about harvesting *every* available resource.
+"""
+
+import numpy as np
+
+from repro.experiments import render_fig3a
+from repro.experiments.metrics import collect_rate_series
+
+from conftest import save_artifact
+
+
+def test_fig3a_rate_by_infrastructure(benchmark, sc98_results, artifact_dir):
+    world, results = sc98_results
+    cfg = results.config
+
+    def regenerate():
+        _, per_infra = collect_rate_series(
+            world.core.loggers, start=0.0, width=cfg.bucket, n=cfg.n_buckets)
+        return per_infra
+
+    per_infra = benchmark(regenerate)
+
+    text = render_fig3a(results) + "\n\n" + render_fig3a(results, log=True)
+    save_artifact(artifact_dir, "fig3a_4a_by_infra.txt", text)
+
+    means = {name: float(np.mean(series)) for name, series in per_infra.items()}
+
+    # All seven infrastructures delivered cycles (pervasiveness).
+    assert set(means) == {"unix", "condor", "nt", "globus", "legion",
+                          "netsolve", "java"}
+    assert all(v > 0 for v in means.values())
+
+    # Ranking shape from Fig. 3a: the big pools dominate...
+    assert means["unix"] > means["condor"]
+    assert means["nt"] > means["condor"]
+    assert means["condor"] > means["netsolve"]
+    # ...and the volunteer/brokered tails are orders of magnitude smaller.
+    assert means["netsolve"] < 0.1 * means["nt"]
+    assert means["java"] < 0.1 * means["nt"]
+    # Log-scale spread (Fig. 4a): >= 1.5 decades between top and bottom.
+    assert max(means.values()) / min(means.values()) > 30

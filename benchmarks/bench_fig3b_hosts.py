@@ -1,0 +1,48 @@
+"""Figure 3b / 4b: host count by infrastructure type.
+
+Shape: Condor is the largest pool (~120 machines at SC98) but churns as
+owners reclaim; the NT Superclusters hold steady near their node count;
+Java fluctuates with browser arrivals; NetSolve stays a handful.
+"""
+
+import numpy as np
+
+from repro.experiments import render_fig3b
+
+from conftest import bench_scale, save_artifact
+
+
+def test_fig3b_host_count_by_infrastructure(benchmark, sc98_results, artifact_dir):
+    world, results = sc98_results
+    hosts = results.series.hosts_by_infra
+
+    def regenerate():
+        return world.sampler.counts_by_infra()
+
+    counts = benchmark(regenerate)
+
+    text = render_fig3b(results) + "\n\n" + render_fig3b(results, log=True)
+    save_artifact(artifact_dir, "fig3b_4b_hosts.txt", text)
+
+    scale = bench_scale()
+    maxima = {name: float(np.max(series)) for name, series in hosts.items()}
+    assert set(maxima) == {"unix", "condor", "nt", "globus", "legion",
+                           "netsolve", "java"}
+
+    # Condor's pool is the biggest; NT next (96 nodes at scale 1).
+    assert maxima["condor"] >= maxima["nt"] * 0.75
+    assert maxima["condor"] > maxima["legion"]
+    assert maxima["nt"] > maxima["globus"]
+    assert maxima["netsolve"] <= max(3 * scale, 1) + 0.5
+
+    # Condor churns: its active count varies much more than NT's
+    # (steady-state cluster vs owner-reclaimed workstations).
+    skip = len(results.series.times) // 6
+    condor = hosts["condor"][skip:]
+    nt = hosts["nt"][skip:]
+    assert condor.std() / max(condor.mean(), 1e-9) > nt.std() / max(nt.mean(), 1e-9)
+
+    # Java fluctuates between near-zero and its crowd peaks.
+    java = hosts["java"]
+    assert java.max() > 0
+    assert java.min() < 0.5 * java.max()

@@ -1,0 +1,99 @@
+"""The §2.3 open question, quantified: tightly synchronized parallel
+codes under Grid performance fluctuation.
+
+"It is an interesting and open research question whether large-scale,
+tightly synchronized application implementations will be able to extract
+performance from Computational Grids, particularly if the Grid resource
+performance fluctuates as much as it did during SC98."
+
+The §6 parallel tabu search is exactly such a code: one barrier per
+move. This bench runs it over three network regimes — quiet LAN, WAN,
+and a stormy SC98-style WAN — and measures barrier throughput and
+straggler-closed rounds. The barrier's sensitivity to the *slowest*
+evaluator is the quantified answer.
+"""
+
+from repro.core.simdriver import SimDriver
+from repro.ramsey.parallel import ParallelEvaluator, ParallelTabuCoordinator
+from repro.simgrid.engine import Environment
+from repro.simgrid.host import Host, HostSpec
+from repro.simgrid.load import ComposedLoad, EventSchedule, MeanRevertingLoad, ScheduledEvent
+from repro.simgrid.network import Network
+from repro.simgrid.rand import RngStreams
+
+from conftest import save_artifact
+
+ROUNDS = 150
+N_EVALS = 4
+
+
+def run_regime(base_latency: float, jitter: float, storms: bool, seed: int = 8):
+    env = Environment()
+    streams = RngStreams(seed=seed)
+    congestion = None
+    if storms:
+        # Short, frequent storms: the whole run lasts well under a minute
+        # of simulated time at WAN latencies.
+        events = [ScheduledEvent(s, s + 15, factor=0.15, ramp=5)
+                  for s in range(10, 7200, 35)]
+        congestion = ComposedLoad(
+            MeanRevertingLoad(mean=0.85, sigma=0.003), EventSchedule(events))
+    net = Network(env, streams, base_latency=base_latency, jitter=jitter,
+                  congestion_model=congestion, congestion_period=2.0)
+    net.start()
+
+    contacts = []
+    for i in range(N_EVALS):
+        h = Host(env, HostSpec(name=f"eval{i}", site=f"site{i}"), streams)
+        net.add_host(h)
+        SimDriver(env, net, h, "eval", ParallelEvaluator(f"eval{i}"),
+                  streams).start()
+        contacts.append(f"eval{i}/eval")
+    ch = Host(env, HostSpec(name="coord", site="home"), streams)
+    net.add_host(ch)
+    # K_6 / n=3 cannot terminate early, so every regime does ROUNDS barriers.
+    coord = ParallelTabuCoordinator("coord", 6, 3, contacts,
+                                    candidates_per_eval=8, seed=seed,
+                                    tenure=4,  # K_6 has only 15 edges
+                                    max_rounds=ROUNDS, default_timeout=10.0)
+    SimDriver(env, net, ch, "coord", coord, streams).start()
+    env.run(until=4 * 3600.0)
+    assert coord.rounds_closed == ROUNDS
+    assert coord.finished_at is not None
+    return {
+        "sim_seconds": coord.finished_at,
+        "rounds_per_sec": ROUNDS / max(coord.finished_at, 1e-9),
+        "stragglers": coord.straggler_rounds,
+        "moves": coord.moves_applied,
+    }
+
+
+def test_synchronized_parallel_code_vs_fluctuation(benchmark, artifact_dir):
+    lan = run_regime(base_latency=0.002, jitter=0.05, storms=False)
+    wan = run_regime(base_latency=0.08, jitter=0.3, storms=False)
+    stormy = benchmark.pedantic(
+        lambda: run_regime(base_latency=0.08, jitter=0.3, storms=True),
+        rounds=1, iterations=1)
+
+    lines = [
+        "Tightly synchronized parallel search under fluctuation (§2.3/§6)",
+        f"  ({N_EVALS} evaluators, {ROUNDS} barrier rounds, K_6/n=3)",
+        "",
+        "  regime      | rounds/s | straggler rounds | moves",
+    ]
+    for name, r in (("quiet LAN", lan), ("WAN", wan), ("stormy WAN", stormy)):
+        lines.append(f"  {name:>11} | {r['rounds_per_sec']:8.2f} | "
+                     f"{r['stragglers']:>16} | {r['moves']:>5}")
+    lines += [
+        "",
+        "Each barrier waits for the slowest evaluator: WAN latency alone",
+        "cuts round throughput by an order of magnitude, and congestion",
+        "storms force time-out-closed (straggler) rounds — the price the",
+        "paper anticipated for tightly coupled Grid codes.",
+    ]
+    save_artifact(artifact_dir, "parallel_sync_cost.txt", "\n".join(lines))
+
+    assert lan["rounds_per_sec"] > 5 * wan["rounds_per_sec"]
+    assert stormy["rounds_per_sec"] <= wan["rounds_per_sec"] * 1.05
+    # Despite everything, the search keeps making moves in every regime.
+    assert min(r["moves"] for r in (lan, wan, stormy)) > ROUNDS * 0.5

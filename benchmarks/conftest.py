@@ -1,0 +1,40 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+The SC98 scenario is simulated once per session at ``REPRO_BENCH_SCALE``
+(default 0.25 of the real host counts — set 1.0 for the full ~350-host
+run; ~4 minutes of wall time) over the paper's full 12-hour window.
+Figure benches extract and render from the shared results, and write
+their artifacts under ``benchmarks/out/`` for EXPERIMENTS.md.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments import SC98Config, build_sc98
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def sc98_results():
+    cfg = SC98Config(scale=bench_scale(), seed=1998)
+    world = build_sc98(cfg)
+    results = world.run()
+    return world, results
+
+
+@pytest.fixture(scope="session")
+def artifact_dir():
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def save_artifact(directory: pathlib.Path, name: str, text: str) -> None:
+    (directory / name).write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}")

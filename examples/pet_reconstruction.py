@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""PET image reconstruction on the EveryWare service framework (§6).
+
+One of the two applications the paper planned to build next. A synthetic
+emission phantom is forward-projected into a sinogram; filtered
+backprojection is then farmed over a small simulated Grid, one chunk of
+projection angles per task, with a worker killed mid-run to show the
+framework's failure-driven reissue. The distributed reconstruction is
+compared against both a serial reconstruction and the phantom.
+
+Run: ``python examples/pet_reconstruction.py``
+"""
+
+import numpy as np
+
+from repro.apps.pet import (
+    Accumulator,
+    execute_task,
+    forward_project,
+    image_correlation,
+    make_phantom,
+    make_tasks,
+    reconstruct_serial,
+    task_cost,
+)
+from repro.apps.runner import run_farm
+
+SIZE = 64
+N_ANGLES = 48
+
+
+def ascii_image(image, width=48):
+    """Coarse ASCII rendering of a nonnegative image."""
+    shades = " .:-=+*#%@"
+    img = np.asarray(image, dtype=float)
+    img = np.clip(img, 0, None)
+    step = max(img.shape[0] // 24, 1)
+    small = img[::step, ::step]
+    hi = small.max() or 1.0
+    rows = []
+    for row in small:
+        rows.append("".join(shades[int(v / hi * (len(shades) - 1))] for v in row))
+    return "\n".join(rows)
+
+
+def main() -> None:
+    angles = [float(a) for a in np.linspace(0, 180, N_ANGLES, endpoint=False)]
+    phantom = make_phantom(SIZE)
+    print("simulating the scanner: forward projecting the phantom "
+          f"({N_ANGLES} angles) ...")
+    sino = forward_project(phantom, angles)
+
+    tasks = make_tasks(sino, angles, SIZE, chunk=6)
+    acc = Accumulator(size=SIZE)
+    print(f"farming {len(tasks)} backprojection tasks over 4 heterogeneous "
+          "workers (one dies mid-run) ...")
+    run = run_farm(tasks, execute=execute_task, cost=task_cost,
+                   on_result=acc, n_workers=4,
+                   kill_worker_at=15.0, reissue_timeout=120.0)
+
+    serial = reconstruct_serial(sino, angles, SIZE)
+    corr_serial = image_correlation(acc.image, serial)
+    corr_phantom = image_correlation(acc.image, phantom)
+
+    print(f"\nfarm finished in {run.sim_seconds:.0f} simulated seconds; "
+          f"reissues after worker loss: {run.master.reissues}")
+    print(f"per-worker tasks: {[w.tasks_done for w in run.workers]}")
+    print(f"correlation with serial FBP: {corr_serial:.4f}")
+    print(f"correlation with phantom:    {corr_phantom:.3f}")
+
+    print("\nphantom:")
+    print(ascii_image(phantom))
+    print("\ndistributed reconstruction:")
+    print(ascii_image(acc.image))
+
+
+if __name__ == "__main__":
+    main()

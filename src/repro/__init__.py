@@ -1,0 +1,26 @@
+"""EveryWare: a toolkit for Computational Grid programs.
+
+Reproduction of "Running EveryWare on the Computational Grid" (SC'99).
+
+Subpackages
+-----------
+``repro.core``
+    The EveryWare toolkit: the portable lingua franca, NWS-style
+    forecasting services, the Gossip distributed state exchange, and the
+    application-level services (schedulers, persistent state, logging).
+``repro.simgrid``
+    The simulated Computational Grid substrate (discrete-event engine,
+    hosts, network, load and failure models).
+``repro.infra``
+    Behavioral adapters for the seven infrastructures of the SC98 run:
+    Unix, Globus, Legion, Condor, NT, Java, NetSolve.
+``repro.ramsey``
+    The Ramsey Number Search application.
+``repro.experiments``
+    The SC98 scenario and the harness that regenerates the paper's
+    figures and headline numbers.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["core", "simgrid", "infra", "ramsey", "experiments"]

@@ -1,0 +1,7 @@
+"""Applications built on the EveryWare service framework (§6 future work,
+delivered): PET image reconstruction and NOW G-Net–style data mining."""
+
+from . import gnet, pet
+from .runner import FarmRun, run_farm
+
+__all__ = ["gnet", "pet", "FarmRun", "run_farm"]

@@ -1,0 +1,21 @@
+"""EveryWare toolkit: lingua franca, forecasting, gossip, services."""
+
+from .component import (
+    CancelTimer,
+    Component,
+    LogLine,
+    NullRuntime,
+    Send,
+    SetTimer,
+    Stop,
+)
+
+__all__ = [
+    "CancelTimer",
+    "Component",
+    "LogLine",
+    "NullRuntime",
+    "Send",
+    "SetTimer",
+    "Stop",
+]

@@ -1,0 +1,160 @@
+"""Sans-IO component model for EveryWare servers and clients.
+
+Every EveryWare process — Gossip, scheduler, persistent state manager,
+logging server, computational client — is written as a :class:`Component`:
+a pure state machine that receives messages and timer expirations and
+returns a list of *effects* (sends, timer updates, log lines). All I/O and
+clock access lives in a *driver*:
+
+* :class:`repro.core.simdriver.SimDriver` runs a component on a simulated
+  host over the simulated network (the SC98-scale experiments), and
+* a thin loop over :class:`repro.core.linguafranca.tcp.TcpServer` can run
+  the same component on real sockets.
+
+Keeping the protocol logic free of I/O is what makes the paper's
+"embarrassingly portable" property concrete here: the same component code
+runs under any transport.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Protocol, Union
+
+from .linguafranca.messages import Message
+
+__all__ = [
+    "Component",
+    "Runtime",
+    "Effect",
+    "Send",
+    "SetTimer",
+    "CancelTimer",
+    "LogLine",
+    "Stop",
+    "NullRuntime",
+]
+
+
+@dataclass
+class Send:
+    """Transmit ``message`` to the component at address ``dst``."""
+
+    dst: str
+    message: Message
+
+
+@dataclass
+class SetTimer:
+    """(Re)arm the named timer to fire ``delay`` seconds from now."""
+
+    key: str
+    delay: float
+
+
+@dataclass
+class CancelTimer:
+    """Disarm the named timer if armed."""
+
+    key: str
+
+
+@dataclass
+class LogLine:
+    """Emit a local diagnostic line (drivers route it to the log sink)."""
+
+    text: str
+    level: str = "info"
+
+
+@dataclass
+class Stop:
+    """Terminate the component's driver loop."""
+
+    reason: str = ""
+
+
+Effect = Union[Send, SetTimer, CancelTimer, LogLine, Stop]
+
+
+class Runtime(Protocol):
+    """What a driver exposes to its component.
+
+    ``speed()`` returns the host's current deliverable ops/second (zero for
+    components that do no computation or in real mode where the work engine
+    measures itself).
+    """
+
+    def now(self) -> float: ...
+
+    def contact(self) -> str: ...
+
+    def host_name(self) -> str: ...
+
+    def speed(self) -> float: ...
+
+    def random(self) -> float: ...
+
+
+class NullRuntime:
+    """Stand-in runtime for unit-testing components in isolation."""
+
+    def __init__(self, contact: str = "test/host", t: float = 0.0, speed: float = 0.0) -> None:
+        self._contact = contact
+        self.t = t
+        self._speed = speed
+        self._rand = 0.5
+
+    def now(self) -> float:
+        return self.t
+
+    def contact(self) -> str:
+        return self._contact
+
+    def host_name(self) -> str:
+        return self._contact.split("/")[0]
+
+    def speed(self) -> float:
+        return self._speed
+
+    def random(self) -> float:
+        return self._rand
+
+
+class Component:
+    """Base class for sans-IO protocol cores.
+
+    Subclasses override the ``on_*`` hooks. The driver calls
+    :meth:`bind_runtime` exactly once before :meth:`on_start`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.runtime: Optional[Runtime] = None
+
+    # -- wiring ------------------------------------------------------------
+    def bind_runtime(self, runtime: Runtime) -> None:
+        self.runtime = runtime
+
+    @property
+    def contact(self) -> str:
+        """This component's own address, once bound."""
+        if self.runtime is None:
+            raise RuntimeError(f"component {self.name!r} is not bound to a runtime")
+        return self.runtime.contact()
+
+    # -- hooks ------------------------------------------------------------
+    def on_start(self, now: float) -> list[Effect]:
+        """Called once when the driver starts the component."""
+        return []
+
+    def on_message(self, message: Message, now: float) -> list[Effect]:
+        """Called for each received message."""
+        return []
+
+    def on_timer(self, key: str, now: float) -> list[Effect]:
+        """Called when the named timer expires."""
+        return []
+
+    def on_stop(self, now: float, reason: str) -> None:
+        """Called when the driver loop exits (host death included)."""

@@ -1,0 +1,38 @@
+"""NWS-style performance forecasting and dynamic benchmarking."""
+
+from .benchmarking import EventTimer, ForecastRegistry, event_tag
+from .forecasters import (
+    AdaptiveMean,
+    ExponentialSmoothing,
+    Forecaster,
+    LastValue,
+    RunningMean,
+    SlidingMean,
+    SlidingMedian,
+    TrimmedMean,
+    default_bank,
+)
+from .selector import Forecast, ForecasterBank
+from .sensors import NWS_FORECAST, NWS_PING, NWS_PONG, NWS_QUERY, NWSSensor
+
+__all__ = [
+    "EventTimer",
+    "ForecastRegistry",
+    "event_tag",
+    "AdaptiveMean",
+    "ExponentialSmoothing",
+    "Forecaster",
+    "LastValue",
+    "RunningMean",
+    "SlidingMean",
+    "SlidingMedian",
+    "TrimmedMean",
+    "default_bank",
+    "Forecast",
+    "ForecasterBank",
+    "NWSSensor",
+    "NWS_PING",
+    "NWS_PONG",
+    "NWS_QUERY",
+    "NWS_FORECAST",
+]

@@ -1,0 +1,44 @@
+"""Distributed state exchange: Gossip pool, clique protocol, state stores."""
+
+from .agent import GossipAgent
+from .clique import CLIQUE_MTYPES, CliqueState
+from .server import (
+    GOS_DELCOMP,
+    GOS_NEWCOMP,
+    GOS_POLL,
+    GOS_REG,
+    GOS_REG_OK,
+    GOS_STATE,
+    GOS_SYNC,
+    GOS_UPDATE,
+    GossipServer,
+    GossipStats,
+)
+from .state import (
+    Comparator,
+    ComparatorRegistry,
+    StateRecord,
+    StateStore,
+    default_comparator,
+)
+
+__all__ = [
+    "GossipAgent",
+    "CLIQUE_MTYPES",
+    "CliqueState",
+    "GossipServer",
+    "GossipStats",
+    "GOS_DELCOMP",
+    "GOS_NEWCOMP",
+    "GOS_POLL",
+    "GOS_REG",
+    "GOS_REG_OK",
+    "GOS_STATE",
+    "GOS_SYNC",
+    "GOS_UPDATE",
+    "Comparator",
+    "ComparatorRegistry",
+    "StateRecord",
+    "StateStore",
+    "default_comparator",
+]

@@ -1,0 +1,328 @@
+"""The Gossip server: EveryWare's distributed state exchange service.
+
+Per the paper (§2.3):
+
+* application components **register** a contact address and the message
+  types they synchronize;
+* each registered component is **assigned a responsible Gossip** out of
+  the pool, which periodically asks it for a fresh copy of its state;
+* the Gossip **compares** the received state against the freshest known
+  record (using the registered per-type comparator) and, when a
+  component's copy is out of date, **sends it a fresh update**;
+* Gossips cooperate as a pool whose membership is managed by the clique
+  protocol, **dynamically partitioning the synchronization workload**;
+* response times per ``(component, message type)`` are *dynamically
+  benchmarked* and forecast to derive the time-outs used for failure
+  detection — the "dynamic time-out discovery" the paper credits for
+  overall stability (§2.2).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..component import CancelTimer, Component, Effect, LogLine, Send, SetTimer, Stop
+from ..forecasting.benchmarking import EventTimer, ForecastRegistry, event_tag
+from ..linguafranca.messages import Message
+from .clique import CLIQUE_MTYPES, CliqueState
+from .state import ComparatorRegistry, StateRecord
+
+__all__ = [
+    "GossipServer",
+    "GossipStats",
+    "GOS_REG",
+    "GOS_REG_OK",
+    "GOS_POLL",
+    "GOS_STATE",
+    "GOS_UPDATE",
+    "GOS_SYNC",
+    "GOS_NEWCOMP",
+    "GOS_DELCOMP",
+]
+
+GOS_REG = "GOS_REG"
+GOS_REG_OK = "GOS_REG_OK"
+GOS_POLL = "GOS_POLL"
+GOS_STATE = "GOS_STATE"
+GOS_UPDATE = "GOS_UPDATE"
+GOS_SYNC = "GOS_SYNC"
+GOS_NEWCOMP = "GOS_NEWCOMP"
+GOS_DELCOMP = "GOS_DELCOMP"
+
+T_POLL = "gos:poll"
+T_SYNC = "gos:sync"
+
+
+@dataclass
+class GossipStats:
+    polls_sent: int = 0
+    states_received: int = 0
+    updates_sent: int = 0
+    records_adopted: int = 0
+    comparisons: int = 0
+    evictions: int = 0
+    syncs_sent: int = 0
+
+
+@dataclass
+class _Registration:
+    contact: str
+    types: set[str]
+    last_seen: float = 0.0
+
+
+class GossipServer(Component):
+    """One member of the Gossip pool."""
+
+    def __init__(
+        self,
+        name: str,
+        well_known: list[str],
+        comparators: Optional[ComparatorRegistry] = None,
+        poll_period: float = 15.0,
+        sync_period: float = 20.0,
+        dead_factor: float = 6.0,
+        default_timeout: float = 10.0,
+        dynamic_timeouts: bool = True,
+        token_period: float = 10.0,
+        token_timeout: float = 35.0,
+        pairwise_compare: bool = False,
+    ) -> None:
+        super().__init__(name)
+        self.well_known = list(well_known)
+        self.comparators = comparators or ComparatorRegistry()
+        self.poll_period = poll_period
+        self.sync_period = sync_period
+        self.dead_factor = dead_factor
+        self.default_timeout = default_timeout
+        #: Ablation A1 switch: False = fixed time-outs, True = forecast-driven.
+        self.dynamic_timeouts = dynamic_timeouts
+        self._token_period = token_period
+        self._token_timeout = token_timeout
+        #: Ablation A4 switch: True replays the SC98 prototype's O(N^2)
+        #: pairwise state comparison (§2.3: "each Gossip does a pair-wise
+        #: comparison of application component state"); False (default) is
+        #: the optimized freshest-record design the paper anticipated.
+        self.pairwise_compare = pairwise_compare
+        self.registry: dict[str, _Registration] = {}
+        self.freshest: dict[str, StateRecord] = {}
+        #: Last state seen per component (pairwise mode only).
+        self.component_state: dict[str, dict[str, StateRecord]] = {}
+        self.forecasts = ForecastRegistry()
+        self.timer = EventTimer(self.forecasts)
+        self.stats = GossipStats()
+        self.clique: Optional[CliqueState] = None
+
+    # -- lifecycle ------------------------------------------------------------
+    def on_start(self, now: float) -> list[Effect]:
+        contact = self.contact
+        self.clique = CliqueState(
+            self_id=contact,
+            universe=sorted(set(self.well_known) | {contact}),
+            token_period=self._token_period,
+            token_timeout=self._token_timeout,
+        )
+        effects: list[Effect] = []
+        if contact not in self.well_known:
+            effects.extend(self.clique.join_effects(self.well_known))
+        effects.extend(self.clique.start(now))
+        effects.append(SetTimer(T_POLL, self.poll_period))
+        effects.append(SetTimer(T_SYNC, self.sync_period))
+        return effects
+
+    # -- responsibility partitioning ------------------------------------------
+    def pool_members(self) -> list[str]:
+        assert self.clique is not None
+        return sorted(self.clique.members)
+
+    def responsible_for(self, contact: str) -> bool:
+        """Consistent assignment of components across the current clique."""
+        members = self.pool_members()
+        if not members:
+            return True
+        idx = zlib.crc32(contact.encode("utf-8")) % len(members)
+        return members[idx] == self.contact
+
+    # -- message handling -------------------------------------------------------
+    def on_message(self, message: Message, now: float) -> list[Effect]:
+        if message.mtype in CLIQUE_MTYPES:
+            assert self.clique is not None
+            return self.clique.on_message(message, now)
+        handler = {
+            GOS_REG: self._on_register,
+            GOS_STATE: self._on_state,
+            GOS_SYNC: self._on_sync,
+            GOS_NEWCOMP: self._on_newcomp,
+            GOS_DELCOMP: self._on_delcomp,
+        }.get(message.mtype)
+        if handler is None:
+            return []
+        return handler(message, now)
+
+    def _on_register(self, message: Message, now: float) -> list[Effect]:
+        contact = message.sender
+        types = set(message.body.get("types", []))
+        self.registry[contact] = _Registration(contact, types, last_seen=now)
+        effects: list[Effect] = [
+            Send(contact, message.reply(GOS_REG_OK, sender=self.contact,
+                                        body={"gossips": self.pool_members()}))
+        ]
+        # Spread the registration through the pool so any member can take
+        # over responsibility when the clique reconfigures.
+        announce = {"contact": contact, "types": sorted(types)}
+        for peer in self.pool_members():
+            if peer != self.contact:
+                effects.append(Send(peer, Message(
+                    mtype=GOS_NEWCOMP, sender=self.contact, body=announce)))
+        return effects
+
+    def _on_newcomp(self, message: Message, now: float) -> list[Effect]:
+        contact = message.body["contact"]
+        types = set(message.body.get("types", []))
+        existing = self.registry.get(contact)
+        if existing is None:
+            self.registry[contact] = _Registration(contact, types, last_seen=now)
+        else:
+            existing.types |= types
+            existing.last_seen = max(existing.last_seen, now)
+        return []
+
+    def _on_delcomp(self, message: Message, now: float) -> list[Effect]:
+        self.registry.pop(message.body["contact"], None)
+        return []
+
+    def _on_state(self, message: Message, now: float) -> list[Effect]:
+        contact = message.sender
+        self.stats.states_received += 1
+        reg = self.registry.get(contact)
+        if reg is not None:
+            reg.last_seen = now
+        tag = event_tag(contact, GOS_POLL)
+        self.timer.end(tag, now)
+        remote = self._merge_records(message.body.get("records", []))
+        if self.pairwise_compare:
+            # SC98-prototype behavior: compare this component's records
+            # against every other component's last-seen records, pairwise.
+            mine = self.component_state.setdefault(contact, {})
+            for mtype, rec in remote.items():
+                for other, theirs in self.component_state.items():
+                    if other == contact:
+                        continue
+                    other_rec = theirs.get(mtype)
+                    if other_rec is not None:
+                        self.stats.comparisons += 1
+                        self.comparators.compare(rec, other_rec)
+                mine[mtype] = rec
+        # Push fresh state for every *registered* type the component holds a
+        # stale copy of — or no copy at all (it may never have written one).
+        stale_types: list[str] = []
+        types = reg.types if reg is not None else set(remote)
+        for mtype in types:
+            current = self.freshest.get(mtype)
+            if current is None:
+                continue
+            rec = remote.get(mtype)
+            if rec is None:
+                stale_types.append(mtype)
+            else:
+                self.stats.comparisons += 1
+                if self.comparators.compare(current, rec) > 0:
+                    stale_types.append(mtype)
+        if stale_types:
+            self.stats.updates_sent += 1
+            payload = [self.freshest[t].to_body() for t in sorted(set(stale_types))]
+            return [Send(contact, Message(
+                mtype=GOS_UPDATE, sender=self.contact, body={"records": payload}))]
+        return []
+
+    def _on_sync(self, message: Message, now: float) -> list[Effect]:
+        self._merge_records(message.body.get("records", []))
+        return []
+
+    def _merge_records(self, bodies: list[dict]) -> dict[str, StateRecord]:
+        """Adopt fresher records; returns the parsed remote records by type."""
+        remote: dict[str, StateRecord] = {}
+        for body in bodies:
+            try:
+                rec = StateRecord.from_body(body)
+            except (KeyError, TypeError, ValueError):
+                continue  # malformed record: robustness over strictness
+            remote[rec.mtype] = rec
+            current = self.freshest.get(rec.mtype)
+            if current is None:
+                self.freshest[rec.mtype] = rec
+                self.stats.records_adopted += 1
+                continue
+            self.stats.comparisons += 1
+            if self.comparators.compare(rec, current) > 0:
+                self.freshest[rec.mtype] = rec
+                self.stats.records_adopted += 1
+        return remote
+
+    # -- timers ------------------------------------------------------------
+    def on_timer(self, key: str, now: float) -> list[Effect]:
+        if key.startswith("clq:"):
+            assert self.clique is not None
+            return self.clique.on_timer(key, now)
+        if key == T_POLL:
+            return self._poll_round(now) + [SetTimer(T_POLL, self.poll_period)]
+        if key == T_SYNC:
+            return self._sync_round(now) + [SetTimer(T_SYNC, self.sync_period)]
+        return []
+
+    def _component_timeout(self, contact: str) -> float:
+        if not self.dynamic_timeouts:
+            return self.default_timeout
+        return self.forecasts.timeout(
+            event_tag(contact, GOS_POLL),
+            multiplier=4.0,
+            default=self.default_timeout,
+            floor=0.25,
+            ceiling=4.0 * self.poll_period,
+        )
+
+    def _poll_round(self, now: float) -> list[Effect]:
+        effects: list[Effect] = []
+        for contact in sorted(self.registry):
+            if not self.responsible_for(contact):
+                continue
+            reg = self.registry[contact]
+            # The state-message gap is one poll cycle plus the response
+            # time, so the death deadline must budget for both — otherwise
+            # a single lost poll on a quiet network looks like a death.
+            deadline = self.dead_factor * (
+                self.poll_period + self._component_timeout(contact))
+            if reg.last_seen and now - reg.last_seen > deadline:
+                # Presumed dead: evict and tell the pool.
+                del self.registry[contact]
+                self.forecasts.drop(event_tag(contact, GOS_POLL))
+                self.stats.evictions += 1
+                effects.append(LogLine(f"evicting silent component {contact}"))
+                for peer in self.pool_members():
+                    if peer != self.contact:
+                        effects.append(Send(peer, Message(
+                            mtype=GOS_DELCOMP, sender=self.contact,
+                            body={"contact": contact})))
+                continue
+            tag = event_tag(contact, GOS_POLL)
+            self.timer.abandon(tag)  # a lost previous poll must not skew stats
+            self.timer.begin(tag, now)
+            self.stats.polls_sent += 1
+            effects.append(Send(contact, Message(
+                mtype=GOS_POLL, sender=self.contact, body={})))
+        return effects
+
+    def _sync_round(self, now: float) -> list[Effect]:
+        if not self.freshest:
+            return []
+        peers = [p for p in self.pool_members() if p != self.contact]
+        if not peers:
+            return []
+        assert self.runtime is not None
+        peer = peers[int(self.runtime.random() * len(peers)) % len(peers)]
+        self.stats.syncs_sent += 1
+        records = [self.freshest[t].to_body() for t in sorted(self.freshest)]
+        return [Send(peer, Message(
+            mtype=GOS_SYNC, sender=self.contact, body={"records": records}))]

@@ -1,0 +1,21 @@
+"""Portable lingua franca: packet framing, typed messages, transports."""
+
+from .endpoint import SimEndpoint
+from .messages import Message, MessageError, TypeRegistry, fresh_req_id
+from .packets import PacketDecoder, PacketError, decode_packet, encode_packet
+from .tcp import TcpClient, TcpServer, TransportError
+
+__all__ = [
+    "SimEndpoint",
+    "Message",
+    "MessageError",
+    "TypeRegistry",
+    "fresh_req_id",
+    "PacketDecoder",
+    "PacketError",
+    "decode_packet",
+    "encode_packet",
+    "TcpClient",
+    "TcpServer",
+    "TransportError",
+]

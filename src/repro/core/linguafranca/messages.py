@@ -1,0 +1,136 @@
+"""Typed messages carried by the lingua franca.
+
+A :class:`Message` is a typed record with a JSON-safe payload dictionary.
+The paper's prototype used ad-hoc C structs per message type; we keep the
+type-tag-plus-record design but encode records as UTF-8 JSON (the paper
+rejected XDR for availability reasons — any portable self-describing
+encoding serves the same role).
+
+``reply_to``/``req_id`` implement the request–response correlation the
+EveryWare servers use: every request carries a fresh ``req_id``, the reply
+echoes it in ``reply_to``, and the response-time forecaster keys its event
+streams on ``(server address, message type)`` (§2.2 dynamic benchmarking).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .packets import PacketError, decode_packet, encode_packet
+
+__all__ = ["Message", "MessageError", "TypeRegistry", "fresh_req_id"]
+
+_req_counter = itertools.count(1)
+
+
+def fresh_req_id() -> int:
+    """Process-wide unique request id."""
+    return next(_req_counter)
+
+
+class MessageError(Exception):
+    """Malformed message content."""
+
+
+@dataclass
+class Message:
+    """One lingua-franca record.
+
+    ``sender`` is the string form of the sender's contact address
+    ("host/port"); components use it to reply. ``body`` must be
+    JSON-serializable.
+    """
+
+    mtype: str
+    sender: str
+    body: dict = field(default_factory=dict)
+    req_id: Optional[int] = None
+    reply_to: Optional[int] = None
+
+    def encode(self) -> bytes:
+        """Serialize to a framed packet."""
+        record: dict[str, Any] = {"s": self.sender, "b": self.body}
+        if self.req_id is not None:
+            record["q"] = self.req_id
+        if self.reply_to is not None:
+            record["r"] = self.reply_to
+        try:
+            payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+        except (TypeError, ValueError) as exc:
+            raise MessageError(f"unserializable message body: {exc}") from exc
+        return encode_packet(self.mtype, payload)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Message":
+        """Parse a single framed packet into a Message."""
+        mtype, payload = decode_packet(data)
+        return cls.from_parts(mtype, payload)
+
+    @classmethod
+    def from_parts(cls, mtype: str, payload: bytes) -> "Message":
+        """Build a Message from an already-deframed (mtype, payload)."""
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise MessageError(f"bad message payload: {exc}") from exc
+        if not isinstance(record, dict) or "s" not in record or "b" not in record:
+            raise MessageError("message record missing required fields")
+        body = record["b"]
+        if not isinstance(body, dict):
+            raise MessageError("message body must be an object")
+        return cls(
+            mtype=mtype,
+            sender=record["s"],
+            body=body,
+            req_id=record.get("q"),
+            reply_to=record.get("r"),
+        )
+
+    def reply(self, mtype: str, sender: str, body: Optional[dict] = None) -> "Message":
+        """Construct the response correlated to this request."""
+        return Message(
+            mtype=mtype,
+            sender=sender,
+            body=body if body is not None else {},
+            reply_to=self.req_id,
+        )
+
+
+class TypeRegistry:
+    """Optional per-deployment registry of known message types.
+
+    Components can register a validator per type; endpoints with a registry
+    reject unknown or invalid messages at the edge instead of deep in
+    handler code.
+    """
+
+    def __init__(self) -> None:
+        self._validators: dict[str, Callable[[dict], None]] = {}
+
+    def register(
+        self, mtype: str, validator: Optional[Callable[[dict], None]] = None
+    ) -> None:
+        if mtype in self._validators:
+            raise MessageError(f"message type {mtype!r} already registered")
+        self._validators[mtype] = validator or (lambda body: None)
+
+    def known(self, mtype: str) -> bool:
+        return mtype in self._validators
+
+    def validate(self, message: Message) -> None:
+        """Raise MessageError if the message is unknown or invalid."""
+        validator = self._validators.get(message.mtype)
+        if validator is None:
+            raise MessageError(f"unknown message type {message.mtype!r}")
+        try:
+            validator(message.body)
+        except MessageError:
+            raise
+        except Exception as exc:
+            raise MessageError(f"invalid {message.mtype!r} body: {exc}") from exc
+
+    def types(self) -> list[str]:
+        return sorted(self._validators)

@@ -1,0 +1,137 @@
+"""Packet framing for the EveryWare lingua franca.
+
+The paper (§2.1) implements "rudimentary packet semantics to enable message
+typing and delineate record boundaries within each stream-oriented TCP
+communication", inspired by netperf and taken from the NWS implementation.
+This module is that wire format:
+
+::
+
+    +-------+---------+-------+----------+-------------+----------+
+    | magic | version | tlen  | plen     | mtype bytes | payload  |
+    | 4 B   | 1 B     | 2 B   | 4 B      | tlen B      | plen B   |
+    +-------+---------+-------+----------+-------------+----------+
+    | crc32 of everything above, 4 B                              |
+    +-------------------------------------------------------------+
+
+All integers are big-endian ("network order"). The format deliberately
+avoids anything machine-specific — the paper's authors rejected XDR for
+portability; we use explicit byte packing for the header and UTF-8 text
+for the type name.
+
+:class:`PacketDecoder` consumes a byte stream incrementally, which is what
+the TCP transport needs: record boundaries do not align with ``recv``
+boundaries.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator, Optional
+
+__all__ = [
+    "MAGIC",
+    "VERSION",
+    "HEADER",
+    "MAX_TYPE_LEN",
+    "MAX_PAYLOAD_LEN",
+    "PacketError",
+    "encode_packet",
+    "decode_packet",
+    "PacketDecoder",
+]
+
+MAGIC = b"EVRW"
+VERSION = 1
+HEADER = struct.Struct("!4sBHI")  # magic, version, type length, payload length
+TRAILER = struct.Struct("!I")  # crc32
+MAX_TYPE_LEN = 256
+MAX_PAYLOAD_LEN = 16 * 1024 * 1024
+
+
+class PacketError(Exception):
+    """Malformed or oversized packet data."""
+
+
+def encode_packet(mtype: str, payload: bytes) -> bytes:
+    """Frame one typed record."""
+    tbytes = mtype.encode("utf-8")
+    if not tbytes:
+        raise PacketError("empty message type")
+    if len(tbytes) > MAX_TYPE_LEN:
+        raise PacketError(f"message type too long ({len(tbytes)} bytes)")
+    if len(payload) > MAX_PAYLOAD_LEN:
+        raise PacketError(f"payload too large ({len(payload)} bytes)")
+    head = HEADER.pack(MAGIC, VERSION, len(tbytes), len(payload))
+    body = head + tbytes + payload
+    return body + TRAILER.pack(zlib.crc32(body) & 0xFFFFFFFF)
+
+
+def decode_packet(data: bytes) -> tuple[str, bytes]:
+    """Decode exactly one packet; raises PacketError on any mismatch."""
+    decoder = PacketDecoder()
+    decoder.feed(data)
+    got = decoder.next_packet()
+    if got is None:
+        raise PacketError("truncated packet")
+    if decoder.pending_bytes:
+        raise PacketError(f"{decoder.pending_bytes} trailing bytes after packet")
+    return got
+
+
+class PacketDecoder:
+    """Incremental stream decoder.
+
+    Feed arbitrary chunks with :meth:`feed`; pull complete packets with
+    :meth:`next_packet` or iterate :meth:`packets`.
+    """
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    def next_packet(self) -> Optional[tuple[str, bytes]]:
+        """Return the next complete (mtype, payload), or None if more data
+        is needed. Raises PacketError if the stream is corrupt."""
+        buf = self._buf
+        if len(buf) < HEADER.size:
+            return None
+        magic, version, tlen, plen = HEADER.unpack_from(buf, 0)
+        if magic != MAGIC:
+            raise PacketError(f"bad magic {bytes(magic)!r}")
+        if version != VERSION:
+            raise PacketError(f"unsupported version {version}")
+        if tlen == 0 or tlen > MAX_TYPE_LEN:
+            raise PacketError(f"bad type length {tlen}")
+        if plen > MAX_PAYLOAD_LEN:
+            raise PacketError(f"bad payload length {plen}")
+        total = HEADER.size + tlen + plen + TRAILER.size
+        if len(buf) < total:
+            return None
+        body_end = total - TRAILER.size
+        (crc,) = TRAILER.unpack_from(buf, body_end)
+        actual = zlib.crc32(bytes(buf[:body_end])) & 0xFFFFFFFF
+        if crc != actual:
+            raise PacketError(f"crc mismatch (got {crc:#x}, want {actual:#x})")
+        try:
+            mtype = bytes(buf[HEADER.size : HEADER.size + tlen]).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise PacketError("message type is not valid UTF-8") from exc
+        payload = bytes(buf[HEADER.size + tlen : body_end])
+        del buf[:total]
+        return mtype, payload
+
+    def packets(self) -> Iterator[tuple[str, bytes]]:
+        """Yield all currently complete packets."""
+        while True:
+            pkt = self.next_packet()
+            if pkt is None:
+                return
+            yield pkt

@@ -1,0 +1,221 @@
+"""Real TCP transport for the lingua franca.
+
+This is the deployment-grade counterpart of :class:`SimEndpoint`: the same
+packet framing (:mod:`.packets`) over actual sockets. Per the paper's
+portability discipline (§2.1, §5.1) the implementation is single-threaded
+and uses only the most vanilla socket facilities — ``socket``, ``select``
+-style readiness via :mod:`selectors`, and receive time-outs; no threads,
+no signals, no keep-alives.
+
+:class:`TcpServer` is a reactor: callers pump it with :meth:`step` (or
+:meth:`serve`), and a handler callback maps each inbound
+:class:`~.messages.Message` to an optional reply sent on the same
+connection. :class:`TcpClient` offers fire-and-forget sends and blocking
+request/response with a deadline.
+"""
+
+from __future__ import annotations
+
+import selectors
+import socket
+import time
+from typing import Callable, Optional
+
+from .messages import Message, MessageError, fresh_req_id
+from .packets import PacketDecoder, PacketError
+
+__all__ = ["TcpServer", "TcpClient", "TransportError"]
+
+Handler = Callable[[Message], Optional[Message]]
+
+
+class TransportError(Exception):
+    """Connection-level failure."""
+
+
+class _Connection:
+    """Server-side connection state: an incremental decoder per socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.decoder = PacketDecoder()
+        self.outbuf = bytearray()
+
+
+class TcpServer:
+    """Single-threaded lingua-franca server over TCP."""
+
+    def __init__(self, host: str, port: int, handler: Handler) -> None:
+        self.handler = handler
+        self._sel = selectors.DefaultSelector()
+        self._listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listen.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listen.bind((host, port))
+        self._listen.listen(16)
+        self._listen.setblocking(False)
+        self._sel.register(self._listen, selectors.EVENT_READ, None)
+        self.address = self._listen.getsockname()
+        self.messages_handled = 0
+        self.decode_errors = 0
+        self._closed = False
+
+    @property
+    def contact(self) -> str:
+        return f"{self.address[0]}:{self.address[1]}"
+
+    def step(self, timeout: float = 0.1) -> int:
+        """Process ready I/O once; returns messages handled this step."""
+        if self._closed:
+            raise TransportError("server is closed")
+        handled = 0
+        for key, mask in self._sel.select(timeout):
+            if key.data is None:
+                self._accept()
+            else:
+                handled += self._service(key.data, mask)
+        return handled
+
+    def serve(self, duration: float, poll: float = 0.05) -> int:
+        """Pump the reactor for ``duration`` wall seconds."""
+        deadline = time.monotonic() + duration
+        handled = 0
+        while time.monotonic() < deadline:
+            handled += self.step(poll)
+        return handled
+
+    def _accept(self) -> None:
+        try:
+            sock, _addr = self._listen.accept()
+        except OSError:
+            return
+        sock.setblocking(False)
+        conn = _Connection(sock)
+        self._sel.register(sock, selectors.EVENT_READ, conn)
+
+    def _service(self, conn: _Connection, mask: int) -> int:
+        handled = 0
+        if mask & selectors.EVENT_READ:
+            try:
+                data = conn.sock.recv(65536)
+            except (BlockingIOError, InterruptedError):
+                data = None
+            except OSError:
+                self._drop(conn)
+                return handled
+            if data == b"":
+                # recv of 0 bytes on a readable socket: peer closed.
+                self._drop(conn)
+                return handled
+            if data:
+                conn.decoder.feed(data)
+                try:
+                    for mtype, payload in conn.decoder.packets():
+                        handled += self._dispatch(conn, mtype, payload)
+                except PacketError:
+                    # Corrupt stream: the only safe recovery is to drop it.
+                    self.decode_errors += 1
+                    self._drop(conn)
+                    return handled
+        self._flush(conn)
+        return handled
+
+    def _dispatch(self, conn: _Connection, mtype: str, payload: bytes) -> int:
+        try:
+            message = Message.from_parts(mtype, payload)
+        except MessageError:
+            self.decode_errors += 1
+            return 0
+        self.messages_handled += 1
+        reply = self.handler(message)
+        if reply is not None:
+            if reply.reply_to is None:
+                reply.reply_to = message.req_id
+            if not reply.sender:
+                reply.sender = self.contact
+            conn.outbuf.extend(reply.encode())
+            self._flush(conn)
+        return 1
+
+    def _flush(self, conn: _Connection) -> None:
+        while conn.outbuf:
+            try:
+                sent = conn.sock.send(bytes(conn.outbuf))
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._drop(conn)
+                return
+            del conn.outbuf[:sent]
+
+    def _drop(self, conn: _Connection) -> None:
+        try:
+            self._sel.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        conn.sock.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for key in list(self._sel.get_map().values()):
+            try:
+                key.fileobj.close()  # type: ignore[union-attr]
+            except OSError:
+                pass
+        self._sel.close()
+
+
+class TcpClient:
+    """Blocking lingua-franca client. One connection per call, by design:
+    the paper's components assume no connection state survives failures."""
+
+    def __init__(self, sender: str = "client") -> None:
+        self.sender = sender
+
+    def _connect(self, host: str, port: int, timeout: float) -> socket.socket:
+        try:
+            return socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise TransportError(f"connect to {host}:{port} failed: {exc}") from exc
+
+    def send(self, host: str, port: int, message: Message, timeout: float = 5.0) -> None:
+        """Fire-and-forget delivery."""
+        if not message.sender:
+            message.sender = self.sender
+        with self._connect(host, port, timeout) as sock:
+            sock.sendall(message.encode())
+
+    def request(
+        self, host: str, port: int, message: Message, timeout: float = 5.0
+    ) -> Optional[Message]:
+        """Send a request, await the correlated reply; None on time-out."""
+        if not message.sender:
+            message.sender = self.sender
+        if message.req_id is None:
+            message.req_id = fresh_req_id()
+        deadline = time.monotonic() + timeout
+        with self._connect(host, port, timeout) as sock:
+            sock.sendall(message.encode())
+            decoder = PacketDecoder()
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                sock.settimeout(remaining)
+                try:
+                    data = sock.recv(65536)
+                except socket.timeout:
+                    return None
+                except OSError as exc:
+                    raise TransportError(f"recv failed: {exc}") from exc
+                if not data:
+                    return None
+                decoder.feed(data)
+                try:
+                    for mtype, payload in decoder.packets():
+                        reply = Message.from_parts(mtype, payload)
+                        if reply.reply_to == message.req_id:
+                            return reply
+                except (PacketError, MessageError) as exc:
+                    raise TransportError(f"corrupt reply stream: {exc}") from exc

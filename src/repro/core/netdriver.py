@@ -1,0 +1,158 @@
+"""Driver running a sans-IO :class:`Component` on real TCP sockets.
+
+The counterpart of :class:`~repro.core.simdriver.SimDriver` for actual
+deployment: the same component code (Gossip server, scheduler, client)
+binds to a real port, receives lingua-franca packets from the network,
+and has its timers driven by the wall clock. Single-threaded, per the
+paper's portability rules — the loop multiplexes socket readiness and
+timer deadlines exactly the way the C prototype multiplexed ``select()``
+time-outs.
+
+Replies here are *datagram-style*: every ``Send`` effect opens a
+short-lived connection to the destination's listening port (components
+address each other as ``"host:port"``), mirroring how the simulation's
+fire-and-forget sends behave — and how EveryWare survives transports
+that drop connections without notice.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Optional
+
+from .component import CancelTimer, Component, Effect, LogLine, Send, SetTimer, Stop
+from .linguafranca.messages import Message
+from .linguafranca.tcp import TcpClient, TcpServer, TransportError
+
+__all__ = ["NetDriver"]
+
+
+class _NetRuntime:
+    def __init__(self, driver: "NetDriver") -> None:
+        self._d = driver
+
+    def now(self) -> float:
+        return self._d.now()
+
+    def contact(self) -> str:
+        return self._d.contact
+
+    def host_name(self) -> str:
+        return self._d.contact.split(":")[0]
+
+    def speed(self) -> float:
+        return 0.0  # real mode: compute engines meter themselves
+
+    def random(self) -> float:
+        return self._d._rng.random()
+
+
+class NetDriver:
+    """Runs one component on a real TCP endpoint."""
+
+    def __init__(
+        self,
+        component: Component,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        log_sink=None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.component = component
+        self.server = TcpServer(host, port, self._handle)
+        self.contact = self.server.contact
+        self.client = TcpClient(sender=self.contact)
+        self.log_sink = log_sink
+        self._rng = random.Random(seed)
+        self._timers: dict[str, float] = {}
+        self._t0 = time.monotonic()
+        self._stopped = False
+        self.stop_reason: Optional[str] = None
+        self.send_errors = 0
+        self.handler_errors = 0
+        self._started = False
+
+    def now(self) -> float:
+        return time.monotonic() - self._t0
+
+    # -- effects ------------------------------------------------------------
+    def _apply(self, effects: list[Effect]) -> None:
+        for eff in effects:
+            if isinstance(eff, Send):
+                host, _, port = eff.dst.rpartition(":")
+                try:
+                    self.client.send(host, int(port), eff.message, timeout=2.0)
+                except (TransportError, ValueError):
+                    # Fire-and-forget: unreachable peers are a normal
+                    # condition; time-outs higher up handle recovery.
+                    self.send_errors += 1
+            elif isinstance(eff, SetTimer):
+                self._timers[eff.key] = self.now() + eff.delay
+            elif isinstance(eff, CancelTimer):
+                self._timers.pop(eff.key, None)
+            elif isinstance(eff, LogLine):
+                if self.log_sink is not None:
+                    self.log_sink(self.now(), self.component.name,
+                                  eff.level, eff.text)
+            elif isinstance(eff, Stop):
+                self._stopped = True
+                self.stop_reason = eff.reason
+            else:
+                raise TypeError(f"unknown effect {eff!r}")
+
+    def _handle(self, message: Message) -> Optional[Message]:
+        try:
+            effects = self.component.on_message(message, self.now())
+        except Exception as exc:  # noqa: BLE001 — robustness boundary
+            self.handler_errors += 1
+            if self.log_sink is not None:
+                self.log_sink(self.now(), self.component.name, "error",
+                              f"dropped {message.mtype}: {exc!r}")
+            effects = []
+        self._apply(effects)
+        return None  # all replies travel as explicit Send effects
+
+    def _fire_due_timers(self) -> None:
+        while not self._stopped:
+            now = self.now()
+            due = sorted(
+                (t, k) for k, t in self._timers.items() if t <= now
+            )
+            if not due:
+                return
+            _, key = due[0]
+            del self._timers[key]
+            self._apply(self.component.on_timer(key, self.now()))
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> None:
+        """Bind the component and run its on_start effects. Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        self.component.bind_runtime(_NetRuntime(self))
+        self._apply(self.component.on_start(self.now()))
+
+    def step(self, max_wait: float = 0.05) -> None:
+        """One reactor turn: poll sockets until the next timer deadline."""
+        if not self._started:
+            self.start()
+        deadline = min(self._timers.values()) if self._timers else None
+        wait = max_wait
+        if deadline is not None:
+            wait = min(max(deadline - self.now(), 0.0), max_wait)
+        self.server.step(wait)
+        self._fire_due_timers()
+
+    def run(self, duration: float) -> str:
+        """Pump the reactor for ``duration`` wall seconds (or until the
+        component stops itself); returns the stop reason."""
+        end = self.now() + duration
+        while not self._stopped and self.now() < end:
+            self.step()
+        self.component.on_stop(self.now(), self.stop_reason or "duration")
+        return self.stop_reason or "duration"
+
+    def close(self) -> None:
+        self.server.close()

@@ -1,0 +1,36 @@
+"""Application-level services: scheduling, persistent state, logging."""
+
+from .logging import LOG_APPEND, LOG_QUERY, LOG_RECORDS, LoggingServer, LogRecord
+from .persistent import (
+    PST_DENIED,
+    PST_FETCH,
+    PST_KEYS,
+    PST_LIST,
+    PST_MISSING,
+    PST_STORE,
+    PST_STORE_OK,
+    PST_VALUE,
+    DirectoryBackend,
+    MemoryBackend,
+    PersistentStateServer,
+    ValidationError,
+)
+from .scheduler import (
+    SCH_DIRECTIVE,
+    SCH_HELLO,
+    SCH_REPORT,
+    SCH_WORK,
+    QueueWorkSource,
+    SchedulerServer,
+    SchedulerStats,
+    WorkSource,
+)
+
+__all__ = [
+    "LOG_APPEND", "LOG_QUERY", "LOG_RECORDS", "LoggingServer", "LogRecord",
+    "PST_DENIED", "PST_FETCH", "PST_KEYS", "PST_LIST", "PST_MISSING",
+    "PST_STORE", "PST_STORE_OK", "PST_VALUE",
+    "DirectoryBackend", "MemoryBackend", "PersistentStateServer", "ValidationError",
+    "SCH_DIRECTIVE", "SCH_HELLO", "SCH_REPORT", "SCH_WORK",
+    "QueueWorkSource", "SchedulerServer", "SchedulerStats", "WorkSource",
+]

@@ -1,0 +1,228 @@
+"""The application-specific service framework (§6, delivered).
+
+The paper's future work: "we plan to exploit commonalities in the
+various service designs to provide an application-specific service
+framework or template. Programmers could then install control modules
+within the framework that would be automatically invoked by each
+server." This module is that template for the master/worker (coupled
+master-slave + data parallelism) class the paper identifies as
+Grid-suitable:
+
+* :class:`TaskFarmMaster` — owns a task list, hands tasks to workers on
+  request, collects results, reissues tasks lost to failures, and
+  invokes the installed *control module* (``on_result``) per result;
+* :class:`TaskFarmWorker` — pulls tasks, charges their cost against the
+  host's delivered speed (communication and load fluctuations included,
+  as with the Ramsey clients), computes via the installed ``execute``
+  control module, and submits.
+
+Both are ordinary sans-IO components: they run under
+:class:`~repro.core.simdriver.SimDriver` on the simulated Grid or under
+:class:`~repro.core.netdriver.NetDriver` on real sockets, unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..component import Component, Effect, LogLine, Send, SetTimer
+from ..linguafranca.messages import Message
+
+__all__ = ["TaskFarmMaster", "TaskFarmWorker", "FARM_GET", "FARM_TASK",
+           "FARM_RESULT", "FARM_ACK"]
+
+FARM_GET = "FARM_GET"
+FARM_TASK = "FARM_TASK"
+FARM_RESULT = "FARM_RESULT"
+FARM_ACK = "FARM_ACK"
+
+T_REISSUE = "farm:reissue"
+T_RETRY = "farm:retry"
+T_SUBMIT = "farm:submit"
+
+
+@dataclass
+class _InFlight:
+    task: dict
+    worker: str
+    issued_at: float
+
+
+class TaskFarmMaster(Component):
+    """Generic master: task distribution, collection, reissue.
+
+    ``tasks`` must each carry a unique ``"id"``. ``on_result(task, result)``
+    is the control module invoked per collected result (deduplicated:
+    reissued tasks that return twice are counted once).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tasks: list[dict],
+        on_result: Optional[Callable[[dict, dict], None]] = None,
+        reissue_timeout: float = 300.0,
+    ) -> None:
+        super().__init__(name)
+        ids = [t.get("id") for t in tasks]
+        if len(set(ids)) != len(ids) or any(i is None for i in ids):
+            raise ValueError("every task needs a unique 'id'")
+        self.pending: list[dict] = list(tasks)
+        self.in_flight: dict[str, _InFlight] = {}
+        self.results: dict[str, dict] = {}
+        self.on_result = on_result
+        self.reissue_timeout = reissue_timeout
+        self.total = len(tasks)
+        self.reissues = 0
+        self.duplicate_results = 0
+
+    @property
+    def done(self) -> bool:
+        return len(self.results) == self.total
+
+    def progress(self) -> tuple[int, int]:
+        return len(self.results), self.total
+
+    # -- protocol ------------------------------------------------------------
+    def on_start(self, now: float) -> list[Effect]:
+        return [SetTimer(T_REISSUE, self.reissue_timeout)]
+
+    def on_message(self, message: Message, now: float) -> list[Effect]:
+        if message.mtype == FARM_GET:
+            return self._issue(message.sender, now, reply_to=message)
+        if message.mtype == FARM_RESULT:
+            return self._collect(message, now)
+        return []
+
+    def _issue(self, worker: str, now: float,
+               reply_to: Optional[Message] = None) -> list[Effect]:
+        task: Optional[dict] = None
+        if self.pending:
+            task = self.pending.pop(0)
+            self.in_flight[task["id"]] = _InFlight(task, worker, now)
+        body = {"task": task, "remaining": len(self.pending)}
+        msg = (reply_to.reply(FARM_TASK, sender=self.contact, body=body)
+               if reply_to is not None
+               else Message(mtype=FARM_TASK, sender=self.contact, body=body))
+        return [Send(worker, msg)]
+
+    def _collect(self, message: Message, now: float) -> list[Effect]:
+        task_id = message.body.get("task_id")
+        result = message.body.get("result")
+        effects: list[Effect] = [Send(message.sender, message.reply(
+            FARM_ACK, sender=self.contact, body={"task_id": task_id}))]
+        if not isinstance(task_id, str) or not isinstance(result, dict):
+            return effects
+        flight = self.in_flight.pop(task_id, None)
+        if task_id in self.results:
+            self.duplicate_results += 1
+            return effects
+        self.results[task_id] = result
+        if self.on_result is not None:
+            task = flight.task if flight is not None else {"id": task_id}
+            self.on_result(task, result)
+        if self.done:
+            effects.append(LogLine(f"farm complete: {self.total} tasks"))
+        return effects
+
+    def on_timer(self, key: str, now: float) -> list[Effect]:
+        if key != T_REISSUE:
+            return []
+        effects: list[Effect] = [SetTimer(T_REISSUE, self.reissue_timeout)]
+        for task_id in sorted(self.in_flight):
+            flight = self.in_flight[task_id]
+            if now - flight.issued_at > self.reissue_timeout:
+                # Worker presumed dead (reclaimed, failed): recycle.
+                del self.in_flight[task_id]
+                self.pending.insert(0, flight.task)
+                self.reissues += 1
+                effects.append(LogLine(
+                    f"reissuing task {task_id} lost with {flight.worker}"))
+        return effects
+
+
+class TaskFarmWorker(Component):
+    """Generic worker: pull, compute (installed control module), submit.
+
+    ``execute(task) -> result`` does the actual computation; ``cost(task)
+    -> ops`` prices it so simulated time is charged against the host's
+    delivered speed. Results are retransmitted until the master ACKs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        master: str,
+        execute: Callable[[dict], dict],
+        cost: Callable[[dict], float],
+        retry_period: float = 30.0,
+    ) -> None:
+        super().__init__(name)
+        self.master = master
+        self.execute = execute
+        self.cost = cost
+        self.retry_period = retry_period
+        self.current: Optional[dict] = None
+        self._result: Optional[dict] = None
+        self._awaiting_ack = False
+        self.tasks_done = 0
+        self.ops_charged = 0.0
+
+    # -- protocol ------------------------------------------------------------
+    def _get(self) -> list[Effect]:
+        return [Send(self.master, Message(
+            mtype=FARM_GET, sender=self.contact))]
+
+    def on_start(self, now: float) -> list[Effect]:
+        return [*self._get(), SetTimer(T_RETRY, self.retry_period)]
+
+    def on_message(self, message: Message, now: float) -> list[Effect]:
+        if message.mtype == FARM_TASK:
+            task = message.body.get("task")
+            if task is None:
+                # Farm drained (or nothing yet): idle and re-ask later.
+                self.current = None
+                return [SetTimer(T_RETRY, self.retry_period)]
+            self.current = task
+            self._result = None
+            self._awaiting_ack = False
+            ops = max(float(self.cost(task)), 1.0)
+            assert self.runtime is not None
+            speed = max(self.runtime.speed(), 1e-9)
+            self.ops_charged += ops
+            # The compute phase: charge simulated time for the task's cost
+            # at the host's *current* delivered speed.
+            return [SetTimer(T_SUBMIT, ops / speed)]
+        if message.mtype == FARM_ACK:
+            if self._awaiting_ack:
+                self._awaiting_ack = False
+                self._result = None
+                self.current = None
+                self.tasks_done += 1
+                return self._get()
+            return []
+        return []
+
+    def on_timer(self, key: str, now: float) -> list[Effect]:
+        if key == T_SUBMIT:
+            if self.current is None:
+                return []
+            if self._result is None:
+                self._result = self.execute(self.current)
+            self._awaiting_ack = True
+            return [*self._submit(), SetTimer(T_RETRY, self.retry_period)]
+        if key == T_RETRY:
+            if self._awaiting_ack and self._result is not None:
+                # Result not acknowledged: retransmit.
+                return [*self._submit(), SetTimer(T_RETRY, self.retry_period)]
+            if self.current is None:
+                return [*self._get(), SetTimer(T_RETRY, self.retry_period)]
+            return [SetTimer(T_RETRY, self.retry_period)]
+        return []
+
+    def _submit(self) -> list[Effect]:
+        assert self.current is not None and self._result is not None
+        return [Send(self.master, Message(
+            mtype=FARM_RESULT, sender=self.contact,
+            body={"task_id": self.current["id"], "result": self._result}))]

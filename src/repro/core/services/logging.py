@@ -1,0 +1,90 @@
+"""Distributed logging servers (§3.1.3).
+
+Scheduling servers base decisions on the performance information clients
+report; before that information is discarded it is forwarded to a logging
+server "so that it can be recorded". A separate service lets the
+application "limit and control the storage load" it generates.
+
+In this reproduction the logging servers double as the experiment's
+measurement plane: the SC98 figures are computed from the performance
+records accumulated here (exactly as the paper's figures came from its
+"logging and report facilities").
+
+Protocol: ``LOG_APPEND`` (fire-and-forget batches) and
+``LOG_QUERY`` → ``LOG_RECORDS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..component import Component, Effect, Send
+from ..linguafranca.messages import Message
+
+__all__ = ["LoggingServer", "LogRecord", "LOG_APPEND", "LOG_QUERY", "LOG_RECORDS"]
+
+LOG_APPEND = "LOG_APPEND"
+LOG_QUERY = "LOG_QUERY"
+LOG_RECORDS = "LOG_RECORDS"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One logged event."""
+
+    stamp: float  # server-side receive time
+    source: str  # reporting component contact
+    kind: str  # record category, e.g. "perf"
+    data: dict
+
+    def to_body(self) -> dict:
+        return {"ts": self.stamp, "src": self.source, "k": self.kind, "d": self.data}
+
+
+class LoggingServer(Component):
+    """An append-only, capacity-bounded record sink."""
+
+    def __init__(self, name: str, max_records: int = 2_000_000) -> None:
+        super().__init__(name)
+        self.max_records = max_records
+        self.records: list[LogRecord] = []
+        self.appended = 0
+        self.dropped = 0
+
+    def on_message(self, message: Message, now: float) -> list[Effect]:
+        if message.mtype == LOG_APPEND:
+            for item in message.body.get("records", []):
+                if not isinstance(item, dict):
+                    continue
+                if len(self.records) >= self.max_records:
+                    self.dropped += 1
+                    continue
+                self.records.append(LogRecord(
+                    stamp=now,
+                    source=message.sender,
+                    kind=str(item.get("k", "event")),
+                    data=item.get("d", {}) if isinstance(item.get("d"), dict) else {},
+                ))
+                self.appended += 1
+            return []
+        if message.mtype == LOG_QUERY:
+            since = float(message.body.get("since", 0.0))
+            kind = message.body.get("kind")
+            limit = int(message.body.get("limit", 1000))
+            out = []
+            for rec in self.records:
+                if rec.stamp < since:
+                    continue
+                if kind is not None and rec.kind != kind:
+                    continue
+                out.append(rec.to_body())
+                if len(out) >= limit:
+                    break
+            return [Send(message.sender, message.reply(
+                LOG_RECORDS, sender=self.contact, body={"records": out}))]
+        return []
+
+    # -- experiment-side accessors (not part of the wire protocol) -----------
+    def by_kind(self, kind: str) -> list[LogRecord]:
+        return [r for r in self.records if r.kind == kind]

@@ -1,0 +1,158 @@
+"""Driver running a sans-IO :class:`Component` on a simulated host.
+
+The driver owns the endpoint, the timer wheel, and the main loop; the
+component only ever sees messages, timer keys, and the current time. When
+the host dies (Condor reclamation, failure, ...), the loop is interrupted
+with :class:`~repro.simgrid.host.HostDown`; the driver unbinds the
+endpoint and reports the death through ``on_stop`` — matching how SC98
+guest processes were killed without warning.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..simgrid.engine import Environment, Interrupt, Process
+from ..simgrid.host import Host
+from ..simgrid.network import Address, Network
+from .component import CancelTimer, Component, Effect, LogLine, Send, SetTimer, Stop
+from .linguafranca.endpoint import SimEndpoint
+
+__all__ = ["SimDriver"]
+
+LogSink = Callable[[float, str, str, str], None]  # (time, component, level, text)
+
+
+class _SimRuntime:
+    """Runtime facade handed to the component."""
+
+    def __init__(self, driver: "SimDriver") -> None:
+        self._d = driver
+        self._rng = None
+
+    def now(self) -> float:
+        return self._d.env.now
+
+    def contact(self) -> str:
+        return self._d.endpoint.contact
+
+    def host_name(self) -> str:
+        return self._d.host.name
+
+    def speed(self) -> float:
+        return self._d.host.effective_speed()
+
+    def random(self) -> float:
+        if self._rng is None:
+            # One stream per component address keeps runs reproducible.
+            self._rng = self._d.streams.get(f"component:{self._d.endpoint.contact}")
+        return float(self._rng.random())
+
+
+class SimDriver:
+    """Runs one component on one host."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        host: Host,
+        port: str,
+        component: Component,
+        streams,
+        log_sink: Optional[LogSink] = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.host = host
+        self.component = component
+        self.streams = streams
+        self.address = Address(host.name, port)
+        self.endpoint = SimEndpoint(env, network, self.address)
+        self.log_sink = log_sink
+        self._timers: dict[str, float] = {}
+        self._stopped = False
+        self.handler_errors = 0
+        self.stop_reason: Optional[str] = None
+        self.process: Optional[Process] = None
+        component.bind_runtime(_SimRuntime(self))
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> Process:
+        """Spawn the driver loop as a guest process on the host."""
+        self.process = self.host.spawn(self._run(), name=f"drv:{self.address.port}")
+        return self.process
+
+    @property
+    def running(self) -> bool:
+        return self.process is not None and self.process.is_alive and not self._stopped
+
+    # -- effect application --------------------------------------------------
+    def _apply(self, effects: list[Effect]) -> None:
+        for eff in effects:
+            if isinstance(eff, Send):
+                self.endpoint.send(eff.dst, eff.message)
+            elif isinstance(eff, SetTimer):
+                self._timers[eff.key] = self.env.now + eff.delay
+            elif isinstance(eff, CancelTimer):
+                self._timers.pop(eff.key, None)
+            elif isinstance(eff, LogLine):
+                if self.log_sink is not None:
+                    self.log_sink(self.env.now, self.component.name, eff.level, eff.text)
+            elif isinstance(eff, Stop):
+                self._stopped = True
+                self.stop_reason = eff.reason
+            else:
+                raise TypeError(f"unknown effect {eff!r}")
+
+    def _next_deadline(self) -> Optional[float]:
+        return min(self._timers.values()) if self._timers else None
+
+    def _fire_due_timers(self) -> None:
+        now = self.env.now
+        while not self._stopped:
+            due = [k for k, t in self._timers.items() if t <= now]
+            if not due:
+                return
+            # Deterministic order for same-deadline timers.
+            due.sort(key=lambda k: (self._timers[k], k))
+            key = due[0]
+            del self._timers[key]
+            self._apply(self.component.on_timer(key, now))
+
+    # -- main loop ------------------------------------------------------------
+    def _run(self) -> Generator:
+        reason = "stopped"
+        try:
+            self._apply(self.component.on_start(self.env.now))
+            while not self._stopped:
+                deadline = self._next_deadline()
+                if deadline is None:
+                    timeout = None
+                else:
+                    timeout = max(deadline - self.env.now, 0.0)
+                message = yield from self.endpoint.recv(timeout)
+                if self._stopped:
+                    break
+                if message is not None:
+                    try:
+                        effects = self.component.on_message(message, self.env.now)
+                    except Exception as exc:  # noqa: BLE001 — robustness boundary
+                        # A malformed or hostile message must never take a
+                        # server down (§2.3 robustness): drop it, log, go on.
+                        self.handler_errors += 1
+                        if self.log_sink is not None:
+                            self.log_sink(self.env.now, self.component.name,
+                                          "error",
+                                          f"dropped {message.mtype}: {exc!r}")
+                        effects = []
+                    self._apply(effects)
+                self._fire_due_timers()
+            reason = self.stop_reason or "stopped"
+        except Interrupt as interrupt:
+            reason = f"host_down:{getattr(interrupt.cause, 'reason', interrupt.cause)}"
+        finally:
+            self.endpoint.close()
+            self._stopped = True
+            self.component.on_stop(self.env.now, reason)
+        return reason

@@ -1,0 +1,63 @@
+"""Experiment harness: the SC98 scenario, metrics, and figure rendering."""
+
+from .export import headlines_json, hosts_csv, rates_csv, write_results
+from .stats import SweepOutcome, bootstrap_ci, seed_sweep, shape_metrics
+from .metrics import (
+    HostCountSampler,
+    SeriesBundle,
+    TimeBuckets,
+    coefficient_of_variation,
+    collect_rate_series,
+)
+from .report import (
+    format_rate,
+    render_fig2,
+    render_fig3a,
+    render_fig3b,
+    render_grid_criteria,
+    render_headlines,
+    render_series_table,
+    sparkline,
+)
+from .sc98 import (
+    SC98Config,
+    SC98Results,
+    SC98World,
+    build_sc98,
+    clock_to_offset,
+    offset_to_clock,
+)
+from .scenario import ServiceCore, build_core, model_client_factory
+
+__all__ = [
+    "SweepOutcome",
+    "bootstrap_ci",
+    "seed_sweep",
+    "shape_metrics",
+    "headlines_json",
+    "hosts_csv",
+    "rates_csv",
+    "write_results",
+    "HostCountSampler",
+    "SeriesBundle",
+    "TimeBuckets",
+    "coefficient_of_variation",
+    "collect_rate_series",
+    "format_rate",
+    "render_fig2",
+    "render_fig3a",
+    "render_fig3b",
+    "render_grid_criteria",
+    "render_headlines",
+    "render_series_table",
+    "sparkline",
+    "SC98Config",
+    "SC98Results",
+    "SC98World",
+    "build_sc98",
+    "clock_to_offset",
+    "offset_to_clock",
+    "ServiceCore",
+    "build_core",
+    "model_client_factory",
+]

@@ -1,0 +1,28 @@
+"""Simulated Grid infrastructure adapters (the paper's §5 experiences)."""
+
+from .base import ClientFactory, InfraAdapter
+from .condor import CondorPool
+from .globus import GlobusSites
+from .java import JavaApplets
+from .legion import LegionNet, LegionTranslator
+from .netsolve import NetSolveFarm
+from .nt import NTSupercluster
+from .speeds import JAVA_INTERP_IOPS, JAVA_JIT_IOPS, SPEED_CLASSES, speed_for
+from .unixpool import UnixPool
+
+__all__ = [
+    "ClientFactory",
+    "InfraAdapter",
+    "CondorPool",
+    "GlobusSites",
+    "JavaApplets",
+    "LegionNet",
+    "LegionTranslator",
+    "NetSolveFarm",
+    "NTSupercluster",
+    "UnixPool",
+    "JAVA_INTERP_IOPS",
+    "JAVA_JIT_IOPS",
+    "SPEED_CLASSES",
+    "speed_for",
+]

@@ -1,0 +1,99 @@
+"""NT Supercluster adapter (§5.5): the CygWin-ported EveryWare on NT.
+
+Models the two quirks the paper hit at SC98:
+
+* **DNS configuration** — cluster nodes initially could not resolve the
+  scheduler hosts' names ("the ability to resolve host names was not a
+  part of the default configuration"); until NCSA support fixed it at
+  ``dns_fix_time``, no client can start.
+* **LSF sleep-kill** — workers slept a randomized interval at startup to
+  avoid stampeding the scheduler, but "LSF seemed to interpret the lack
+  of cpu usage by assuming the process is dead, reclaiming the
+  processor". A worker whose startup sleep exceeds ``lsf_kill_threshold``
+  is killed and must start over; the fix (and ablation A5 knob) is
+  ``startup_sleep_max``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..simgrid.host import Host
+from ..simgrid.load import MeanRevertingLoad
+from .base import InfraAdapter
+from .speeds import speed_for
+
+__all__ = ["NTSupercluster"]
+
+
+class NTSupercluster(InfraAdapter):
+    name = "nt"
+
+    def __init__(
+        self,
+        *args,
+        clusters: dict[str, int] | None = None,
+        startup_sleep_max: float = 60.0,
+        lsf_kill_threshold: float = 45.0,
+        dns_fix_time: float = 0.0,
+        mtbf: float = 12 * 3600.0,
+        mttr: float = 900.0,
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        #: cluster name -> node count (defaults: NCSA 64 + UCSD 32 nodes).
+        self.clusters = clusters if clusters is not None else {"ncsa": 64, "ucsd": 32}
+        self.startup_sleep_max = startup_sleep_max
+        self.lsf_kill_threshold = lsf_kill_threshold
+        self.dns_fix_time = dns_fix_time
+        self.mtbf = mtbf
+        self.mttr = mttr
+        self.lsf_kills = 0
+
+    def deploy(self) -> None:
+        rng = self._rng
+        for cluster, count in self.clusters.items():
+            for i in range(count):
+                host = self._add_host(
+                    f"nt-{cluster}-{i}",
+                    speed=speed_for("nt_node", jitter=0.05, rng=rng),
+                    load_model=MeanRevertingLoad(mean=0.85, sigma=0.003),
+                    site=f"{self.site}-{cluster}",
+                )
+                self._start_failure_process(host)
+                self.env.process(self._startup(host))
+
+    def _startup(self, host: Host) -> Generator:
+        """Wait for DNS, then survive the LSF sleep gauntlet."""
+        if self.env.now < self.dns_fix_time:
+            yield self.env.timeout(self.dns_fix_time - self.env.now)
+        rng = self.streams.get(f"lsf:{host.name}")
+        while host.up and host.name not in self.drivers:
+            sleep = float(rng.uniform(0, self.startup_sleep_max))
+            if sleep > self.lsf_kill_threshold:
+                # LSF reclaims the "dead" sleeper at the threshold; the
+                # worker must be resubmitted and sleeps again.
+                self.lsf_kills += 1
+                yield self.env.timeout(self.lsf_kill_threshold)
+                continue
+            yield self.env.timeout(sleep)
+            if host.up:
+                self.launch_client(host)
+            return
+
+    def _start_failure_process(self, host: Host) -> None:
+        rng = self.streams.get(f"fail:{host.name}")
+
+        def cycle() -> Generator:
+            while True:
+                yield self.env.timeout(float(rng.exponential(self.mtbf)))
+                host.go_down("failure")
+                yield self.env.timeout(float(rng.exponential(self.mttr)))
+                host.go_up()
+                self.env.process(self._startup(host))
+
+        self.env.process(cycle())
+
+    def on_client_exit(self, host: Host) -> None:
+        if host.up:
+            self.env.process(self._startup(host))

@@ -1,0 +1,327 @@
+"""Two-colorings of complete graphs and monochromatic-clique counting.
+
+The Ramsey Number Search application (§3) works in the space of complete
+two-colored graphs on ``k`` vertices, hunting for colorings with **no**
+monochromatic complete subgraph on ``n`` vertices — a counter-example
+proving ``R(n, n) > k``.
+
+A coloring is stored as per-vertex *red neighbor bitmasks* (Python ints),
+so clique counting is mask intersection + popcount — the same
+integer-test-and-arithmetic inner loop the paper's C clients ran, and the
+loop our op counters meter.
+
+Op counting
+-----------
+The paper inserted an increment after every integer test/arithmetic
+operation, making reported rates conservative (§4). We meter the same
+work at bitset granularity: every mask intersection or popcount on a
+``k``-bit mask counts as ``k`` integer operations, every scalar
+test/update as one. :class:`OpCounter` accumulates these.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, Optional
+
+import numpy as np
+
+__all__ = [
+    "OpCounter",
+    "Coloring",
+    "count_mono_cliques",
+    "count_mono_cliques_with_edge",
+    "RED",
+    "BLUE",
+]
+
+RED = 0
+BLUE = 1
+
+
+class OpCounter:
+    """Accumulates the application's useful-integer-operation count."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self) -> None:
+        self.ops = 0
+
+    def add(self, n: int) -> None:
+        self.ops += n
+
+    def reset(self) -> int:
+        """Return and zero the counter (per reporting interval)."""
+        out = self.ops
+        self.ops = 0
+        return out
+
+
+class Coloring:
+    """A two-coloring of the edges of the complete graph ``K_k``.
+
+    ``red[v]`` is the bitmask of vertices joined to ``v`` by a red edge;
+    blue masks are derived (every edge is exactly one of red/blue).
+    """
+
+    __slots__ = ("k", "red")
+
+    def __init__(self, k: int, red: Optional[list[int]] = None) -> None:
+        if k < 2:
+            raise ValueError("need at least 2 vertices")
+        self.k = k
+        if red is None:
+            self.red = [0] * k
+        else:
+            if len(red) != k:
+                raise ValueError("mask list length != k")
+            self.red = list(red)
+            self._check_symmetric()
+
+    def _check_symmetric(self) -> None:
+        for v in range(self.k):
+            if self.red[v] >> self.k:
+                raise ValueError(f"mask of vertex {v} has bits beyond k")
+            if (self.red[v] >> v) & 1:
+                raise ValueError(f"vertex {v} has a self-loop")
+        for u in range(self.k):
+            m = self.red[u]
+            while m:
+                v = (m & -m).bit_length() - 1
+                if not (self.red[v] >> u) & 1:
+                    raise ValueError(f"asymmetric edge ({u}, {v})")
+                m &= m - 1
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def random(cls, k: int, rng: np.random.Generator) -> "Coloring":
+        """Uniformly random coloring."""
+        c = cls(k)
+        for u in range(k):
+            for v in range(u + 1, k):
+                if rng.random() < 0.5:
+                    c._set_red(u, v)
+        return c
+
+    @classmethod
+    def from_edges(cls, k: int, red_edges: Iterator[tuple[int, int]]) -> "Coloring":
+        c = cls(k)
+        for u, v in red_edges:
+            if u == v or not (0 <= u < k and 0 <= v < k):
+                raise ValueError(f"bad edge ({u}, {v})")
+            c._set_red(u, v)
+        return c
+
+    def _set_red(self, u: int, v: int) -> None:
+        self.red[u] |= 1 << v
+        self.red[v] |= 1 << u
+
+    def _set_blue(self, u: int, v: int) -> None:
+        self.red[u] &= ~(1 << v)
+        self.red[v] &= ~(1 << u)
+
+    # -- inspection ------------------------------------------------------------
+    def color(self, u: int, v: int) -> int:
+        """RED or BLUE for edge (u, v)."""
+        if u == v:
+            raise ValueError("no self edges in a complete graph coloring")
+        return RED if (self.red[u] >> v) & 1 else BLUE
+
+    def blue_mask(self, v: int) -> int:
+        full = (1 << self.k) - 1
+        return full & ~self.red[v] & ~(1 << v)
+
+    def flip(self, u: int, v: int) -> None:
+        """Toggle the color of edge (u, v)."""
+        if self.color(u, v) == RED:
+            self._set_blue(u, v)
+        else:
+            self._set_red(u, v)
+
+    def copy(self) -> "Coloring":
+        return Coloring(self.k, list(self.red))
+
+    def edges(self) -> Iterator[tuple[int, int, int]]:
+        """Yield (u, v, color) for every edge with u < v."""
+        for u in range(self.k):
+            for v in range(u + 1, self.k):
+                yield u, v, self.color(u, v)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Coloring) and other.k == self.k and other.red == self.red
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.k, tuple(self.red)))
+
+    # -- serialization -------------------------------------------------------
+    def to_hex(self) -> str:
+        """Pack the upper-triangle edge colors into a hex string (the wire
+        and checkpoint format; lingua-franca payloads are JSON-safe)."""
+        bits = 0
+        idx = 0
+        for u in range(self.k):
+            for v in range(u + 1, self.k):
+                if (self.red[u] >> v) & 1:
+                    bits |= 1 << idx
+                idx += 1
+        nbytes = (idx + 7) // 8
+        return bits.to_bytes(max(nbytes, 1), "little").hex()
+
+    @classmethod
+    def from_hex(cls, k: int, text: str) -> "Coloring":
+        bits = int.from_bytes(bytes.fromhex(text), "little")
+        c = cls(k)
+        idx = 0
+        for u in range(k):
+            for v in range(u + 1, k):
+                if (bits >> idx) & 1:
+                    c._set_red(u, v)
+                idx += 1
+        return c
+
+    def __repr__(self) -> str:
+        reds = sum(bin(m).count("1") for m in self.red) // 2
+        total = self.k * (self.k - 1) // 2
+        return f"<Coloring K_{self.k} red={reds}/{total}>"
+
+
+def _count_cliques(masks: list[int], k: int, n: int, ops: Optional[OpCounter]) -> int:
+    """Count n-cliques in the graph given by neighbor bitmasks."""
+    if n == 1:
+        return k
+    if n < 1:
+        return 0
+    counted = 0  # local op meter, flushed once at the end
+
+    def rec(candidates: int, depth: int) -> int:
+        nonlocal counted
+        if depth == n - 1:
+            # Only one more vertex needed: any candidate completes a clique.
+            counted += k
+            return bin(candidates).count("1")
+        total = 0
+        m = candidates
+        while m:
+            low = m & -m
+            v = low.bit_length() - 1
+            m &= m - 1
+            counted += 2 * k  # mask intersection + bookkeeping
+            # Only extend with vertices above v to count each clique once.
+            total += rec(candidates & masks[v] & ~(low - 1) & ~low, depth + 1)
+        return total
+
+    full = (1 << k) - 1
+    total = 0
+    for v in range(k):
+        counted += 2 * k
+        above = full & ~((1 << (v + 1)) - 1)
+        total += rec(masks[v] & above, 1)
+    if ops is not None:
+        ops.add(counted)
+    return total
+
+
+def count_mono_cliques(
+    coloring: Coloring, n: int, ops: Optional[OpCounter] = None
+) -> int:
+    """Number of monochromatic ``K_n`` (both colors) — the search energy.
+
+    Zero means ``coloring`` is a counter-example for ``R(n, n) > k``.
+    """
+    k = coloring.k
+    red = coloring.red
+    blue = [coloring.blue_mask(v) for v in range(k)]
+    return _count_cliques(red, k, n, ops) + _count_cliques(blue, k, n, ops)
+
+
+def find_any_mono_clique(
+    coloring: Coloring, n: int, ops: Optional[OpCounter] = None,
+    start: int = 0,
+) -> Optional[tuple[int, ...]]:
+    """Return one monochromatic n-clique (bitset search), or None.
+
+    Fast counterpart of :func:`repro.ramsey.verify.find_mono_clique` for
+    use inside heuristics (min-conflicts repairs the clique it finds).
+    ``start`` rotates the vertex scan so repeated calls don't always
+    return the lexicographically first violation.
+    """
+    k = coloring.k
+    counted = 0
+
+    def rec(masks: list[int], chosen: list[int], candidates: int,
+            need: int) -> Optional[tuple[int, ...]]:
+        nonlocal counted
+        if need == 0:
+            return tuple(chosen)
+        m = candidates
+        while m:
+            low = m & -m
+            v = low.bit_length() - 1
+            m &= m - 1
+            counted += 2 * k
+            found = rec(masks, chosen + [v],
+                        candidates & masks[v] & ~(low - 1) & ~low, need - 1)
+            if found is not None:
+                return found
+        return None
+
+    blue = [coloring.blue_mask(v) for v in range(k)]
+    full = (1 << k) - 1
+    for offset in range(k):
+        v = (start + offset) % k
+        counted += 2 * k
+        for masks in (coloring.red, blue):
+            found = rec(masks, [v], masks[v] & full, n - 1)
+            if found is not None:
+                if ops is not None:
+                    ops.add(counted)
+                return tuple(sorted(found))
+    if ops is not None:
+        ops.add(counted)
+    return None
+
+
+def count_mono_cliques_with_edge(
+    coloring: Coloring, u: int, v: int, n: int, ops: Optional[OpCounter] = None
+) -> int:
+    """Monochromatic ``K_n`` that *contain* edge (u, v).
+
+    Equals the number of ``(n-2)``-cliques in the same-colored common
+    neighborhood of u and v — the quantity heuristics use to compute the
+    energy delta of flipping one edge in O(neighborhood) instead of
+    recounting the whole graph.
+    """
+    k = coloring.k
+    if coloring.color(u, v) == RED:
+        masks = coloring.red
+    else:
+        masks = [coloring.blue_mask(w) for w in range(k)]
+    common = masks[u] & masks[v]
+    if ops is not None:
+        ops.add(2 * k)
+    if n == 2:
+        return 1  # the edge itself is the K_2
+    # Count (n-2)-cliques inside `common`, in the subgraph induced on it.
+    sub = [masks[w] & common for w in range(k)]
+    if ops is not None:
+        ops.add(k)
+
+    def rec(candidates: int, need: int) -> int:
+        if need == 1:
+            if ops is not None:
+                ops.add(k)
+            return bin(candidates).count("1")
+        total = 0
+        m = candidates
+        while m:
+            low = m & -m
+            w = low.bit_length() - 1
+            m &= m - 1
+            if ops is not None:
+                ops.add(2 * k)
+            total += rec(candidates & sub[w] & ~(low - 1) & ~low, need - 1)
+        return total
+
+    return rec(common, n - 2)

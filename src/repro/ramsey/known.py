@@ -1,0 +1,61 @@
+"""Known Ramsey facts and classical constructions.
+
+Small Ramsey numbers and bounds per Radziszowski's dynamic survey (the
+paper's [28]): R(3,3)=6, R(4,4)=18, and at the time of SC98 the best
+known lower bound for R(5,5) was 43 — the application searched complete
+two-colored graphs on 43 vertices (§3).
+
+Paley colorings (red = quadratic-residue differences, for primes
+q ≡ 1 mod 4) provide the classical witnesses: Paley(5) has no mono K_3,
+Paley(17) no mono K_4, Paley(37) no mono K_5 — seeds and regression
+anchors for the search heuristics and the verifier.
+"""
+
+from __future__ import annotations
+
+from .graphs import Coloring
+
+__all__ = [
+    "KNOWN_RAMSEY",
+    "SEARCH_TARGETS",
+    "paley_coloring",
+    "PALEY_WITNESSES",
+]
+
+#: n -> (exact value or None, best known lower bound at SC98 time)
+KNOWN_RAMSEY: dict[int, tuple[int | None, int]] = {
+    3: (6, 6),
+    4: (18, 18),
+    5: (None, 43),  # R(5,5) >= 43 was the state of the art the paper cites
+    6: (None, 102),
+}
+
+#: The problem sizes the SC98 application attacked: find a counter-example
+#: on k vertices to push the R(n, n) lower bound past k+1.
+SEARCH_TARGETS: dict[int, int] = {5: 43, 6: 102}
+
+#: n -> prime q such that Paley(q) has no monochromatic K_n.
+PALEY_WITNESSES: dict[int, int] = {3: 5, 4: 17, 5: 37}
+
+
+def paley_coloring(q: int) -> Coloring:
+    """The Paley coloring of K_q: edge (i, j) is red iff (i - j) is a
+    nonzero quadratic residue mod q. Requires prime q ≡ 1 (mod 4) so that
+    residueship is symmetric."""
+    if q < 5:
+        raise ValueError("need q >= 5")
+    if q % 4 != 1:
+        raise ValueError("Paley colorings need q ≡ 1 (mod 4)")
+    for p in range(2, int(q**0.5) + 1):
+        if q % p == 0:
+            raise ValueError(f"{q} is not prime")
+    residues = {pow(x, 2, q) for x in range(1, q)}
+    return Coloring.from_edges(
+        q,
+        (
+            (i, j)
+            for i in range(q)
+            for j in range(i + 1, q)
+            if (i - j) % q in residues
+        ),
+    )

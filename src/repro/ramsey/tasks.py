@@ -1,0 +1,106 @@
+"""Work units for the distributed Ramsey search.
+
+A work unit is a JSON-safe dict describing one slice of the search space:
+which problem size, which heuristic, which random seed (the "subspace" —
+independent seeded restarts partition the stochastic search, the
+practical analog of the paper's branch-and-bound pruning coordination),
+an operation budget, and optionally a ``resume`` snapshot when the unit
+was migrated from another client mid-flight.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .graphs import OpCounter
+from .heuristics import SearchSnapshot, make_search
+
+__all__ = ["make_unit", "unit_generator", "run_unit", "validate_unit"]
+
+HEURISTICS = ("tabu", "anneal", "minconflict")
+
+
+def make_unit(
+    uid: str,
+    k: int,
+    n: int,
+    heuristic: str = "tabu",
+    seed: int = 0,
+    ops_budget: float = 1e9,
+) -> dict:
+    """Build one work-unit dict."""
+    if heuristic not in HEURISTICS:
+        raise ValueError(f"unknown heuristic {heuristic!r}")
+    return {
+        "id": uid,
+        "k": int(k),
+        "n": int(n),
+        "heuristic": heuristic,
+        "seed": int(seed),
+        "ops_budget": float(ops_budget),
+    }
+
+
+def validate_unit(unit: dict) -> None:
+    """Raise ValueError if the unit is not executable."""
+    for field in ("id", "k", "n", "heuristic", "seed", "ops_budget"):
+        if field not in unit:
+            raise ValueError(f"work unit missing {field!r}")
+    if unit["heuristic"] not in HEURISTICS:
+        raise ValueError(f"unknown heuristic {unit['heuristic']!r}")
+    if int(unit["k"]) < int(unit["n"]):
+        raise ValueError("unit has k < n")
+
+
+def unit_generator(
+    k: int, n: int, base_seed: int = 0, ops_budget: float = 1e9
+) -> Callable[[int], dict]:
+    """Factory for :class:`~repro.core.services.scheduler.QueueWorkSource`:
+    mints an endless stream of units cycling heuristics and seeds."""
+
+    def generate(counter: int) -> dict:
+        heuristic = HEURISTICS[counter % len(HEURISTICS)]
+        return make_unit(
+            uid=f"r{n}k{k}-{counter}",
+            k=k,
+            n=n,
+            heuristic=heuristic,
+            seed=base_seed + counter,
+            ops_budget=ops_budget,
+        )
+
+    return generate
+
+
+def run_unit(
+    unit: dict,
+    max_steps: int = 10_000,
+    ops: Optional[OpCounter] = None,
+) -> dict:
+    """Execute a unit synchronously (offline/example use; clients in the
+    simulation drive the engine incrementally instead).
+
+    Returns ``{"unit_id", "best_energy", "found", "coloring", "steps", "ops"}``.
+    """
+    validate_unit(unit)
+    ops = ops if ops is not None else OpCounter()
+    rng = np.random.default_rng(unit["seed"])
+    search = make_search(unit["heuristic"], unit["k"], unit["n"], rng, ops=ops)
+    resume = unit.get("resume")
+    if isinstance(resume, dict) and "coloring" in resume:
+        try:
+            search.restore(SearchSnapshot.from_dict(resume))
+        except (KeyError, ValueError, TypeError):
+            pass  # unusable resume info: start fresh
+    steps = search.run(max_steps=max_steps)
+    snap = search.snapshot()
+    return {
+        "unit_id": unit["id"],
+        "best_energy": snap.best_energy,
+        "found": snap.best_energy == 0,
+        "coloring": snap.best_coloring,
+        "steps": steps,
+        "ops": ops.ops,
+    }

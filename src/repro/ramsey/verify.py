@@ -1,0 +1,81 @@
+"""Independent counter-example verification (§3.1.2).
+
+"If a process attempts to store a counter example ... the persistent
+state manager first checks to make sure the stored object is, indeed, a
+Ramsey counter example for the given problem size."
+
+The verifier deliberately uses a *different* algorithm from the fast
+bitset counters in :mod:`.graphs` — a direct enumeration over vertex
+subsets — so a bug in the optimized path cannot hide in the checker.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Optional
+
+from ..core.services.persistent import ValidationError
+from .graphs import BLUE, RED, Coloring
+
+__all__ = [
+    "find_mono_clique",
+    "is_counter_example",
+    "verify_counter_example_object",
+    "counter_example_validator",
+]
+
+
+def find_mono_clique(coloring: Coloring, n: int) -> Optional[tuple[int, ...]]:
+    """Return some monochromatic n-subset, or None if there is none.
+
+    Brute-force by subsets with an early same-color test; used for
+    verification only, never in the search inner loop.
+    """
+    k = coloring.k
+    if n > k:
+        return None
+    for subset in combinations(range(k), n):
+        for color in (RED, BLUE):
+            if all(
+                coloring.color(u, v) == color for u, v in combinations(subset, 2)
+            ):
+                return subset
+    return None
+
+
+def is_counter_example(coloring: Coloring, n: int) -> bool:
+    """True iff ``coloring`` witnesses ``R(n, n) > coloring.k``."""
+    return find_mono_clique(coloring, n) is None
+
+
+def verify_counter_example_object(obj: dict) -> Coloring:
+    """Validate a checkpoint object claiming to be a counter-example.
+
+    Expected shape: ``{"k": int, "n": int, "coloring": hex-string}``.
+    Returns the decoded coloring; raises ValidationError otherwise.
+    """
+    try:
+        k = int(obj["k"])
+        n = int(obj["n"])
+        text = str(obj["coloring"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValidationError(f"malformed counter-example object: {exc}") from exc
+    if not (2 <= n <= k):
+        raise ValidationError(f"nonsensical sizes k={k}, n={n}")
+    try:
+        coloring = Coloring.from_hex(k, text)
+    except (ValueError, TypeError) as exc:
+        raise ValidationError(f"undecodable coloring: {exc}") from exc
+    witness = find_mono_clique(coloring, n)
+    if witness is not None:
+        raise ValidationError(
+            f"not a counter-example: monochromatic K_{n} on vertices {witness}"
+        )
+    return coloring
+
+
+def counter_example_validator(key: str, obj: dict) -> None:
+    """Persistent-manager validator hook: applies to ``ramsey/``-keyed
+    stores, admits everything else untouched."""
+    if key.startswith("ramsey/"):
+        verify_counter_example_object(obj)

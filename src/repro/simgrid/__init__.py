@@ -1,0 +1,29 @@
+"""Simulated Computational Grid substrate (discrete-event simulation)."""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Gate, Store, get_with_timeout
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Gate",
+    "Store",
+    "get_with_timeout",
+]

@@ -1,0 +1,444 @@
+"""Discrete-event simulation engine.
+
+This is the substrate on which the SC98-scale EveryWare experiments run.
+It is a small, deterministic, generator-coroutine event simulator in the
+style of SimPy: simulated processes are Python generators that ``yield``
+events (timeouts, other processes, store gets, conditions) and are resumed
+when those events trigger.
+
+Determinism guarantees
+----------------------
+Events scheduled for the same simulated time are processed in FIFO order of
+scheduling (a monotonically increasing sequence number breaks ties), so a
+simulation driven by a seeded RNG replays identically.
+
+Example
+-------
+>>> env = Environment()
+>>> def proc(env):
+...     yield env.timeout(5)
+...     return env.now
+>>> p = env.process(proc(env))
+>>> env.run()
+>>> p.value
+5
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "SimulationError",
+    "StopSimulation",
+    "PRIORITY_URGENT",
+    "PRIORITY_NORMAL",
+]
+
+#: Scheduling priorities: lower value is processed first at equal times.
+PRIORITY_URGENT = 0
+PRIORITY_NORMAL = 1
+
+# Event lifecycle states.
+_PENDING = 0
+_TRIGGERED = 1  # scheduled on the event queue but callbacks not yet run
+_PROCESSED = 2  # callbacks have run
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation API."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    ``cause`` carries the value passed to :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class Event:
+    """A one-shot occurrence that processes may wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, scheduling its callbacks at the current simulation time.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state: int = _PENDING
+        #: Whether a raised failure was handed to a waiter. Unhandled
+        #: failures propagate out of Environment.run().
+        self._defused: bool = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to occur."""
+        return self._state >= _TRIGGERED
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception if it failed)."""
+        if self._state == _PENDING:
+            raise SimulationError("value of a pending event is not available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self, delay=0, priority=priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event as failed with exception ``exc``."""
+        if not isinstance(exc, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exc!r}")
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exc
+        self.env.schedule(self, delay=0, priority=priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event (chaining)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            event._defused = True
+            self.fail(event._value)
+
+    def __repr__(self) -> str:
+        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` simulated seconds after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self._delay = delay
+        self._value = value
+        self._ok = True
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self._delay}>"
+
+
+class Initialize(Event):
+    """Internal: kicks a newly created :class:`Process`."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self._ok = True
+        self.callbacks.append(process._resume)
+        env.schedule(self, delay=0, priority=PRIORITY_URGENT)
+
+
+class Process(Event):
+    """A running simulated process wrapping a generator.
+
+    The process is itself an event that triggers when the generator
+    returns (value = return value) or raises (failure).
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None  # event we are waiting on
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state == _PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on, if any."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self._generator is self.env._active_generator:
+            raise SimulationError("a process cannot interrupt itself")
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env.schedule(event, delay=0, priority=PRIORITY_URGENT)
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the triggered event's outcome."""
+        env = self.env
+        env._active_process = self
+        env._active_generator = self._generator
+        while True:
+            # Detach from the event that woke us.
+            if self._target is not None and self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._target = None
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                env._active_process = None
+                env._active_generator = None
+                self.succeed(exc.value)
+                return
+            except BaseException as exc:
+                env._active_process = None
+                env._active_generator = None
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                env._active_process = None
+                env._active_generator = None
+                err = SimulationError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+                self.fail(err)
+                return
+
+            if next_event._state == _PROCESSED:
+                # Already happened: loop and resume immediately with its value.
+                event = next_event
+                continue
+            # Wait for it.
+            self._target = next_event
+            if next_event.callbacks is None:
+                # Being processed right now; shouldn't happen, but be safe.
+                event = next_event
+                continue
+            next_event.callbacks.append(self._resume)
+            break
+        env._active_process = None
+        env._active_generator = None
+
+
+class Condition(Event):
+    """Waits on several events; triggers when ``evaluate`` is satisfied.
+
+    The value of a condition is a dict mapping each *triggered* constituent
+    event to its value, in trigger order.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self._evaluate = evaluate
+        self._events = list(events)
+        self._count = 0
+        for e in self._events:
+            if e.env is not env:
+                raise SimulationError("events from different environments")
+        if self._evaluate(self._events, 0) and not self._events:
+            self.succeed({})
+            return
+        for e in self._events:
+            if e._state == _PROCESSED:
+                self._check(e)
+            elif e.callbacks is not None:
+                e.callbacks.append(self._check)
+        # Handle the case where enough events were already processed.
+        if self._state == _PENDING and self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        return {e: e._value for e in self._events if e._state == _PROCESSED and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self._state != _PENDING:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._collect())
+
+    @staticmethod
+    def any_events(events: list[Event], count: int) -> bool:
+        return count > 0 or not events
+
+    @staticmethod
+    def all_events(events: list[Event], count: int) -> bool:
+        return count >= len(events)
+
+
+class AnyOf(Condition):
+    """Triggers when any constituent event triggers."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.any_events, events)
+
+
+class AllOf(Condition):
+    """Triggers when all constituent events have triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class Environment:
+    """Execution environment: clock, event queue, and process management."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._active_generator: Optional[Generator] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- event construction ------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        return Process(self, generator)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling & execution ---------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0,
+                 priority: int = PRIORITY_NORMAL) -> None:
+        """Place a triggered event on the queue ``delay`` seconds from now."""
+        if event._state != _PENDING:
+            raise SimulationError(f"{event!r} already scheduled")
+        event._state = _TRIGGERED
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._queue:
+            raise SimulationError("no more events")
+        when, _prio, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._state = _PROCESSED
+        assert callbacks is not None
+        for cb in callbacks:
+            cb(event)
+        if not event._ok and not event._defused:
+            # An unhandled failure: surface it to the caller of run().
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue empties, time ``until`` passes, or the
+        event ``until`` triggers (returning its value)."""
+        stop_at = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event._state == _PROCESSED:
+                return stop_event._value
+
+            def _stop(event: Event) -> None:
+                raise StopSimulation(event._value)
+
+            if stop_event.callbacks is None:
+                return stop_event._value
+            stop_event.callbacks.append(_stop)
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"until={stop_at} is in the past (now={self._now})"
+                )
+        try:
+            while self._queue:
+                if stop_at is not None and self._queue[0][0] >= stop_at:
+                    self._now = stop_at
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if stop_event is not None and stop_event._state != _PROCESSED:
+            raise SimulationError("run() until-event was never triggered")
+        if stop_at is not None:
+            self._now = stop_at
+        return None

@@ -1,0 +1,232 @@
+"""Simulated wide-area network.
+
+Routes datagram-style deliveries between named endpoints
+(``"host/port"``). Delivery latency is ``site-pair latency x congestion +
+size/bandwidth``; deliveries are silently dropped when either endpoint's
+host is down, the destination is not listening, or a partition separates
+the two sites. Senders recover through time-outs, exactly as the paper's
+lingua franca does over TCP (§2.1): EveryWare deliberately avoids relying
+on connection-failure signals.
+
+The global congestion factor is how scenarios express SCInet-style
+network-wide disturbance (§2.2: "network performance on the exhibit floor
+varied dramatically").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Iterable, Optional
+
+from .engine import Environment
+from .host import Host
+from .load import EventSchedule, LoadModel
+from .rand import PrefixedStreams, RngStreams
+from .resources import Store
+
+__all__ = ["Address", "Network", "NetworkStats", "Delivery"]
+
+
+@dataclass(frozen=True, order=True)
+class Address:
+    """Endpoint address: a host name and a named port."""
+
+    host: str
+    port: str
+
+    def __str__(self) -> str:
+        return f"{self.host}/{self.port}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Address":
+        host, sep, port = text.partition("/")
+        if not sep or not host or not port:
+            raise ValueError(f"bad address {text!r} (want 'host/port')")
+        return cls(host, port)
+
+
+@dataclass
+class NetworkStats:
+    sent: int = 0
+    delivered: int = 0
+    dropped_down: int = 0
+    dropped_partition: int = 0
+    dropped_unbound: int = 0
+    dropped_loss: int = 0
+    bytes_delivered: int = 0
+
+
+@dataclass
+class Delivery:
+    """What a listener pulls from its mailbox."""
+
+    src: Address
+    dst: Address
+    payload: bytes
+    sent_at: float
+    delivered_at: float
+
+
+class Network:
+    """Message fabric connecting simulated hosts."""
+
+    def __init__(
+        self,
+        env: Environment,
+        streams: RngStreams | PrefixedStreams,
+        base_latency: float = 0.05,
+        intra_site_latency: float = 0.002,
+        bandwidth: float = 1.0e6,  # bytes/second end-to-end
+        jitter: float = 0.2,
+        congestion_model: Optional[LoadModel] = None,
+        congestion_period: float = 30.0,
+        loss_rate: float = 0.0,
+    ) -> None:
+        self.env = env
+        self.base_latency = base_latency
+        self.intra_site_latency = intra_site_latency
+        self.bandwidth = bandwidth
+        self.jitter = jitter
+        #: Probability an individual datagram is silently lost in transit
+        #: (flaky exhibit-floor networking; senders recover via time-outs).
+        self.loss_rate = loss_rate
+        self._rng = streams.get("network")
+        self._hosts: dict[str, Host] = {}
+        self._mailboxes: dict[Address, Store] = {}
+        self._site_latency: dict[tuple[str, str], float] = {}
+        self._partition_groups: list[frozenset[str]] = []
+        self.stats = NetworkStats()
+        # Congestion >= 1 multiplies latency and divides bandwidth.
+        self._congestion = 1.0
+        self._congestion_model = congestion_model or EventSchedule()
+        self._congestion_period = congestion_period
+        self._started = False
+
+    # -- topology ---------------------------------------------------------
+    def add_host(self, host: Host) -> None:
+        if host.name in self._hosts:
+            raise ValueError(f"duplicate host {host.name!r}")
+        self._hosts[host.name] = host
+
+    def host(self, name: str) -> Host:
+        return self._hosts[name]
+
+    def hosts(self) -> Iterable[Host]:
+        return self._hosts.values()
+
+    def set_site_latency(self, a: str, b: str, latency: float) -> None:
+        """Override the one-way latency between two sites (symmetric)."""
+        self._site_latency[(a, b)] = latency
+        self._site_latency[(b, a)] = latency
+
+    def start(self) -> None:
+        """Begin the congestion process. Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        self.env.process(self._congestion_loop())
+
+    def _congestion_loop(self) -> Generator:
+        while True:
+            avail = self._congestion_model.advance(
+                self.env.now, self._congestion_period, self._rng
+            )
+            # availability 1.0 -> congestion 1.0; availability 0.1 -> 10x.
+            self._congestion = 1.0 / max(avail, 0.05)
+            yield self.env.timeout(self._congestion_period)
+
+    @property
+    def congestion(self) -> float:
+        return self._congestion
+
+    # -- partitions ----------------------------------------------------------
+    def set_partitions(self, groups: Iterable[Iterable[str]]) -> None:
+        """Partition sites into isolated groups. Sites not listed form an
+        implicit extra group. Pass ``[]`` to heal all partitions."""
+        self._partition_groups = [frozenset(g) for g in groups]
+
+    def _same_partition(self, site_a: str, site_b: str) -> bool:
+        if not self._partition_groups:
+            return True
+        ga = gb = None
+        for group in self._partition_groups:
+            if site_a in group:
+                ga = group
+            if site_b in group:
+                gb = group
+        return ga is gb
+
+    # -- endpoints ---------------------------------------------------------
+    def bind(self, address: Address) -> Store:
+        """Start listening at ``address``; returns the delivery mailbox."""
+        if address.host not in self._hosts:
+            raise ValueError(f"unknown host {address.host!r}")
+        if address in self._mailboxes:
+            raise ValueError(f"address {address} already bound")
+        box = Store(self.env)
+        self._mailboxes[address] = box
+        return box
+
+    def unbind(self, address: Address) -> None:
+        self._mailboxes.pop(address, None)
+
+    def is_bound(self, address: Address) -> bool:
+        return address in self._mailboxes
+
+    # -- transmission ---------------------------------------------------------
+    def delay(self, src_host: str, dst_host: str, nbytes: int) -> float:
+        """Transmission delay for ``nbytes`` between two hosts, now."""
+        a = self._hosts[src_host].site
+        b = self._hosts[dst_host].site
+        if a == b:
+            latency = self._site_latency.get((a, b), self.intra_site_latency)
+        else:
+            latency = self._site_latency.get((a, b), self.base_latency)
+        latency *= self._congestion
+        if self.jitter > 0:
+            latency *= 1.0 + self.jitter * float(self._rng.random())
+        xfer = nbytes / (self.bandwidth / self._congestion)
+        return latency + xfer
+
+    def send(self, src: Address, dst: Address, payload: bytes) -> None:
+        """Fire-and-forget datagram send; loss is silent by design."""
+        self.stats.sent += 1
+        src_host = self._hosts.get(src.host)
+        dst_host = self._hosts.get(dst.host)
+        if src_host is None or not src_host.up:
+            self.stats.dropped_down += 1
+            return
+        if dst_host is None:
+            self.stats.dropped_unbound += 1
+            return
+        if not self._same_partition(src_host.site, dst_host.site):
+            self.stats.dropped_partition += 1
+            return
+        if self.loss_rate > 0.0 and float(self._rng.random()) < self.loss_rate:
+            self.stats.dropped_loss += 1
+            return
+        delay = self.delay(src.host, dst.host, len(payload))
+        delivery = Delivery(
+            src=src,
+            dst=dst,
+            payload=payload,
+            sent_at=self.env.now,
+            delivered_at=self.env.now + delay,
+        )
+        # Plain timeout + callback: cheaper than a process per message.
+        timer = self.env.timeout(delay)
+        assert timer.callbacks is not None
+        timer.callbacks.append(lambda _ev: self._deliver(delivery))
+
+    def _deliver(self, delivery: Delivery) -> None:
+        dst_host = self._hosts.get(delivery.dst.host)
+        if dst_host is None or not dst_host.up:
+            self.stats.dropped_down += 1
+            return
+        box = self._mailboxes.get(delivery.dst)
+        if box is None:
+            self.stats.dropped_unbound += 1
+            return
+        self.stats.delivered += 1
+        self.stats.bytes_delivered += len(delivery.payload)
+        box.put(delivery)

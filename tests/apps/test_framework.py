@@ -1,0 +1,182 @@
+"""Tests for the task-farm service framework (§6)."""
+
+import pytest
+
+from repro.apps.runner import run_farm
+from repro.core.component import NullRuntime, Send
+from repro.core.linguafranca.messages import Message
+from repro.core.services.framework import (
+    FARM_ACK,
+    FARM_GET,
+    FARM_RESULT,
+    FARM_TASK,
+    TaskFarmMaster,
+    TaskFarmWorker,
+)
+
+
+def msg(mtype, sender="w/1", body=None, req_id=1):
+    return Message(mtype=mtype, sender=sender, body=body or {}, req_id=req_id)
+
+
+def sends_of(effects):
+    return [e for e in effects if isinstance(e, Send)]
+
+
+def make_master(n_tasks=3, **kw):
+    tasks = [{"id": f"t{i}", "x": i} for i in range(n_tasks)]
+    master = TaskFarmMaster("m", tasks, **kw)
+    master.bind_runtime(NullRuntime(contact="m/farm"))
+    master.on_start(0.0)
+    return master
+
+
+def test_master_requires_unique_ids():
+    with pytest.raises(ValueError):
+        TaskFarmMaster("m", [{"id": "a"}, {"id": "a"}])
+    with pytest.raises(ValueError):
+        TaskFarmMaster("m", [{"x": 1}])
+
+
+def test_master_issues_and_collects():
+    master = make_master(2)
+    (send,) = sends_of(master.on_message(msg(FARM_GET), 1.0))
+    assert send.message.mtype == FARM_TASK
+    task = send.message.body["task"]
+    assert task["id"] == "t0"
+
+    got = []
+    master.on_result = lambda t, r: got.append((t["id"], r))
+    effects = master.on_message(
+        msg(FARM_RESULT, body={"task_id": "t0", "result": {"y": 9}}), 2.0)
+    assert sends_of(effects)[0].message.mtype == FARM_ACK
+    assert got == [("t0", {"y": 9})]
+    assert master.progress() == (1, 2)
+    assert not master.done
+
+
+def test_master_drained_returns_none_task():
+    master = make_master(1)
+    master.on_message(msg(FARM_GET, sender="a/1"), 1.0)
+    (send,) = sends_of(master.on_message(msg(FARM_GET, sender="b/1"), 2.0))
+    assert send.message.body["task"] is None
+
+
+def test_master_duplicate_result_counted_once():
+    master = make_master(1)
+    master.on_message(msg(FARM_GET), 1.0)
+    body = {"task_id": "t0", "result": {"v": 1}}
+    master.on_message(msg(FARM_RESULT, body=body), 2.0)
+    master.on_message(msg(FARM_RESULT, body=body), 3.0)
+    assert master.duplicate_results == 1
+    assert master.progress() == (1, 1)
+    assert master.done
+
+
+def test_master_reissues_lost_tasks():
+    master = make_master(1, reissue_timeout=100)
+    master.on_message(msg(FARM_GET, sender="dead/1"), 1.0)
+    assert master.in_flight
+    master.on_timer("farm:reissue", 500.0)
+    assert not master.in_flight
+    assert master.reissues == 1
+    # The task is reissuable to a healthy worker.
+    (send,) = sends_of(master.on_message(msg(FARM_GET, sender="alive/1"), 501.0))
+    assert send.message.body["task"]["id"] == "t0"
+
+
+def test_master_ignores_malformed_results():
+    master = make_master(1)
+    master.on_message(msg(FARM_GET), 1.0)
+    master.on_message(msg(FARM_RESULT, body={"task_id": 5, "result": "x"}), 2.0)
+    assert master.progress() == (0, 1)
+
+
+def test_worker_computes_and_submits():
+    worker = TaskFarmWorker("w", "m/farm",
+                            execute=lambda t: {"out": t["x"] * 2},
+                            cost=lambda t: 1000.0)
+    worker.bind_runtime(NullRuntime(contact="w/1", speed=100.0))
+    effects = worker.on_start(0.0)
+    assert sends_of(effects)[0].message.mtype == FARM_GET
+
+    effects = worker.on_message(
+        msg(FARM_TASK, sender="m/farm", body={"task": {"id": "t0", "x": 3}}), 1.0)
+    # Compute charged at cost/speed = 10 s.
+    from repro.core.component import SetTimer
+    timers = [e for e in effects if isinstance(e, SetTimer) and e.key == "farm:submit"]
+    assert timers and timers[0].delay == pytest.approx(10.0)
+
+    effects = worker.on_timer("farm:submit", 11.0)
+    (send, *_) = sends_of(effects)
+    assert send.message.mtype == FARM_RESULT
+    assert send.message.body == {"task_id": "t0", "result": {"out": 6}}
+
+    effects = worker.on_message(msg(FARM_ACK, sender="m/farm",
+                                    body={"task_id": "t0"}), 12.0)
+    assert sends_of(effects)[0].message.mtype == FARM_GET
+    assert worker.tasks_done == 1
+
+
+def test_worker_retries_unacked_result():
+    worker = TaskFarmWorker("w", "m/farm",
+                            execute=lambda t: {"ok": 1},
+                            cost=lambda t: 10.0, retry_period=5.0)
+    worker.bind_runtime(NullRuntime(contact="w/1", speed=100.0))
+    worker.on_start(0.0)
+    worker.on_message(msg(FARM_TASK, sender="m/farm",
+                          body={"task": {"id": "t0"}}), 1.0)
+    worker.on_timer("farm:submit", 2.0)
+    # No ACK arrives; the retry timer must retransmit the same result.
+    effects = worker.on_timer("farm:retry", 7.0)
+    sends = sends_of(effects)
+    assert sends and sends[0].message.mtype == FARM_RESULT
+    assert sends[0].message.body["task_id"] == "t0"
+
+
+def test_worker_idle_when_farm_drained():
+    worker = TaskFarmWorker("w", "m/farm",
+                            execute=lambda t: {}, cost=lambda t: 1.0)
+    worker.bind_runtime(NullRuntime(contact="w/1", speed=1.0))
+    worker.on_start(0.0)
+    effects = worker.on_message(msg(FARM_TASK, sender="m/farm",
+                                    body={"task": None}), 1.0)
+    assert not sends_of(effects)  # just waits and retries later
+    effects = worker.on_timer("farm:retry", 40.0)
+    assert sends_of(effects)[0].message.mtype == FARM_GET
+
+
+def test_end_to_end_farm_on_simulated_grid():
+    results = {}
+
+    def on_result(task, result):
+        results[task["id"]] = result["sq"]
+
+    tasks = [{"id": f"t{i}", "x": i} for i in range(12)]
+    run = run_farm(
+        tasks,
+        execute=lambda t: {"sq": t["x"] ** 2},
+        cost=lambda t: 1e6,
+        on_result=on_result,
+        n_workers=3,
+    )
+    assert run.master.done
+    assert results == {f"t{i}": i * i for i in range(12)}
+    # Heterogeneous speeds: the fast worker did at least as much work.
+    done = [w.tasks_done for w in run.workers]
+    assert done[-1] >= done[0]
+    assert sum(done) >= 12
+
+
+def test_farm_survives_worker_death():
+    tasks = [{"id": f"t{i}"} for i in range(8)]
+    run = run_farm(
+        tasks,
+        execute=lambda t: {"ok": True},
+        cost=lambda t: 5e7,  # long tasks so the kill interrupts one
+        n_workers=3,
+        kill_worker_at=30.0,
+        reissue_timeout=120.0,
+    )
+    assert run.master.done
+    assert run.master.reissues >= 1

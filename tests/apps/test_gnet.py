@@ -1,0 +1,112 @@
+"""Tests for the G-Net-style distributed data mining application."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.gnet import (
+    PLANTED_PAIRS,
+    CountMerger,
+    count_supports,
+    execute_task,
+    frequent_itemsets,
+    generate_transactions,
+    make_tasks,
+    mine_serial,
+    task_cost,
+)
+from repro.apps.runner import run_farm
+
+N_TX = 2000
+N_ITEMS = 24
+SEED = 3
+MIN_SUPPORT = 0.25
+
+
+def test_generation_reproducible_and_chunked():
+    full = generate_transactions(100, N_ITEMS, SEED)
+    again = generate_transactions(100, N_ITEMS, SEED)
+    assert full == again
+    # Chunked regeneration matches the full pass row for row.
+    front = generate_transactions(60, N_ITEMS, SEED, offset=0)
+    back = generate_transactions(40, N_ITEMS, SEED, offset=60)
+    assert front + back == full
+
+
+def test_baskets_sorted_unique():
+    for basket in generate_transactions(50, N_ITEMS, SEED):
+        assert basket == sorted(set(basket))
+        assert all(0 <= i < N_ITEMS for i in basket)
+
+
+def test_planted_pairs_are_frequent():
+    items, pairs = mine_serial(N_TX, N_ITEMS, SEED, MIN_SUPPORT)
+    for pair in PLANTED_PAIRS:
+        assert pair in pairs, f"planted pair {pair} not mined"
+
+
+def test_random_pairs_are_not_frequent():
+    _, pairs = mine_serial(N_TX, N_ITEMS, SEED, MIN_SUPPORT)
+    # Only the planted structure (and pairs involving its items) clears
+    # a 25% support threshold; the vast majority of the 276 pairs do not.
+    assert len(pairs) < 10
+
+
+def test_count_supports_small_example():
+    singles, pairs = count_supports([[1, 2], [1, 2, 3], [2]], 4)
+    assert singles == {1: 2, 2: 3, 3: 1}
+    assert pairs == {(1, 2): 2, (1, 3): 1, (2, 3): 1}
+
+
+def test_frequent_itemsets_threshold():
+    singles = {1: 10, 2: 4}
+    pairs = {(1, 2): 4}
+    items, fpairs = frequent_itemsets(singles, pairs, 10, 0.5)
+    assert items == [1]
+    assert fpairs == []
+
+
+def test_tasks_cover_database_exactly():
+    tasks = make_tasks(N_TX, N_ITEMS, SEED, chunk=300)
+    assert sum(t["count"] for t in tasks) == N_TX
+    offsets = sorted((t["offset"], t["count"]) for t in tasks)
+    cursor = 0
+    for offset, count in offsets:
+        assert offset == cursor
+        cursor += count
+    assert all(task_cost(t) > 0 for t in tasks)
+
+
+def test_distributed_mining_equals_serial():
+    tasks = make_tasks(N_TX, N_ITEMS, SEED, chunk=250)
+    merger = CountMerger()
+    run = run_farm(tasks, execute=execute_task, cost=task_cost,
+                   on_result=merger, n_workers=4)
+    assert run.master.done
+    assert merger.n_transactions == N_TX
+    assert merger.mine(MIN_SUPPORT) == mine_serial(N_TX, N_ITEMS, SEED, MIN_SUPPORT)
+
+
+def test_distributed_mining_with_worker_failure():
+    tasks = make_tasks(800, N_ITEMS, SEED, chunk=100)
+    merger = CountMerger()
+    run = run_farm(tasks, execute=execute_task, cost=task_cost,
+                   on_result=merger, n_workers=3,
+                   kill_worker_at=20.0, reissue_timeout=120.0)
+    assert run.master.done
+    assert merger.mine(MIN_SUPPORT) == mine_serial(800, N_ITEMS, SEED, MIN_SUPPORT)
+
+
+@given(chunk=st.integers(min_value=17, max_value=400),
+       n_tx=st.integers(min_value=50, max_value=600))
+@settings(max_examples=10, deadline=None)
+def test_property_partitioned_counts_equal_serial(chunk, n_tx):
+    """Any partitioning of the database merges to the same counts."""
+    tasks = make_tasks(n_tx, N_ITEMS, SEED, chunk=chunk)
+    merger = CountMerger()
+    for t in tasks:
+        merger(t, execute_task(t))
+    serial_singles, serial_pairs = count_supports(
+        generate_transactions(n_tx, N_ITEMS, SEED), N_ITEMS)
+    assert merger.singles == serial_singles
+    assert merger.pairs == serial_pairs

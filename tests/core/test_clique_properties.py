@@ -1,0 +1,98 @@
+"""Property-based tests for the clique protocol.
+
+Invariant: after an arbitrary (bounded) schedule of host failures,
+recoveries, partitions, and heals — followed by a quiet stabilization
+window — the reachable gossips converge to exactly one leader whose
+membership view is exactly the set of live members.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.core.test_clique import CliqueComponent, World
+
+from repro.core.simdriver import SimDriver
+
+
+class ChaosWorld(World):
+    """World with scripted chaos and recovery-aware component respawn."""
+
+    def respawn(self, index):
+        host = self.hosts[index]
+        if not host.up:
+            host.go_up()
+        universe = [f"g{i}/clq" for i in range(len(self.hosts))]
+        comp = CliqueComponent(f"g{index}", universe)
+        SimDriver(self.env, self.net, host, "clq", comp, self.streams).start()
+        self.comps[index] = comp
+
+
+# Each event: (time gap, action, target index)
+events = st.lists(
+    st.tuples(
+        st.integers(min_value=5, max_value=60),
+        st.sampled_from(["kill", "revive", "partition", "heal"]),
+        st.integers(min_value=0, max_value=3),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(schedule=events)
+@settings(max_examples=20, deadline=None)
+def test_clique_always_reconverges(schedule):
+    w = ChaosWorld(4)
+    w.env.run(until=60)  # form the initial clique
+
+    partitioned = False
+    for gap, action, target in schedule:
+        w.env.run(until=w.env.now + gap)
+        host = w.hosts[target]
+        if action == "kill":
+            if host.up:
+                host.go_down("chaos")
+        elif action == "revive":
+            if not host.up:
+                w.respawn(target)
+        elif action == "partition":
+            w.net.set_partitions([["core"], ["nowhere"]])  # no-op: same site
+            partitioned = True
+        elif action == "heal":
+            w.net.set_partitions([])
+            partitioned = False
+
+    # Revive everything and let the pool stabilize. Advance one step so
+    # any just-killed driver has processed its interrupt and unbound.
+    w.env.run(until=w.env.now + 1)
+    w.net.set_partitions([])
+    for i, host in enumerate(w.hosts):
+        if not host.up:
+            w.respawn(i)
+    w.env.run(until=w.env.now + 600)
+
+    leaders = w.leaders()
+    assert len(leaders) == 1, f"multiple leaders after stabilization: {leaders}"
+    expected = sorted(f"g{i}/clq" for i in range(4))
+    for view in w.views():
+        assert view == expected
+
+
+@given(
+    kill_order=st.permutations([0, 1, 2]),
+    gaps=st.lists(st.integers(min_value=40, max_value=120), min_size=3, max_size=3),
+)
+@settings(max_examples=10, deadline=None)
+def test_cascading_failures_leave_last_member_leading(kill_order, gaps):
+    """Kill three of four members in any order: the survivor must end up
+    leading a singleton clique."""
+    w = ChaosWorld(4)
+    w.env.run(until=60)
+    survivor = ({0, 1, 2, 3} - set(kill_order)).pop()
+    for idx, gap in zip(kill_order, gaps):
+        w.hosts[idx].go_down("chaos")
+        w.env.run(until=w.env.now + gap)
+    w.env.run(until=w.env.now + 600)
+    comp = w.comps[survivor]
+    assert comp.clique.leader == f"g{survivor}/clq"
+    assert sorted(comp.clique.members) == [f"g{survivor}/clq"]

@@ -1,0 +1,148 @@
+"""Fuzz tests: servers must survive arbitrary hostile/malformed messages.
+
+Robustness is a first-class EveryWare requirement (§2): any guest on a
+shared machine can send anything to a well-known port, and at SC98 the
+pool was reachable from the open exhibit floor. The driver's robustness
+boundary converts handler explosions into dropped messages; these tests
+fuzz every server type and then verify it still functions.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gossip import ComparatorRegistry, GossipServer
+from repro.core.gossip.clique import CLIQUE_MTYPES
+from repro.core.linguafranca.messages import Message
+from repro.core.services import (
+    LoggingServer,
+    PersistentStateServer,
+    QueueWorkSource,
+    SchedulerServer,
+)
+from repro.core.simdriver import SimDriver
+from repro.simgrid.engine import Environment
+from repro.simgrid.host import Host, HostSpec
+from repro.simgrid.network import Address, Network
+from repro.simgrid.rand import RngStreams
+
+json_scalars = st.one_of(
+    st.none(), st.booleans(), st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False), st.text(max_size=12))
+json_values = st.recursive(
+    json_scalars,
+    lambda kids: st.one_of(st.lists(kids, max_size=3),
+                           st.dictionaries(st.text(max_size=6), kids, max_size=3)),
+    max_leaves=10)
+bodies = st.dictionaries(st.text(max_size=10), json_values, max_size=5)
+
+KNOWN_MTYPES = sorted(
+    {"GOS_REG", "GOS_STATE", "GOS_SYNC", "GOS_NEWCOMP", "GOS_DELCOMP",
+     "SCH_HELLO", "SCH_REPORT", "PST_STORE", "PST_FETCH", "PST_LIST",
+     "LOG_APPEND", "LOG_QUERY"} | set(CLIQUE_MTYPES))
+
+
+def build_world(server_factory, port):
+    env = Environment()
+    streams = RngStreams(seed=1)
+    net = Network(env, streams, jitter=0.0)
+    h = Host(env, HostSpec(name="srv"), streams)
+    net.add_host(h)
+    component = server_factory()
+    driver = SimDriver(env, net, h, port, component, streams)
+    driver.start()
+    ah = Host(env, HostSpec(name="attacker"), streams)
+    net.add_host(ah)
+    return env, net, component, driver
+
+
+def fuzz(env, net, dst, payloads):
+    src = Address("attacker", "fuzz")
+    for mtype, body in payloads:
+        try:
+            data = Message(mtype=mtype, sender="attacker/fuzz", body=body).encode()
+        except Exception:
+            continue  # unencodable body: nothing reaches the wire anyway
+        net.send(src, dst, data)
+    env.run(until=env.now + 60)
+
+
+@given(payloads=st.lists(st.tuples(st.sampled_from(KNOWN_MTYPES), bodies),
+                         min_size=1, max_size=25))
+@settings(max_examples=25, deadline=None)
+def test_gossip_server_survives_fuzz(payloads):
+    env, net, gossip, driver = build_world(
+        lambda: GossipServer("g", ["srv/gossip"],
+                             comparators=ComparatorRegistry(),
+                             poll_period=5, sync_period=5), "gossip")
+    fuzz(env, net, Address("srv", "gossip"), payloads)
+    assert driver.running
+    # Still functional: a legitimate registration works afterwards.
+    net.send(Address("attacker", "fuzz"), Address("srv", "gossip"),
+             Message(mtype="GOS_REG", sender="attacker/fuzz",
+                     body={"types": ["X"]}).encode())
+    env.run(until=env.now + 30)
+    assert "attacker/fuzz" in gossip.registry
+
+
+@given(payloads=st.lists(st.tuples(st.sampled_from(KNOWN_MTYPES), bodies),
+                         min_size=1, max_size=25))
+@settings(max_examples=25, deadline=None)
+def test_scheduler_survives_fuzz(payloads):
+    env, net, sched, driver = build_world(
+        lambda: SchedulerServer(
+            "s", QueueWorkSource([{"id": "u0"}]), report_period=10), "sched")
+    fuzz(env, net, Address("srv", "sched"), payloads)
+    assert driver.running
+    net.send(Address("attacker", "fuzz"), Address("srv", "sched"),
+             Message(mtype="SCH_HELLO", sender="attacker/fuzz",
+                     body={"infra": "x"}).encode())
+    env.run(until=env.now + 30)
+    assert "attacker/fuzz" in sched.active_clients()
+
+
+@given(payloads=st.lists(st.tuples(st.sampled_from(KNOWN_MTYPES), bodies),
+                         min_size=1, max_size=25))
+@settings(max_examples=25, deadline=None)
+def test_persistent_manager_survives_fuzz(payloads):
+    env, net, pst, driver = build_world(
+        lambda: PersistentStateServer("p"), "pst")
+    fuzz(env, net, Address("srv", "pst"), payloads)
+    assert driver.running
+    net.send(Address("attacker", "fuzz"), Address("srv", "pst"),
+             Message(mtype="PST_STORE", sender="attacker/fuzz",
+                     body={"key": "k", "object": {"v": 1}}).encode())
+    env.run(until=env.now + 30)
+    assert pst.backend.get("k") == {"v": 1}
+
+
+@given(payloads=st.lists(st.tuples(st.sampled_from(KNOWN_MTYPES), bodies),
+                         min_size=1, max_size=25))
+@settings(max_examples=15, deadline=None)
+def test_logging_server_survives_fuzz(payloads):
+    env, net, logsrv, driver = build_world(lambda: LoggingServer("l"), "log")
+    fuzz(env, net, Address("srv", "log"), payloads)
+    assert driver.running
+
+
+def test_handler_errors_are_counted_and_logged():
+    logs = []
+    env = Environment()
+    streams = RngStreams(seed=2)
+    net = Network(env, streams, jitter=0.0)
+    h = Host(env, HostSpec(name="srv"), streams)
+    net.add_host(h)
+    gossip = GossipServer("g", ["srv/gossip"], comparators=ComparatorRegistry())
+    driver = SimDriver(env, net, h, "gossip", gossip, streams,
+                       log_sink=lambda *a: logs.append(a))
+    driver.start()
+    ah = Host(env, HostSpec(name="x"), streams)
+    net.add_host(ah)
+    # GOS_NEWCOMP without 'contact' raises KeyError inside the handler.
+    net.send(Address("x", "p"), Address("srv", "gossip"),
+             Message(mtype="GOS_NEWCOMP", sender="x/p", body={}).encode())
+    env.run(until=30)
+    assert driver.handler_errors == 1
+    assert driver.running
+    assert any(level == "error" for (_, _, level, _) in logs)

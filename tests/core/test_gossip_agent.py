@@ -1,0 +1,121 @@
+"""Isolated unit tests for the client-side GossipAgent."""
+
+import pytest
+
+from repro.core.component import LogLine, Send, SetTimer
+from repro.core.gossip.agent import GossipAgent
+from repro.core.gossip.state import StateRecord, StateStore
+from repro.core.linguafranca.messages import Message
+
+
+CONTACT = "cli/app"
+WK = ["gos0/gossip", "gos1/gossip"]
+
+
+def make_agent(register_period=60.0):
+    store = StateStore(CONTACT)
+    store.register("NOTE")
+    return GossipAgent(store, WK, register_period=register_period), store
+
+
+def sends_of(effects):
+    return [e for e in effects if isinstance(e, Send)]
+
+
+def msg(mtype, sender="gos0/gossip", body=None):
+    return Message(mtype=mtype, sender=sender, body=body or {})
+
+
+def test_requires_well_known():
+    with pytest.raises(ValueError):
+        GossipAgent(StateStore(CONTACT), [])
+
+
+def test_start_registers_round_robin():
+    agent, _ = make_agent()
+    first = sends_of(agent.on_start(0.0, CONTACT))
+    assert first[0].dst == "gos0/gossip"
+    assert first[0].message.mtype == "GOS_REG"
+    assert first[0].message.body == {"types": ["NOTE"]}
+    # A second registration attempt rotates to the next well-known.
+    second = sends_of(agent._register(CONTACT))
+    assert second[0].dst == "gos1/gossip"
+
+
+def test_reg_ok_records_pool_view():
+    agent, _ = make_agent()
+    agent.on_start(0.0, CONTACT)
+    agent.on_message(msg("GOS_REG_OK", body={"gossips": ["a/g", "b/g"]}),
+                     1.0, CONTACT)
+    assert agent.registered_with == "gos0/gossip"
+    assert agent.known_gossips == ["a/g", "b/g"]
+
+
+def test_poll_returns_current_records():
+    agent, store = make_agent()
+    agent.on_start(0.0, CONTACT)
+    store.set_local("NOTE", {"v": 7}, 5.0)
+    effects = agent.on_message(msg("GOS_POLL"), 6.0, CONTACT)
+    (send,) = sends_of(effects)
+    assert send.message.mtype == "GOS_STATE"
+    (record,) = send.message.body["records"]
+    assert record["d"] == {"v": 7}
+    assert agent.last_poll_seen == 6.0
+
+
+def test_update_applies_only_registered_fresher_records():
+    agent, store = make_agent()
+    agent.on_start(0.0, CONTACT)
+    store.set_local("NOTE", {"v": 1}, 5.0)
+    fresh = StateRecord("NOTE", {"v": 2}, 10.0, "other/app", 1)
+    foreign = StateRecord("OTHER_TYPE", {"x": 1}, 10.0, "other/app", 1)
+    stale = StateRecord("NOTE", {"v": 0}, 1.0, "other/app", 1)
+    agent.on_message(msg("GOS_UPDATE", body={
+        "records": [fresh.to_body(), foreign.to_body(), stale.to_body(),
+                    "garbage"]}), 11.0, CONTACT)
+    assert store.get_data("NOTE") == {"v": 2}
+    assert agent.updates_applied == 1
+    assert "OTHER_TYPE" not in store.types()
+
+
+def test_rereg_timer_quiet_when_polled_recently():
+    agent, _ = make_agent(register_period=60)
+    agent.on_start(0.0, CONTACT)
+    agent.on_message(msg("GOS_REG_OK"), 1.0, CONTACT)
+    agent.on_message(msg("GOS_POLL"), 30.0, CONTACT)
+    effects = agent.on_timer("gosagent:rereg", 60.0, CONTACT)
+    assert not sends_of(effects)  # healthy: no re-registration
+    assert any(isinstance(e, SetTimer) for e in effects)
+
+
+def test_rereg_timer_reregisters_after_silence():
+    agent, _ = make_agent(register_period=60)
+    agent.on_start(0.0, CONTACT)
+    agent.on_message(msg("GOS_REG_OK"), 1.0, CONTACT)
+    agent.on_message(msg("GOS_POLL"), 5.0, CONTACT)
+    effects = agent.on_timer("gosagent:rereg", 120.0, CONTACT)
+    sends = sends_of(effects)
+    assert sends and sends[0].message.mtype == "GOS_REG"
+    assert any(isinstance(e, LogLine) for e in effects)
+
+
+def test_push_targets_registered_gossip():
+    agent, store = make_agent()
+    agent.on_start(0.0, CONTACT)
+    store.set_local("NOTE", {"v": 1}, 2.0)
+    # Before REG_OK, push falls back to the first well-known.
+    (send,) = sends_of(agent.push(CONTACT))
+    assert send.dst == "gos0/gossip"
+    agent.on_message(msg("GOS_REG_OK", sender="gos1/gossip"), 3.0, CONTACT)
+    (send,) = sends_of(agent.push(CONTACT))
+    assert send.dst == "gos1/gossip"
+    assert send.message.mtype == "GOS_STATE"
+
+
+def test_handles_classifiers():
+    assert GossipAgent.handles("GOS_POLL")
+    assert GossipAgent.handles("GOS_UPDATE")
+    assert GossipAgent.handles("GOS_REG_OK")
+    assert not GossipAgent.handles("SCH_WORK")
+    assert GossipAgent.handles_timer("gosagent:rereg")
+    assert not GossipAgent.handles_timer("cli:work")

@@ -1,0 +1,203 @@
+"""Integration tests: Gossip pool synchronizing application components."""
+
+import pytest
+
+from repro.core.component import Component
+from repro.core.gossip import (
+    ComparatorRegistry,
+    GossipAgent,
+    GossipServer,
+    StateStore,
+)
+from repro.core.simdriver import SimDriver
+from repro.simgrid.engine import Environment
+from repro.simgrid.host import Host, HostSpec
+from repro.simgrid.network import Network
+from repro.simgrid.rand import RngStreams
+
+
+class SyncedComponent(Component):
+    """Minimal application component that synchronizes one state type."""
+
+    def __init__(self, name, well_known, mtype="PROGRESS", comparator=None):
+        super().__init__(name)
+        self.well_known = well_known
+        self.mtype = mtype
+        self.comparator = comparator
+        self.store = None
+        self.agent = None
+
+    def on_start(self, now):
+        self.store = StateStore(self.contact)
+        self.store.register(self.mtype, comparator=self.comparator)
+        self.agent = GossipAgent(self.store, self.well_known, register_period=30)
+        return self.agent.on_start(now, self.contact)
+
+    def on_message(self, message, now):
+        if GossipAgent.handles(message.mtype):
+            return self.agent.on_message(message, now, self.contact)
+        return []
+
+    def on_timer(self, key, now):
+        if GossipAgent.handles_timer(key):
+            return self.agent.on_timer(key, now, self.contact)
+        return []
+
+    def write(self, data, now):
+        self.store.set_local(self.mtype, data, now)
+
+    def read(self):
+        return self.store.get_data(self.mtype)
+
+
+class GossipWorld:
+    def __init__(self, n_gossips=2, n_comps=3, comparators=None, sites=None,
+                 comparator=None, seed=4, **server_kw):
+        self.env = Environment()
+        self.streams = RngStreams(seed=seed)
+        self.net = Network(self.env, self.streams, jitter=0.0)
+        self.well_known = [f"gos{i}/gossip" for i in range(n_gossips)]
+        self.gossips = []
+        self.ghosts = []
+        for i in range(n_gossips):
+            site = (sites or {}).get(f"gos{i}", "core")
+            h = Host(self.env, HostSpec(name=f"gos{i}", site=site), self.streams)
+            self.net.add_host(h)
+            self.ghosts.append(h)
+            comp = GossipServer(
+                f"gos{i}", self.well_known,
+                comparators=comparators or ComparatorRegistry(),
+                poll_period=5.0, sync_period=7.0,
+                token_period=8.0, token_timeout=25.0,
+                **server_kw,
+            )
+            SimDriver(self.env, self.net, h, "gossip", comp, self.streams).start()
+            self.gossips.append(comp)
+        self.comps = []
+        self.chosts = []
+        for i in range(n_comps):
+            site = (sites or {}).get(f"app{i}", "core")
+            h = Host(self.env, HostSpec(name=f"app{i}", site=site), self.streams)
+            self.net.add_host(h)
+            self.chosts.append(h)
+            comp = SyncedComponent(f"app{i}", self.well_known, comparator=comparator)
+            SimDriver(self.env, self.net, h, "app", comp, self.streams).start()
+            self.comps.append(comp)
+
+
+def test_registration_reaches_whole_pool():
+    w = GossipWorld(n_gossips=2, n_comps=3)
+    w.env.run(until=40)
+    for g in w.gossips:
+        assert set(g.registry) == {"app0/app", "app1/app", "app2/app"}
+    for c in w.comps:
+        assert c.agent.registered_with in w.well_known
+
+
+def test_local_write_propagates_to_all_components():
+    w = GossipWorld(n_gossips=2, n_comps=3)
+    w.env.run(until=30)
+    w.comps[0].write({"best": 41}, w.env.now)
+    w.env.run(until=120)
+    for c in w.comps:
+        assert c.read() == {"best": 41}
+    # The update flowed through poll -> adopt -> sync -> update push.
+    assert sum(g.stats.updates_sent for g in w.gossips) >= 1
+
+
+def test_newest_write_wins_everywhere():
+    w = GossipWorld(n_gossips=2, n_comps=3)
+    w.env.run(until=30)
+    w.comps[0].write({"v": "old"}, w.env.now)
+    w.env.run(until=60)
+    w.comps[1].write({"v": "new"}, w.env.now)
+    w.env.run(until=200)
+    for c in w.comps:
+        assert c.read() == {"v": "new"}
+
+
+def test_custom_comparator_governs_freshness():
+    """A 'bigger counter-example wins' comparator must override recency —
+    the paper's registered-comparator semantics."""
+    cmp = lambda a, b: a.data["size"] - b.data["size"]
+    comparators = ComparatorRegistry()
+    comparators.register("PROGRESS", cmp)
+    w = GossipWorld(n_gossips=2, n_comps=2, comparators=comparators, comparator=cmp)
+    w.env.run(until=30)
+    w.comps[0].write({"size": 10}, w.env.now)
+    w.env.run(until=100)
+    # A later but *smaller* result must not displace the bigger one.
+    w.comps[1].write({"size": 3}, w.env.now)
+    w.env.run(until=250)
+    for c in w.comps:
+        assert c.read() == {"size": 10}
+
+
+def test_dead_component_evicted_and_pool_notified():
+    w = GossipWorld(n_gossips=2, n_comps=2)
+    w.env.run(until=40)
+    w.chosts[0].go_down("failure")
+    w.env.run(until=400)
+    for g in w.gossips:
+        assert "app0/app" not in g.registry
+    assert sum(g.stats.evictions for g in w.gossips) == 1
+
+
+def test_component_survives_gossip_death():
+    """Components re-register with another well-known gossip when their
+    pool member dies; state keeps propagating."""
+    w = GossipWorld(n_gossips=2, n_comps=2)
+    w.env.run(until=40)
+    w.ghosts[0].go_down("failure")
+    w.env.run(until=120)
+    w.comps[0].write({"after": "failure"}, w.env.now)
+    w.env.run(until=400)
+    for c in w.comps:
+        assert c.read() == {"after": "failure"}
+
+
+def test_workload_partitioned_across_pool():
+    """Each component is polled by exactly one responsible gossip."""
+    w = GossipWorld(n_gossips=3, n_comps=6)
+    w.env.run(until=100)
+    responsibilities = {}
+    for g in w.gossips:
+        for contact in g.registry:
+            if g.responsible_for(contact):
+                responsibilities.setdefault(contact, []).append(g.name)
+    assert len(responsibilities) == 6
+    for contact, owners in responsibilities.items():
+        assert len(owners) == 1, f"{contact} owned by {owners}"
+    # Polls actually happened, and only the responsible gossip polled.
+    total_polls = sum(g.stats.polls_sent for g in w.gossips)
+    assert total_polls > 0
+
+
+def test_reregistration_after_eviction_heals():
+    """Evicted-but-alive component (long silence, e.g. partition) comes
+    back through periodic re-registration."""
+    sites = {"gos0": "east", "gos1": "east", "app0": "west", "app1": "east"}
+    w = GossipWorld(n_gossips=2, n_comps=2, sites=sites)
+    w.env.run(until=40)
+    w.net.set_partitions([["east"], ["west"]])
+    w.env.run(until=400)
+    for g in w.gossips:
+        assert "app0/app" not in g.registry  # evicted during partition
+    w.net.set_partitions([])
+    w.env.run(until=700)
+    assert any("app0/app" in g.registry for g in w.gossips)
+    # And state written during the partition eventually reaches app0.
+    w.comps[1].write({"healed": True}, w.env.now)
+    w.env.run(until=900)
+    assert w.comps[0].read() == {"healed": True}
+
+
+def test_static_timeouts_mode_runs():
+    """Ablation A1 switch: static time-outs still function (quality is
+    compared in the benchmark, not here)."""
+    w = GossipWorld(n_gossips=2, n_comps=2, dynamic_timeouts=False)
+    w.env.run(until=60)
+    w.comps[0].write({"x": 1}, w.env.now)
+    w.env.run(until=200)
+    for c in w.comps:
+        assert c.read() == {"x": 1}

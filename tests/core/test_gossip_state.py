@@ -1,0 +1,130 @@
+"""Tests for state records, comparators, and the StateStore."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.gossip.state import (
+    ComparatorRegistry,
+    StateRecord,
+    StateStore,
+    default_comparator,
+)
+
+
+def rec(mtype="T", data=None, stamp=0.0, origin="a/1", seq=1):
+    return StateRecord(mtype=mtype, data=data or {}, stamp=stamp, origin=origin, seq=seq)
+
+
+def test_record_body_roundtrip():
+    r = rec(data={"best": [1, 2]}, stamp=12.5, seq=3)
+    assert StateRecord.from_body(r.to_body()) == r
+
+
+def test_default_comparator_orders_by_stamp_then_seq_then_origin():
+    assert default_comparator(rec(stamp=2), rec(stamp=1)) > 0
+    assert default_comparator(rec(stamp=1), rec(stamp=2)) < 0
+    assert default_comparator(rec(seq=5), rec(seq=3)) > 0
+    assert default_comparator(rec(origin="b/1"), rec(origin="a/1")) > 0
+    assert default_comparator(rec(), rec()) == 0
+
+
+def test_comparator_registry_custom():
+    reg = ComparatorRegistry()
+    reg.register("BEST", lambda a, b: a.data["size"] - b.data["size"])
+    big = rec(mtype="BEST", data={"size": 10})
+    small = rec(mtype="BEST", data={"size": 3}, stamp=99.0)  # newer but smaller
+    assert reg.compare(big, small) > 0
+    assert reg.fresher(small, big) is big
+
+
+def test_comparator_registry_type_mismatch():
+    reg = ComparatorRegistry()
+    with pytest.raises(ValueError):
+        reg.compare(rec(mtype="A"), rec(mtype="B"))
+
+
+def test_comparator_registry_default_for_unknown():
+    reg = ComparatorRegistry()
+    assert reg.compare(rec(stamp=5), rec(stamp=1)) > 0
+
+
+def test_store_local_writes_bump_seq_and_stamp():
+    s = StateStore("me/1")
+    s.register("PROGRESS")
+    r1 = s.set_local("PROGRESS", {"n": 1}, now=10.0)
+    r2 = s.set_local("PROGRESS", {"n": 2}, now=11.0)
+    assert (r1.seq, r2.seq) == (1, 2)
+    assert r2.stamp == 11.0
+    assert s.get_data("PROGRESS") == {"n": 2}
+
+
+def test_store_register_twice_rejected():
+    s = StateStore("me/1")
+    s.register("X")
+    with pytest.raises(ValueError):
+        s.register("X")
+
+
+def test_store_write_unregistered_rejected():
+    s = StateStore("me/1")
+    with pytest.raises(KeyError):
+        s.set_local("NOPE", {}, now=0)
+
+
+def test_store_apply_remote_only_if_fresher():
+    s = StateStore("me/1")
+    s.register("X", initial={"v": 0}, now=5.0)
+    stale = rec(mtype="X", data={"v": -1}, stamp=1.0, origin="other/1")
+    fresh = rec(mtype="X", data={"v": 9}, stamp=50.0, origin="other/1")
+    assert not s.apply_remote(stale)
+    assert s.get_data("X") == {"v": 0}
+    assert s.apply_remote(fresh)
+    assert s.get_data("X") == {"v": 9}
+
+
+def test_store_apply_remote_with_custom_comparator():
+    s = StateStore("me/1")
+    s.register("BEST", comparator=lambda a, b: a.data["size"] - b.data["size"])
+    s.set_local("BEST", {"size": 5}, now=0)
+    worse_newer = rec(mtype="BEST", data={"size": 4}, stamp=100.0, origin="z/9")
+    assert not s.apply_remote(worse_newer)
+    better = rec(mtype="BEST", data={"size": 7}, stamp=0.5, origin="z/9")
+    assert s.apply_remote(better)
+
+
+def test_store_records_deterministic_order():
+    s = StateStore("me/1")
+    for t in ("B", "A", "C"):
+        s.register(t, initial={}, now=0)
+    assert [r.mtype for r in s.records()] == ["A", "B", "C"]
+
+
+def test_store_get_missing():
+    s = StateStore("me/1")
+    s.register("X")
+    assert s.get("X") is None
+    assert s.get_data("X") is None
+
+
+@given(
+    stamps=st.lists(st.floats(min_value=0, max_value=1e6), min_size=2, max_size=20)
+)
+def test_property_apply_remote_converges_to_freshest(stamps):
+    """Applying records in any order leaves the store holding the max."""
+    records = [
+        rec(mtype="X", data={"i": i}, stamp=t, origin=f"o/{i}", seq=1)
+        for i, t in enumerate(stamps)
+    ]
+    best = max(records, key=lambda r: (r.stamp, r.seq, r.origin))
+    s = StateStore("me/1")
+    s.register("X")
+    for r in records:
+        s.apply_remote(r)
+    assert s.get("X") == best
+
+
+def test_comparator_antisymmetry_property():
+    reg = ComparatorRegistry()
+    a, b = rec(stamp=3, seq=2), rec(stamp=3, seq=4)
+    assert reg.compare(a, b) == -reg.compare(b, a)

@@ -1,0 +1,157 @@
+"""Unit + property tests for lingua franca packet framing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.linguafranca.packets import (
+    HEADER,
+    MAX_PAYLOAD_LEN,
+    MAX_TYPE_LEN,
+    PacketDecoder,
+    PacketError,
+    decode_packet,
+    encode_packet,
+)
+
+
+def test_roundtrip_simple():
+    data = encode_packet("REPORT", b"hello world")
+    assert decode_packet(data) == ("REPORT", b"hello world")
+
+
+def test_roundtrip_empty_payload():
+    assert decode_packet(encode_packet("PING", b"")) == ("PING", b"")
+
+
+def test_roundtrip_unicode_type():
+    assert decode_packet(encode_packet("tipo-ñ", b"x"))[0] == "tipo-ñ"
+
+
+def test_empty_type_rejected():
+    with pytest.raises(PacketError):
+        encode_packet("", b"x")
+
+
+def test_overlong_type_rejected():
+    with pytest.raises(PacketError):
+        encode_packet("x" * (MAX_TYPE_LEN + 1), b"")
+
+
+def test_oversized_payload_rejected():
+    with pytest.raises(PacketError, match="payload too large"):
+        encode_packet("t", b"\0" * (MAX_PAYLOAD_LEN + 1))
+
+
+def test_bad_magic_rejected():
+    data = bytearray(encode_packet("T", b"p"))
+    data[0] = ord("X")
+    with pytest.raises(PacketError, match="magic"):
+        decode_packet(bytes(data))
+
+
+def test_bad_version_rejected():
+    data = bytearray(encode_packet("T", b"p"))
+    data[4] = 99
+    with pytest.raises(PacketError, match="version"):
+        decode_packet(bytes(data))
+
+
+def test_corrupt_payload_fails_crc():
+    data = bytearray(encode_packet("T", b"payload"))
+    data[-6] ^= 0xFF  # flip a payload byte
+    with pytest.raises(PacketError, match="crc"):
+        decode_packet(bytes(data))
+
+
+def test_truncated_packet():
+    data = encode_packet("T", b"payload")
+    with pytest.raises(PacketError, match="truncated"):
+        decode_packet(data[:-1])
+
+
+def test_trailing_garbage_rejected_by_decode_packet():
+    data = encode_packet("T", b"p") + b"junk"
+    with pytest.raises(PacketError, match="trailing"):
+        decode_packet(data)
+
+
+def test_decoder_handles_split_delivery():
+    data = encode_packet("A", b"12345")
+    dec = PacketDecoder()
+    for i in range(len(data)):
+        dec.feed(data[i : i + 1])
+        if i < len(data) - 1:
+            assert dec.next_packet() is None
+    assert dec.next_packet() == ("A", b"12345")
+
+
+def test_decoder_handles_coalesced_packets():
+    stream = encode_packet("A", b"1") + encode_packet("B", b"2") + encode_packet("C", b"3")
+    dec = PacketDecoder()
+    dec.feed(stream)
+    assert list(dec.packets()) == [("A", b"1"), ("B", b"2"), ("C", b"3")]
+    assert dec.pending_bytes == 0
+
+
+def test_decoder_partial_second_packet():
+    p1 = encode_packet("A", b"1")
+    p2 = encode_packet("B", b"2")
+    dec = PacketDecoder()
+    dec.feed(p1 + p2[:5])
+    assert dec.next_packet() == ("A", b"1")
+    assert dec.next_packet() is None
+    dec.feed(p2[5:])
+    assert dec.next_packet() == ("B", b"2")
+
+
+def test_decoder_corrupt_stream_raises_and_stops():
+    dec = PacketDecoder()
+    dec.feed(b"NOTAPACKETNOTAPACKET")
+    with pytest.raises(PacketError):
+        dec.next_packet()
+
+
+@given(
+    mtype=st.text(min_size=1, max_size=40).filter(lambda s: 1 <= len(s.encode()) <= MAX_TYPE_LEN),
+    payload=st.binary(max_size=4096),
+)
+def test_property_roundtrip(mtype, payload):
+    assert decode_packet(encode_packet(mtype, payload)) == (mtype, payload)
+
+
+@given(
+    records=st.lists(
+        st.tuples(
+            st.text(min_size=1, max_size=10).filter(lambda s: len(s.encode()) >= 1),
+            st.binary(max_size=256),
+        ),
+        min_size=1,
+        max_size=10,
+    ),
+    chunk=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=50)
+def test_property_stream_reassembly(records, chunk):
+    """Any chunking of a concatenated stream reproduces the records."""
+    stream = b"".join(encode_packet(t, p) for t, p in records)
+    dec = PacketDecoder()
+    got = []
+    for i in range(0, len(stream), chunk):
+        dec.feed(stream[i : i + chunk])
+        got.extend(dec.packets())
+    assert got == records
+    assert dec.pending_bytes == 0
+
+
+@given(data=st.binary(min_size=HEADER.size, max_size=200))
+@settings(max_examples=100)
+def test_property_random_bytes_never_crash(data):
+    """Arbitrary garbage either needs more data, raises PacketError, or —
+    astronomically unlikely — decodes; it must never raise anything else."""
+    dec = PacketDecoder()
+    dec.feed(data)
+    try:
+        dec.next_packet()
+    except PacketError:
+        pass

@@ -1,0 +1,93 @@
+"""System resilience under random message loss (flaky SCInet conditions).
+
+EveryWare's recovery primitives are time-outs and re-registration; no
+protocol in the stack may depend on reliable delivery. These tests run
+the full gossip + scheduler + client stack over a network that silently
+drops a significant fraction of datagrams and assert the system still
+converges and delivers work.
+"""
+
+import pytest
+
+from repro.core.gossip import ComparatorRegistry, GossipServer
+from repro.core.services import LoggingServer, QueueWorkSource, SchedulerServer
+from repro.core.simdriver import SimDriver
+from repro.ramsey.client import RAMSEY_BEST, ModelEngine, RamseyClient, ramsey_comparator
+from repro.ramsey.tasks import unit_generator
+from repro.simgrid.engine import Environment
+from repro.simgrid.host import Host, HostSpec
+from repro.simgrid.network import Address, Network
+from repro.simgrid.rand import RngStreams
+
+
+def build_lossy_world(loss_rate, seed=23):
+    env = Environment()
+    streams = RngStreams(seed=seed)
+    net = Network(env, streams, jitter=0.1, loss_rate=loss_rate)
+
+    def add(name):
+        h = Host(env, HostSpec(name=name, speed=3e6), streams)
+        net.add_host(h)
+        h.start()
+        return h
+
+    comparators = ComparatorRegistry()
+    comparators.register(RAMSEY_BEST, ramsey_comparator)
+    gossip = GossipServer("gos", ["gos/gossip"], comparators=comparators,
+                          poll_period=10, sync_period=15)
+    SimDriver(env, net, add("gos"), "gossip", gossip, streams).start()
+
+    work = QueueWorkSource(generator=unit_generator(43, 5, ops_budget=1e9))
+    sched = SchedulerServer("sched", work, report_period=20, reap_period=60,
+                            dead_factor=6)
+    SimDriver(env, net, add("sched"), "sched", sched, streams).start()
+
+    logsrv = LoggingServer("log")
+    SimDriver(env, net, add("log"), "log", logsrv, streams).start()
+
+    clients = []
+    for i in range(4):
+        client = RamseyClient(
+            f"cli{i}", schedulers=["sched/sched"], engine=ModelEngine(),
+            infra="unix", loggers=["log/log"],
+            gossip_well_known=["gos/gossip"],
+            work_period=15, report_period=20, hello_retry=15, seed=i)
+        SimDriver(env, net, add(f"cli{i}"), "cli", client, streams).start()
+        clients.append(client)
+    return env, net, gossip, sched, logsrv, clients
+
+
+@pytest.mark.parametrize("loss_rate", [0.05, 0.2])
+def test_stack_converges_under_loss(loss_rate):
+    env, net, gossip, sched, logsrv, clients = build_lossy_world(loss_rate)
+    env.run(until=1200)
+    # Loss actually happened.
+    assert net.stats.dropped_loss > 0
+    # All clients eventually registered and got work despite drops.
+    assert sched.stats.units_assigned >= 4
+    assert set(gossip.registry) >= {f"cli{i}/cli" for i in range(4)}
+    # Work was delivered and logged.
+    assert sum(r.data["ops"] for r in logsrv.by_kind("perf")) > 0
+    # State written by one client spreads even over the lossy fabric.
+    clients[0].store.set_local(RAMSEY_BEST,
+                               {"k": 43, "n": 5, "energy": 1, "ops": 1e9},
+                               env.now)
+    env.run(until=2400)
+    adopted = [c.store.get_data(RAMSEY_BEST) for c in clients[1:]]
+    assert any(d is not None and d.get("energy") == 1 for d in adopted)
+
+
+def test_loss_rate_accounting_plausible():
+    env, net, gossip, sched, logsrv, clients = build_lossy_world(0.2)
+    env.run(until=600)
+    attempted = net.stats.sent
+    lost = net.stats.dropped_loss
+    assert attempted > 100
+    # Empirical loss within generous binomial bounds of the configured 20%.
+    assert 0.1 < lost / attempted < 0.3
+
+
+def test_zero_loss_has_no_loss_drops():
+    env, net, *_ = build_lossy_world(0.0)
+    env.run(until=300)
+    assert net.stats.dropped_loss == 0

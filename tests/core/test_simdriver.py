@@ -1,0 +1,191 @@
+"""Tests for the sans-IO component model and its simulation driver."""
+
+import pytest
+
+from repro.core.component import (
+    CancelTimer,
+    Component,
+    LogLine,
+    NullRuntime,
+    Send,
+    SetTimer,
+    Stop,
+)
+from repro.core.linguafranca.messages import Message
+from repro.core.simdriver import SimDriver
+from repro.simgrid.engine import Environment
+from repro.simgrid.host import Host, HostSpec
+from repro.simgrid.network import Network
+from repro.simgrid.rand import RngStreams
+
+
+class EchoServer(Component):
+    """Replies PONG to PING; stops on QUIT."""
+
+    def __init__(self):
+        super().__init__("echo")
+        self.seen = []
+
+    def on_message(self, message, now):
+        self.seen.append((message.mtype, now))
+        if message.mtype == "PING":
+            return [Send(message.sender, message.reply("PONG", sender=self.contact))]
+        if message.mtype == "QUIT":
+            return [Stop("asked")]
+        return []
+
+
+class Ticker(Component):
+    """Fires a periodic timer and records ticks."""
+
+    def __init__(self, period=5.0, limit=3):
+        super().__init__("ticker")
+        self.period = period
+        self.limit = limit
+        self.ticks = []
+        self.stopped = None
+
+    def on_start(self, now):
+        return [SetTimer("tick", self.period), LogLine("started")]
+
+    def on_timer(self, key, now):
+        assert key == "tick"
+        self.ticks.append(now)
+        if len(self.ticks) >= self.limit:
+            return [Stop("done")]
+        return [SetTimer("tick", self.period)]
+
+    def on_stop(self, now, reason):
+        self.stopped = (now, reason)
+
+
+def build(n_hosts=2):
+    env = Environment()
+    streams = RngStreams(seed=2)
+    net = Network(env, streams, jitter=0.0)
+    hosts = []
+    for i in range(n_hosts):
+        h = Host(env, HostSpec(name=f"h{i}"), streams)
+        net.add_host(h)
+        hosts.append(h)
+    return env, streams, net, hosts
+
+
+def test_ticker_timers_and_stop():
+    env, streams, net, hosts = build()
+    logs = []
+    ticker = Ticker(period=5, limit=3)
+    drv = SimDriver(env, net, hosts[0], "tick", ticker, streams,
+                    log_sink=lambda *a: logs.append(a))
+    drv.start()
+    env.run(until=100)
+    assert ticker.ticks == [5, 10, 15]
+    assert ticker.stopped == (15, "done")
+    assert logs == [(0, "ticker", "info", "started")]
+    # Endpoint released on stop.
+    assert not net.is_bound(drv.address)
+
+
+def test_echo_request_response_between_drivers():
+    env, streams, net, hosts = build()
+    server = EchoServer()
+    SimDriver(env, net, hosts[1], "svc", server, streams).start()
+
+    from repro.core.linguafranca.endpoint import SimEndpoint
+    from repro.simgrid.network import Address
+
+    client = SimEndpoint(env, net, Address("h0", "cli"))
+
+    def client_proc(env):
+        reply, rtt = yield from client.request(
+            "h1/svc", Message(mtype="PING", sender=""), timeout=10
+        )
+        client.send("h1/svc", Message(mtype="QUIT", sender=""))
+        return reply.mtype, rtt
+
+    cp = env.process(client_proc(env))
+    env.run(until=60)
+    assert cp.value[0] == "PONG"
+    assert server.seen[0][0] == "PING"
+    assert server.seen[1][0] == "QUIT"
+
+
+def test_host_death_stops_component_with_reason():
+    env, streams, net, hosts = build()
+    ticker = Ticker(period=5, limit=1000)
+    drv = SimDriver(env, net, hosts[0], "tick", ticker, streams)
+    drv.start()
+
+    def killer(env):
+        yield env.timeout(12)
+        hosts[0].go_down("reclaimed")
+
+    env.process(killer(env))
+    env.run(until=50)
+    assert ticker.stopped is not None
+    t, reason = ticker.stopped
+    assert t == 12
+    assert reason == "host_down:reclaimed"
+    assert not net.is_bound(drv.address)
+    assert not drv.running
+
+
+def test_cancel_timer():
+    class CancelComp(Component):
+        def __init__(self):
+            super().__init__("c")
+            self.fired = []
+
+        def on_start(self, now):
+            return [SetTimer("a", 5), SetTimer("b", 10), CancelTimer("a")]
+
+        def on_timer(self, key, now):
+            self.fired.append((key, now))
+            return [Stop()]
+
+    env, streams, net, hosts = build()
+    comp = CancelComp()
+    SimDriver(env, net, hosts[0], "p", comp, streams).start()
+    env.run(until=60)
+    assert comp.fired == [("b", 10)]
+
+
+def test_set_timer_replaces_existing():
+    class RearmComp(Component):
+        def __init__(self):
+            super().__init__("r")
+            self.fired = []
+
+        def on_start(self, now):
+            # Arm at 5 then immediately rearm to 20: only 20 should fire.
+            return [SetTimer("t", 5), SetTimer("t", 20)]
+
+        def on_timer(self, key, now):
+            self.fired.append(now)
+            return [Stop()]
+
+    env, streams, net, hosts = build()
+    comp = RearmComp()
+    SimDriver(env, net, hosts[0], "p", comp, streams).start()
+    env.run(until=60)
+    assert comp.fired == [20]
+
+
+def test_component_contact_requires_binding():
+    c = Component("x")
+    with pytest.raises(RuntimeError):
+        _ = c.contact
+    c.bind_runtime(NullRuntime(contact="h/p"))
+    assert c.contact == "h/p"
+
+
+def test_runtime_exposes_speed_and_random():
+    env, streams, net, hosts = build()
+    comp = Component("probe")
+    drv = SimDriver(env, net, hosts[0], "p", comp, streams)
+    rt = comp.runtime
+    assert rt.host_name() == "h0"
+    assert rt.contact() == "h0/p"
+    assert rt.speed() == hosts[0].effective_speed()
+    r1, r2 = rt.random(), rt.random()
+    assert 0 <= r1 <= 1 and 0 <= r2 <= 1 and r1 != r2

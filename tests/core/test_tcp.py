@@ -1,0 +1,120 @@
+"""Tests for the real TCP transport (localhost, single machine).
+
+The server reactor is pumped from a helper thread in the tests only; the
+library itself stays single-threaded, per the paper's design rules.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.linguafranca.messages import Message
+from repro.core.linguafranca.tcp import TcpClient, TcpServer, TransportError
+
+
+class ServerThread:
+    """Pump a TcpServer reactor until stopped."""
+
+    def __init__(self, server):
+        self.server = server
+        self._stop = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        while not self._stop.is_set():
+            self.server.step(0.02)
+
+    def __enter__(self):
+        self.thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self.thread.join(timeout=2)
+        self.server.close()
+
+
+def echo_handler(message):
+    if message.mtype == "PING":
+        return message.reply("PONG", sender="", body={"echo": message.body})
+    if message.mtype == "PUSH":
+        return None  # fire-and-forget
+    return message.reply("ERROR", sender="", body={"unknown": message.mtype})
+
+
+def test_request_reply_over_tcp():
+    server = TcpServer("127.0.0.1", 0, echo_handler)
+    host, port = server.address
+    with ServerThread(server):
+        client = TcpClient(sender="tester")
+        reply = client.request(host, port, Message(mtype="PING", sender="", body={"n": 5}))
+        assert reply is not None
+        assert reply.mtype == "PONG"
+        assert reply.body == {"echo": {"n": 5}}
+
+
+def test_fire_and_forget_over_tcp():
+    got = []
+
+    def handler(message):
+        got.append(message.mtype)
+        return None
+
+    server = TcpServer("127.0.0.1", 0, handler)
+    host, port = server.address
+    with ServerThread(server):
+        TcpClient().send(host, port, Message(mtype="PUSH", sender=""))
+        deadline = time.monotonic() + 2
+        while not got and time.monotonic() < deadline:
+            time.sleep(0.01)
+    assert got == ["PUSH"]
+
+
+def test_unknown_type_gets_error_reply():
+    server = TcpServer("127.0.0.1", 0, echo_handler)
+    host, port = server.address
+    with ServerThread(server):
+        reply = TcpClient().request(host, port, Message(mtype="WAT", sender=""))
+        assert reply.mtype == "ERROR"
+
+
+def test_request_timeout_when_handler_never_replies():
+    server = TcpServer("127.0.0.1", 0, lambda m: None)
+    host, port = server.address
+    with ServerThread(server):
+        reply = TcpClient().request(host, port, Message(mtype="PING", sender=""), timeout=0.3)
+        assert reply is None
+
+
+def test_connect_refused_raises_transport_error():
+    client = TcpClient()
+    with pytest.raises(TransportError):
+        # Port 1 on localhost is essentially guaranteed closed.
+        client.request("127.0.0.1", 1, Message(mtype="PING", sender=""), timeout=0.5)
+
+
+def test_many_sequential_requests_one_server():
+    server = TcpServer("127.0.0.1", 0, echo_handler)
+    host, port = server.address
+    with ServerThread(server):
+        client = TcpClient()
+        for i in range(20):
+            reply = client.request(host, port, Message(mtype="PING", sender="", body={"i": i}))
+            assert reply.body["echo"]["i"] == i
+    assert server.messages_handled == 20
+
+
+def test_server_survives_garbage_connection():
+    server = TcpServer("127.0.0.1", 0, echo_handler)
+    host, port = server.address
+    with ServerThread(server):
+        import socket
+
+        with socket.create_connection((host, port)) as s:
+            s.sendall(b"this is not a packet at all" * 10)
+        time.sleep(0.1)
+        # Server must still answer real clients.
+        reply = TcpClient().request(host, port, Message(mtype="PING", sender=""))
+        assert reply.mtype == "PONG"
+    assert server.decode_errors >= 1

@@ -1,0 +1,112 @@
+"""Tests for metric buckets, series collection, and report rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.component import NullRuntime
+from repro.core.linguafranca.messages import Message
+from repro.core.services.logging import LoggingServer
+from repro.experiments.metrics import (
+    TimeBuckets,
+    coefficient_of_variation,
+    collect_rate_series,
+)
+from repro.experiments.report import (
+    format_rate,
+    render_series_table,
+    sparkline,
+)
+from repro.experiments.sc98 import clock_to_offset, offset_to_clock
+
+
+def test_time_buckets_rates():
+    b = TimeBuckets(start=0, width=10, n=3)
+    assert b.add(5, 100)
+    assert b.add(9.99, 50)
+    assert b.add(25, 30)
+    assert not b.add(31, 1)  # beyond range
+    assert not b.add(-1, 1)
+    assert list(b.rates()) == [15.0, 0.0, 3.0]
+    assert list(b.times()) == [0, 10, 20]
+
+
+def test_time_buckets_means_with_empty():
+    b = TimeBuckets(start=0, width=10, n=2)
+    b.add(1, 4)
+    b.add(2, 6)
+    means = b.means()
+    assert means[0] == 5.0
+    assert np.isnan(means[1])
+
+
+def test_time_buckets_validate():
+    with pytest.raises(ValueError):
+        TimeBuckets(0, 0, 5)
+    with pytest.raises(ValueError):
+        TimeBuckets(0, 10, 0)
+
+
+def test_collect_rate_series_from_logging_servers():
+    srv = LoggingServer("log")
+    srv.bind_runtime(NullRuntime(contact="log/srv"))
+    # Two infra streams: unix at t=10s, condor at t=310s.
+    srv.on_message(Message(mtype="LOG_APPEND", sender="a/cli", body={
+        "records": [{"k": "perf", "d": {"ops": 3000.0, "infra": "unix"}}]}), 10.0)
+    srv.on_message(Message(mtype="LOG_APPEND", sender="b/cli", body={
+        "records": [{"k": "perf", "d": {"ops": 600.0, "infra": "condor"}}]}), 310.0)
+    total, per_infra = collect_rate_series([srv], start=0, width=300, n=2)
+    assert total[0] == pytest.approx(10.0)  # 3000 ops / 300 s
+    assert total[1] == pytest.approx(2.0)
+    assert per_infra["unix"][0] == pytest.approx(10.0)
+    assert per_infra["condor"][1] == pytest.approx(2.0)
+    assert per_infra["unix"][1] == 0.0
+
+
+def test_cv_stable_vs_noisy():
+    stable = np.full(100, 10.0)
+    noisy = np.concatenate([np.full(50, 1.0), np.full(50, 19.0)])
+    assert coefficient_of_variation(stable) == 0.0
+    assert coefficient_of_variation(noisy) > 0.5
+
+
+def test_cv_edge_cases():
+    assert np.isnan(coefficient_of_variation(np.array([])))
+    assert coefficient_of_variation(np.zeros(5)) == float("inf")
+    # skip parameter drops the startup transient
+    series = np.array([0.0, 0.0, 10.0, 10.0, 10.0])
+    assert coefficient_of_variation(series, skip=2) == 0.0
+
+
+def test_clock_offset_roundtrip():
+    assert clock_to_offset(23, 36, 56) == 0.0
+    assert offset_to_clock(0) == "23:36:56"
+    # Midnight wrap.
+    assert clock_to_offset(0, 0, 0) == pytest.approx(23 * 60 + 4)
+    assert clock_to_offset(11, 0, 0) == pytest.approx(40984.0)
+    assert offset_to_clock(40984.0) == "11:00:00"
+
+
+def test_sparkline_shapes():
+    assert len(sparkline([1, 2, 3, 4])) == 4
+    assert sparkline([0, 0, 0]) == "   "
+    ramp = sparkline([0, 5, 10])
+    assert ramp[0] < ramp[-1]
+    # Log mode compresses magnitude gaps.
+    lin = sparkline([1, 10, 1e6])
+    log = sparkline([1, 10, 1e6], log=True)
+    assert lin[1] == " "  # 10 invisible on linear scale vs 1e6
+    assert log[1] != " "
+
+
+def test_format_rate():
+    assert format_rate(2.39e9) == "2.39E+09"
+    assert format_rate(float("nan")) == "nan"
+
+
+def test_render_series_table():
+    times = np.array([0.0, 300.0, 600.0])
+    table = render_series_table(times, {"total": np.array([1e9, 2e9, 3e9])}, every=1)
+    assert "23:36:56" in table
+    assert "1.00E+09" in table
+    lines = table.splitlines()
+    assert len(lines) == 2 + 3  # header + rule + 3 rows

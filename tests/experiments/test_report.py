@@ -1,0 +1,109 @@
+"""Tests for figure rendering on synthetic results."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.metrics import SeriesBundle
+from repro.experiments.report import (
+    render_fig2,
+    render_fig3a,
+    render_fig3b,
+    render_grid_criteria,
+    render_headlines,
+)
+from repro.experiments.sc98 import SC98Config, SC98Results, clock_to_offset
+
+
+@pytest.fixture
+def synthetic_results():
+    cfg = SC98Config(scale=1.0)
+    n = cfg.n_buckets
+    times = np.arange(n) * cfg.bucket
+    rng = np.random.default_rng(0)
+    base = 2e9 + 2e8 * rng.standard_normal(n)
+    # Sculpt the §4.1 story: surge, dip, recovery.
+    t_test = clock_to_offset(9, 46)
+    t_judge = clock_to_offset(11, 0)
+    t_demo = clock_to_offset(11, 12)
+    base[int(t_test // cfg.bucket)] = 2.39e9
+    base[int(t_judge // cfg.bucket) + 1] = 1.1e9
+    base[int(t_demo // cfg.bucket)] = 2.0e9
+    per_infra = {
+        "unix": base * 0.4,
+        "nt": base * 0.35,
+        "condor": base * 0.15,
+        "globus": base * 0.05,
+        "legion": base * 0.04,
+        "java": np.abs(rng.standard_normal(n)) * 1e7,
+        "netsolve": np.full(n, 8e6),
+    }
+    total = np.sum(list(per_infra.values()), axis=0)
+    hosts = {name: np.full(n, 10.0) for name in per_infra}
+    series = SeriesBundle(times=times, total_rate=total,
+                          rate_by_infra=per_infra, hosts_by_infra=hosts)
+    return SC98Results(config=cfg, series=series)
+
+
+def test_headline_extraction(synthetic_results):
+    r = synthetic_results
+    peak_t, peak = r.peak()
+    assert peak == r.series.total_rate.max()
+    assert r.judging_dip() <= r.series.total_rate.max()
+    assert r.recovery() >= r.judging_dip()
+    assert np.isfinite(r.rate_at(0.0))
+
+
+def test_rate_at_clamps_out_of_range(synthetic_results):
+    r = synthetic_results
+    assert r.rate_at(-100) == r.series.total_rate[0]
+    assert r.rate_at(1e9) == r.series.total_rate[-1]
+
+
+def test_render_fig2_contains_axis_and_shape(synthetic_results):
+    text = render_fig2(synthetic_results)
+    assert "Figure 2" in text
+    assert "23:36:56" in text
+    assert "shape: [" in text
+    assert "E+09" in text
+
+
+def test_render_fig3a_lists_all_infras(synthetic_results):
+    text = render_fig3a(synthetic_results)
+    for name in ("unix", "nt", "condor", "globus", "legion", "java", "netsolve"):
+        assert name in text
+    log_text = render_fig3a(synthetic_results, log=True)
+    assert "Figure 4a" in log_text
+
+
+def test_render_fig3b(synthetic_results):
+    text = render_fig3b(synthetic_results)
+    assert "Host Count" in text
+    assert "max=10" in text
+    assert "Figure 4b" in render_fig3b(synthetic_results, log=True)
+
+
+def test_render_headlines_has_paper_values(synthetic_results):
+    text = render_headlines(synthetic_results)
+    assert "2.39E+09" in text
+    assert "1.10E+09" in text
+    assert "2.00E+09" in text
+
+
+def test_render_grid_criteria(synthetic_results):
+    text = render_grid_criteria(synthetic_results)
+    assert "consistent" in text
+    assert "pervasive: 7 infrastructures" in text
+
+
+def test_judging_windows_empty_when_run_too_short():
+    cfg = SC98Config(scale=1.0, duration=3600.0)
+    n = cfg.n_buckets
+    series = SeriesBundle(
+        times=np.arange(n) * cfg.bucket,
+        total_rate=np.ones(n),
+        rate_by_infra={"unix": np.ones(n)},
+        hosts_by_infra={"unix": np.ones(n)},
+    )
+    r = SC98Results(config=cfg, series=series)
+    assert np.isnan(r.judging_dip())
+    assert np.isnan(r.recovery())

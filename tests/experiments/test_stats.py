@@ -1,0 +1,62 @@
+"""Tests for the robustness-statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.stats import SweepOutcome, bootstrap_ci, seed_sweep, shape_metrics
+
+
+def test_bootstrap_ci_brackets_mean():
+    rng = np.random.default_rng(0)
+    data = rng.normal(10, 2, 200)
+    point, lo, hi = bootstrap_ci(data)
+    assert lo < point < hi
+    assert point == pytest.approx(10, abs=0.5)
+    assert hi - lo < 1.5  # a 200-sample mean CI is tight
+
+
+def test_bootstrap_ci_single_value_degenerate():
+    assert bootstrap_ci([5.0]) == (5.0, 5.0, 5.0)
+
+
+def test_bootstrap_ci_empty_rejected():
+    with pytest.raises(ValueError):
+        bootstrap_ci([])
+
+
+def test_bootstrap_ci_custom_statistic():
+    data = [1, 2, 3, 4, 100]
+    point, lo, hi = bootstrap_ci(data, statistic=np.median)
+    assert point == 3
+    assert lo <= point <= hi
+
+
+def test_bootstrap_ci_deterministic_given_seed():
+    data = list(range(20))
+    assert bootstrap_ci(data, seed=7) == bootstrap_ci(data, seed=7)
+
+
+def test_sweep_outcome_ratios():
+    o = SweepOutcome(seed=1, peak=2.0, dip=1.0, recovery=1.6,
+                     total_cv=0.1, median_part_cv=0.2)
+    assert o.dip_ratio == 0.5
+    assert o.recovery_ratio == 0.8
+
+
+def test_seed_sweep_runs_and_orders():
+    outcomes = seed_sweep([3, 4], scale=0.08, duration=1800.0)
+    assert [o.seed for o in outcomes] == [3, 4]
+    for o in outcomes:
+        assert o.peak > 0
+        assert np.isfinite(o.total_cv)
+        # 30-minute runs never reach the judging window:
+        assert np.isnan(o.dip)
+
+
+def test_shape_metrics_from_run():
+    from repro.experiments import SC98Config, build_sc98
+
+    results = build_sc98(SC98Config(scale=0.08, duration=1800.0, seed=9)).run()
+    o = shape_metrics(results)
+    assert o.seed == 9
+    assert o.peak == results.peak()[1]

@@ -1,0 +1,174 @@
+"""End-to-end tests: Ramsey clients + scheduler + gossip + persistent +
+logging, all over the simulated Grid — Figure 1's topology in miniature."""
+
+import pytest
+
+from repro.core.gossip import ComparatorRegistry, GossipServer
+from repro.core.services import (
+    LoggingServer,
+    PersistentStateServer,
+    QueueWorkSource,
+    SchedulerServer,
+)
+from repro.core.simdriver import SimDriver
+from repro.ramsey.client import (
+    RAMSEY_BEST,
+    ModelEngine,
+    RamseyClient,
+    RealEngine,
+    ramsey_comparator,
+)
+from repro.ramsey.tasks import unit_generator
+from repro.ramsey.verify import counter_example_validator
+from repro.simgrid.engine import Environment
+from repro.simgrid.host import Host, HostSpec
+from repro.simgrid.load import ConstantLoad
+from repro.simgrid.network import Network
+from repro.simgrid.rand import RngStreams
+
+
+class MiniGrid:
+    """One of everything, plus N clients."""
+
+    def __init__(self, n_clients=2, k=5, n=3, engine_factory=None, seed=21,
+                 client_speed=1e6):
+        self.env = Environment()
+        self.streams = RngStreams(seed=seed)
+        self.net = Network(self.env, self.streams, jitter=0.0)
+        self.hosts = {}
+
+        def add_host(name, speed=1e7):
+            h = Host(self.env, HostSpec(name=name, speed=speed,
+                                        load_model=ConstantLoad(1.0)), self.streams)
+            self.net.add_host(h)
+            self.hosts[name] = h
+            return h
+
+        comparators = ComparatorRegistry()
+        comparators.register(RAMSEY_BEST, ramsey_comparator)
+
+        self.gossip = GossipServer("gossip0", ["gos0/gossip"],
+                                   comparators=comparators,
+                                   poll_period=5, sync_period=7)
+        SimDriver(self.env, self.net, add_host("gos0"), "gossip",
+                  self.gossip, self.streams).start()
+
+        self.work = QueueWorkSource(generator=unit_generator(k, n, base_seed=7,
+                                                             ops_budget=5e7))
+        self.sched = SchedulerServer("sched0", self.work, report_period=20,
+                                     reap_period=40)
+        SimDriver(self.env, self.net, add_host("sch0"), "sched",
+                  self.sched, self.streams).start()
+
+        self.pst = PersistentStateServer("pst0")
+        self.pst.add_validator(counter_example_validator)
+        SimDriver(self.env, self.net, add_host("pst0"), "pst",
+                  self.pst, self.streams).start()
+
+        self.logsrv = LoggingServer("log0")
+        SimDriver(self.env, self.net, add_host("log0"), "log",
+                  self.logsrv, self.streams).start()
+
+        engine_factory = engine_factory or (lambda i: RealEngine(max_steps_per_advance=500))
+        self.clients = []
+        for i in range(n_clients):
+            h = add_host(f"cli{i}", speed=client_speed)
+            client = RamseyClient(
+                f"cli{i}",
+                schedulers=["sch0/sched"],
+                engine=engine_factory(i),
+                infra="unix",
+                loggers=["log0/log"],
+                persistent="pst0/pst",
+                gossip_well_known=["gos0/gossip"],
+                work_period=10,
+                report_period=20,
+                hello_retry=15,
+                seed=i,
+            )
+            SimDriver(self.env, self.net, h, "cli", client, self.streams).start()
+            self.clients.append(client)
+
+
+def test_clients_get_work_and_report():
+    g = MiniGrid(n_clients=2)
+    g.env.run(until=120)
+    assert g.sched.stats.hellos >= 2
+    assert g.sched.stats.units_assigned >= 2
+    assert g.sched.stats.reports >= 2
+    assert all(c.unit is not None or c._unit_done for c in g.clients)
+
+
+def test_counter_example_found_checkpointed_and_verified():
+    g = MiniGrid(n_clients=2, k=5, n=3)
+    g.env.run(until=400)
+    found = sum(c.counter_examples_found for c in g.clients)
+    assert found >= 1
+    # The persistent manager verified and accepted a genuine witness.
+    assert g.pst.stats.stores >= 1
+    assert g.pst.stats.denials == 0
+    keys = g.pst.backend.keys()
+    assert any(k.startswith("ramsey") for k in keys)
+    acks = sum(c.checkpoint_acks for c in g.clients)
+    assert acks >= 1
+
+
+def test_best_state_spreads_through_gossip():
+    g = MiniGrid(n_clients=3, k=5, n=3)
+    g.env.run(until=400)
+    # Every client's RAMSEY_BEST should converge to energy 0 via gossip.
+    datas = [c.store.get_data(RAMSEY_BEST) for c in g.clients]
+    assert all(d is not None for d in datas)
+    assert min(d["energy"] for d in datas) == 0
+    # At least one client learned it *remotely* (adopted via GOS_UPDATE)
+    # or all found it locally; either way the gossip adopted records.
+    assert g.gossip.stats.records_adopted >= 1
+
+
+def test_performance_records_reach_logging_server():
+    g = MiniGrid(n_clients=2)
+    g.env.run(until=150)
+    perf = g.logsrv.by_kind("perf")
+    assert len(perf) >= 4
+    assert all("rate" in r.data and r.data["infra"] == "unix" for r in perf)
+
+
+def test_model_engine_clients_burn_host_speed():
+    g = MiniGrid(n_clients=2, engine_factory=lambda i: ModelEngine(),
+                 client_speed=2e6)
+    g.env.run(until=200)
+    perf = g.logsrv.by_kind("perf")
+    assert perf, "model clients must report performance"
+    rates = [r.data["rate"] for r in perf if r.data["rate"] > 0]
+    assert rates
+    # Rate cannot exceed host speed (conservative metric).
+    assert max(rates) <= 2e6 * 1.01
+
+
+def test_scheduler_failover():
+    """When the scheduler dies, clients rotate to the backup and keep
+    getting work."""
+    g = MiniGrid(n_clients=2, engine_factory=lambda i: ModelEngine())
+    # Add a backup scheduler.
+    h = Host(g.env, HostSpec(name="sch1", speed=1e7), g.streams)
+    g.net.add_host(h)
+    backup_work = QueueWorkSource(generator=unit_generator(5, 3, base_seed=99,
+                                                           ops_budget=5e7))
+    backup = SchedulerServer("sched1", backup_work, report_period=20)
+    SimDriver(g.env, g.net, h, "sched", backup, g.streams).start()
+    for c in g.clients:
+        c.schedulers = ["sch0/sched", "sch1/sched"]
+    g.env.run(until=100)
+    g.hosts["sch0"].go_down("failure")
+    g.env.run(until=500)
+    assert backup.stats.hellos >= 2
+    assert all(c.unit is not None or c._unit_done for c in g.clients)
+
+
+def test_client_death_reaps_and_requeues():
+    g = MiniGrid(n_clients=2, engine_factory=lambda i: ModelEngine())
+    g.env.run(until=100)
+    g.hosts["cli0"].go_down("reclaimed")
+    g.env.run(until=400)
+    assert g.sched.stats.reaps >= 1
+    assert g.sched.active_clients() == ["cli1/cli"]

@@ -1,0 +1,203 @@
+"""Unit tests for the client compute engines and the RAMSEY_BEST
+comparator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.gossip.state import StateRecord
+from repro.ramsey.client import ModelEngine, RealEngine, ramsey_comparator
+from repro.ramsey.tasks import make_unit
+
+
+def rec(k=43, energy=10.0, ops=0.0, stamp=0.0, origin="a/1", seq=1):
+    return StateRecord(
+        mtype="RAMSEY_BEST",
+        data={"k": k, "n": 5, "energy": energy, "ops": ops},
+        stamp=stamp, origin=origin, seq=seq)
+
+
+# ---------------------------------------------------------------- comparator
+
+
+def test_comparator_lower_energy_wins_regardless_of_recency():
+    good_old = rec(energy=1.0, stamp=0.0)
+    bad_new = rec(energy=50.0, stamp=1e9)
+    assert ramsey_comparator(good_old, bad_new) > 0
+
+
+def test_comparator_bigger_problem_dominates():
+    small_solved = rec(k=10, energy=0.0)
+    big_unsolved = rec(k=43, energy=100.0)
+    assert ramsey_comparator(big_unsolved, small_solved) > 0
+
+
+def test_comparator_ops_breaks_energy_ties():
+    a = rec(energy=5.0, ops=1e9)
+    b = rec(energy=5.0, ops=1e6)
+    assert ramsey_comparator(a, b) > 0
+
+
+def test_comparator_total_order_on_missing_fields():
+    incomplete = StateRecord("RAMSEY_BEST", {}, 0.0, "x/1", 1)
+    complete = rec()
+    # Must not raise, and must be antisymmetric.
+    assert ramsey_comparator(incomplete, complete) == -ramsey_comparator(
+        complete, incomplete)
+
+
+@given(
+    e1=st.floats(min_value=0, max_value=1e4),
+    e2=st.floats(min_value=0, max_value=1e4),
+)
+def test_comparator_antisymmetry_property(e1, e2):
+    a, b = rec(energy=e1), rec(energy=e2)
+    assert ramsey_comparator(a, b) == -ramsey_comparator(b, a)
+
+
+# ---------------------------------------------------------------- ModelEngine
+
+
+def make_model(**kw):
+    engine = ModelEngine(**kw)
+    unit = make_unit("u", 43, 5, ops_budget=1e10)
+    engine.load(unit, np.random.default_rng(0))
+    return engine
+
+
+def test_model_engine_energy_decays_toward_floor():
+    engine = make_model(energy0=1000.0, floor=3.0, decay_ops=1e8)
+    e_start = engine.energy
+    statuses = [engine.advance(1e8) for _ in range(30)]
+    assert statuses[-1].energy < e_start
+    assert statuses[-1].energy >= 3.0 * 0.9  # never meaningfully below floor
+    # Monotone best-energy bookkeeping.
+    bests = [s.best_energy for s in statuses]
+    assert all(b2 <= b1 + 1e-9 for b1, b2 in zip(bests, bests[1:]))
+
+
+def test_model_engine_never_finds_at_positive_floor():
+    engine = make_model(floor=3.0, decay_ops=1e6)
+    for _ in range(50):
+        status = engine.advance(1e9)
+        assert status.found is None
+
+
+def test_model_engine_done_at_budget():
+    engine = ModelEngine()
+    unit = make_unit("u", 43, 5, ops_budget=5e6)
+    engine.load(unit, np.random.default_rng(0))
+    assert not engine.advance(4e6).done
+    assert engine.advance(2e6).done
+
+
+def test_model_engine_resume_carries_ops():
+    engine = ModelEngine(decay_ops=1e8)
+    unit = make_unit("u", 43, 5, ops_budget=1e12)
+    unit["resume"] = {"ops": 5e8}
+    engine.load(unit, np.random.default_rng(0))
+    assert engine.total_ops == 5e8
+    # Resumed engines start further down the decay curve.
+    fresh = make_model(decay_ops=1e8)
+    assert engine.energy < fresh.energy
+
+
+def test_model_engine_progress_serializable():
+    import json
+
+    engine = make_model()
+    engine.advance(1e7)
+    json.dumps(engine.progress())  # must be JSON-safe for the wire
+
+
+def test_model_engine_ops_accounting_matches_budget_given():
+    engine = make_model()
+    status = engine.advance(123456.0)
+    assert status.ops_done == 123456.0
+    assert engine.advance(-5).ops_done == 0.0  # negative budgets clamp
+
+
+# ---------------------------------------------------------------- RealEngine
+
+
+def test_real_engine_runs_and_meters():
+    engine = RealEngine(max_steps_per_advance=50)
+    unit = make_unit("u", 8, 3, ops_budget=1e12)
+    engine.load(unit, np.random.default_rng(1))
+    status = engine.advance(1e6)
+    assert status.ops_done > 0
+    assert status.energy >= 0
+
+
+def test_real_engine_reports_found_exactly_once():
+    engine = RealEngine(max_steps_per_advance=5000)
+    unit = make_unit("u", 5, 3, ops_budget=1e12)
+    engine.load(unit, np.random.default_rng(2))
+    found_reports = 0
+    for _ in range(20):
+        status = engine.advance(1e6)
+        if status.found is not None:
+            found_reports += 1
+        if status.done:
+            break
+    assert found_reports == 1
+
+
+def test_real_engine_done_when_found():
+    engine = RealEngine(max_steps_per_advance=5000)
+    unit = make_unit("u", 5, 3, ops_budget=1e18)
+    engine.load(unit, np.random.default_rng(3))
+    for _ in range(50):
+        status = engine.advance(1e7)
+        if status.done:
+            break
+    assert status.done
+    assert status.best_energy == 0
+
+
+def test_real_engine_respects_ops_budget_cutoff():
+    engine = RealEngine(max_steps_per_advance=100000)
+    unit = make_unit("u", 6, 3, ops_budget=1e4)  # tiny budget, unsolvable
+    engine.load(unit, np.random.default_rng(4))
+    status = engine.advance(1e5)
+    assert status.done  # budget exhausted counts as done
+    assert not status.found
+
+
+def test_real_engine_resume_snapshot():
+    engine = RealEngine(max_steps_per_advance=100)
+    unit = make_unit("u", 8, 3, ops_budget=1e12)
+    engine.load(unit, np.random.default_rng(5))
+    engine.advance(1e6)
+    snap = engine.progress()
+
+    resumed = RealEngine(max_steps_per_advance=100)
+    unit2 = dict(unit)
+    unit2["resume"] = snap
+    resumed.load(unit2, np.random.default_rng(99))
+    assert resumed.search.best_energy <= snap["best_energy"]
+
+
+def test_real_engine_rejects_invalid_unit():
+    engine = RealEngine()
+    with pytest.raises(ValueError):
+        engine.load({"id": "x"}, np.random.default_rng(0))
+
+
+def test_real_engine_apply_params_reheats_annealer():
+    engine = RealEngine(max_steps_per_advance=200)
+    unit = make_unit("u", 6, 3, heuristic="anneal", ops_budget=1e12)
+    engine.load(unit, np.random.default_rng(6))
+    engine.advance(1e6)
+    engine.search.temperature = engine.search.t_min  # fully cooled
+    assert engine.apply_params({"reheat": True})
+    assert engine.search.temperature == engine.search.t_start
+
+
+def test_real_engine_apply_params_noop_for_tabu():
+    engine = RealEngine(max_steps_per_advance=50)
+    engine.load(make_unit("u", 6, 3, heuristic="tabu", ops_budget=1e12),
+                np.random.default_rng(7))
+    assert not engine.apply_params({"reheat": True})
+    assert not engine.apply_params({"unknown": 1})

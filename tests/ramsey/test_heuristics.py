@@ -1,0 +1,267 @@
+"""Tests for the Ramsey search heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.ramsey.graphs import Coloring, OpCounter, count_mono_cliques
+from repro.ramsey.heuristics import (
+    Annealing,
+    SearchSnapshot,
+    TabuSearch,
+    make_search,
+)
+from repro.ramsey.verify import is_counter_example
+
+
+def test_tabu_finds_r3_counter_example_on_k5():
+    """Counter-example for R(3,3) > 5 exists (the pentagon); local search
+    must find it quickly."""
+    rng = np.random.default_rng(0)
+    s = TabuSearch(5, 3, rng)
+    s.run(max_steps=2000)
+    assert s.found
+    best = Coloring.from_hex(5, s.snapshot().best_coloring)
+    assert is_counter_example(best, 3)
+
+
+def test_annealing_finds_r3_counter_example_on_k5():
+    rng = np.random.default_rng(1)
+    s = Annealing(5, 3, rng)
+    s.run(max_steps=5000)
+    assert s.found
+
+
+def test_tabu_finds_r4_counter_example_on_k10():
+    """K_10 is comfortably below R(4,4)=18; tabu should zero the energy."""
+    rng = np.random.default_rng(2)
+    s = TabuSearch(10, 4, rng)
+    s.run(max_steps=5000)
+    assert s.found
+    best = Coloring.from_hex(10, s.snapshot().best_coloring)
+    assert count_mono_cliques(best, 4) == 0
+
+
+def test_energy_incremental_accounting_is_exact():
+    """After any number of steps, the tracked energy equals a recount."""
+    rng = np.random.default_rng(3)
+    s = TabuSearch(8, 3, rng)
+    for _ in range(50):
+        s.step()
+    assert s.energy == count_mono_cliques(s.coloring, 3)
+    assert s.best_energy == count_mono_cliques(s.best_coloring, 3)
+
+
+def test_annealing_energy_accounting_is_exact():
+    rng = np.random.default_rng(4)
+    s = Annealing(8, 3, rng)
+    for _ in range(200):
+        s.step()
+    assert s.energy == count_mono_cliques(s.coloring, 3)
+
+
+def test_best_energy_monotonically_nonincreasing():
+    rng = np.random.default_rng(5)
+    s = TabuSearch(9, 4, rng)
+    history = []
+    for _ in range(300):
+        s.step()
+        history.append(s.best_energy)
+    assert all(b >= a for a, b in zip(history[1:], history))
+
+
+def test_k6_r3_never_succeeds():
+    """R(3,3)=6: no coloring of K_6 avoids a mono triangle; energy stays
+    positive no matter how long we search."""
+    rng = np.random.default_rng(6)
+    s = TabuSearch(6, 3, rng)
+    s.run(max_steps=1500)
+    assert not s.found
+    assert s.best_energy >= 1
+
+
+def test_ops_metered_during_search():
+    ops = OpCounter()
+    rng = np.random.default_rng(7)
+    s = TabuSearch(8, 3, rng, ops=ops)
+    s.run(max_steps=20)
+    assert ops.ops > 0
+
+
+def test_snapshot_roundtrip_and_restore():
+    rng = np.random.default_rng(8)
+    s = TabuSearch(8, 3, rng)
+    s.run(max_steps=100)
+    snap = s.snapshot()
+    d = snap.to_dict()
+    restored_snap = SearchSnapshot.from_dict(d)
+    assert restored_snap == snap
+
+    fresh = TabuSearch(8, 3, np.random.default_rng(99))
+    fresh.restore(restored_snap)
+    assert fresh.energy == count_mono_cliques(fresh.coloring, 3)
+    assert fresh.best_energy <= snap.best_energy  # recount can't be worse
+    assert fresh.steps == snap.steps
+
+
+def test_restore_rejects_size_mismatch():
+    rng = np.random.default_rng(9)
+    s = TabuSearch(8, 3, rng)
+    snap = s.snapshot()
+    other = TabuSearch(9, 3, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        other.restore(snap)
+
+
+def test_restore_recounts_untrusted_energy():
+    """A tampered snapshot energy is corrected on restore (snapshots cross
+    the wire — trust the coloring, recount the numbers)."""
+    rng = np.random.default_rng(10)
+    s = TabuSearch(7, 3, rng)
+    snap = s.snapshot()
+    lied = SearchSnapshot.from_dict({**snap.to_dict(), "energy": 0, "best_energy": 0})
+    fresh = TabuSearch(7, 3, np.random.default_rng(0))
+    fresh.restore(lied)
+    assert fresh.energy == count_mono_cliques(fresh.coloring, 3)
+
+
+def test_perturb_restart_changes_state_but_keeps_best():
+    rng = np.random.default_rng(11)
+    s = TabuSearch(8, 3, rng, stall_limit=5)
+    s.run(max_steps=60)
+    best_before = s.best_energy
+    s._perturb()
+    assert s.best_energy <= best_before
+    assert s.restarts >= 1
+
+
+def test_make_search_factory():
+    rng = np.random.default_rng(12)
+    assert isinstance(make_search("tabu", 6, 3, rng), TabuSearch)
+    assert isinstance(make_search("anneal", 6, 3, rng), Annealing)
+    with pytest.raises(ValueError):
+        make_search("quantum", 6, 3, rng)
+
+
+def test_search_validates_sizes():
+    rng = np.random.default_rng(13)
+    with pytest.raises(ValueError):
+        TabuSearch(5, 2, rng)
+    with pytest.raises(ValueError):
+        TabuSearch(3, 4, rng)
+
+
+def test_deterministic_given_seed():
+    a = TabuSearch(7, 3, np.random.default_rng(42))
+    b = TabuSearch(7, 3, np.random.default_rng(42))
+    a.run(max_steps=100)
+    b.run(max_steps=100)
+    assert a.snapshot() == b.snapshot()
+
+
+def test_run_with_relaxed_target_stops_early():
+    rng = np.random.default_rng(14)
+    s = TabuSearch(6, 3, rng)
+    initial = s.best_energy
+    taken = s.run(max_steps=10_000, target=initial)  # already satisfied
+    assert taken == 0
+
+
+def test_annealing_temperature_floor_and_cooling():
+    rng = np.random.default_rng(15)
+    s = Annealing(6, 3, rng, t_start=1.0, t_min=0.1, cooling=0.5,
+                  stall_limit=10**9)
+    temps = []
+    for _ in range(10):
+        s.step()
+        temps.append(s.temperature)
+    assert temps[0] == pytest.approx(0.5)
+    assert temps[-1] == pytest.approx(0.1)  # clamped at the floor
+    assert all(t2 <= t1 for t1, t2 in zip(temps, temps[1:]))
+
+
+def test_annealing_reheats_on_stall():
+    rng = np.random.default_rng(16)
+    s = Annealing(6, 3, rng, t_start=2.0, t_min=0.01, cooling=0.5,
+                  stall_limit=30)
+    s.run(max_steps=500)
+    # With such a tiny stall limit on an unsolvable instance, at least one
+    # reheat/perturbation must have occurred.
+    assert s.restarts >= 1
+
+
+# ---------------------------------------------------------------- minconflicts
+
+
+def test_minconflicts_finds_r3_counter_example_on_k5():
+    from repro.ramsey.heuristics import MinConflicts
+
+    rng = np.random.default_rng(20)
+    s = MinConflicts(5, 3, rng)
+    s.run(max_steps=3000)
+    assert s.found
+    best = Coloring.from_hex(5, s.snapshot().best_coloring)
+    assert is_counter_example(best, 3)
+
+
+def test_minconflicts_finds_r4_counter_example_on_k10():
+    from repro.ramsey.heuristics import MinConflicts
+
+    rng = np.random.default_rng(21)
+    s = MinConflicts(10, 4, rng)
+    s.run(max_steps=8000)
+    assert s.found
+
+
+def test_minconflicts_energy_accounting_exact():
+    from repro.ramsey.heuristics import MinConflicts
+
+    rng = np.random.default_rng(22)
+    s = MinConflicts(8, 3, rng)
+    for _ in range(120):
+        s.step()
+    assert s.energy == count_mono_cliques(s.coloring, 3)
+
+
+def test_minconflicts_step_noop_at_solution():
+    from repro.ramsey.heuristics import MinConflicts
+
+    rng = np.random.default_rng(23)
+    s = MinConflicts(5, 3, rng)
+    s.run(max_steps=3000)
+    # Once solved (energy 0), further steps change nothing.
+    e = s.energy
+    coloring = s.coloring.copy()
+    if e == 0:
+        s.step()
+        assert s.coloring == coloring
+
+
+def test_minconflicts_in_factory_and_units():
+    from repro.ramsey.heuristics import MinConflicts
+    from repro.ramsey.tasks import make_unit, run_unit
+
+    rng = np.random.default_rng(24)
+    assert isinstance(make_search("minconflict", 6, 3, rng), MinConflicts)
+    result = run_unit(make_unit("u", 5, 3, heuristic="minconflict", seed=1),
+                      max_steps=3000)
+    assert result["found"]
+
+
+def test_find_any_mono_clique_agrees_with_slow_search():
+    from repro.ramsey.graphs import find_any_mono_clique
+    from repro.ramsey.verify import find_mono_clique
+    from itertools import combinations
+    from repro.ramsey.graphs import RED, BLUE
+
+    rng = np.random.default_rng(25)
+    for _ in range(25):
+        k = int(rng.integers(4, 9))
+        n = int(rng.integers(3, 5))
+        c = Coloring.random(k, rng)
+        fast = find_any_mono_clique(c, n, start=int(rng.integers(k)))
+        slow = find_mono_clique(c, n)
+        assert (fast is None) == (slow is None)
+        if fast is not None:
+            colors = {c.color(u, v) for u, v in combinations(fast, 2)}
+            assert len(colors) == 1  # genuinely monochromatic
+            assert len(fast) == n

@@ -1,0 +1,132 @@
+"""The paper's three classes of program state, demonstrated (§3.1.2).
+
+* **local** state dies with the process (a client's in-progress search);
+* **volatile-but-replicated** state survives individual process loss via
+  the Gossip service (the best-so-far record);
+* **persistent** state survives the loss of *every* active process via
+  the persistent state manager (checkpointed counter-examples).
+"""
+
+import pytest
+
+from repro.core.gossip import ComparatorRegistry, GossipServer
+from repro.core.services import PersistentStateServer, QueueWorkSource, SchedulerServer
+from repro.core.simdriver import SimDriver
+from repro.ramsey.client import RAMSEY_BEST, RamseyClient, RealEngine, ramsey_comparator
+from repro.ramsey.graphs import Coloring
+from repro.ramsey.tasks import unit_generator
+from repro.ramsey.verify import counter_example_validator, is_counter_example
+from repro.simgrid.engine import Environment
+from repro.simgrid.host import Host, HostSpec
+from repro.simgrid.load import ConstantLoad
+from repro.simgrid.network import Network
+from repro.simgrid.rand import RngStreams
+
+
+@pytest.fixture(scope="module")
+def world():
+    env = Environment()
+    streams = RngStreams(seed=77)
+    net = Network(env, streams, jitter=0.0)
+    hosts = {}
+
+    def add(name, speed=2e6):
+        h = Host(env, HostSpec(name=name, speed=speed,
+                               load_model=ConstantLoad(1.0)), streams)
+        net.add_host(h)
+        hosts[name] = h
+        return h
+
+    comparators = ComparatorRegistry()
+    comparators.register(RAMSEY_BEST, ramsey_comparator)
+    gossip = GossipServer("gos", ["gos/gossip"], comparators=comparators,
+                          poll_period=5, sync_period=8)
+    SimDriver(env, net, add("gos"), "gossip", gossip, streams).start()
+
+    work = QueueWorkSource(generator=unit_generator(5, 3, ops_budget=1e8))
+    sched = SchedulerServer("sched", work, report_period=15)
+    SimDriver(env, net, add("sched"), "sched", sched, streams).start()
+
+    pst = PersistentStateServer("pst")
+    pst.add_validator(counter_example_validator)
+    SimDriver(env, net, add("pst"), "pst", pst, streams).start()
+
+    clients = []
+    for i in range(2):
+        client = RamseyClient(
+            f"cli{i}", schedulers=["sched/sched"],
+            engine=RealEngine(max_steps_per_advance=200), infra="unix",
+            persistent="pst/pst", gossip_well_known=["gos/gossip"],
+            work_period=5, report_period=15, seed=i)
+        SimDriver(env, net, add(f"cli{i}"), "cli", client, streams).start()
+        clients.append(client)
+
+    # Run until a counter-example has been found and checkpointed.
+    env.run(until=600)
+    assert pst.stats.stores >= 1, "scenario precondition: witness checkpointed"
+    return env, net, hosts, gossip, pst, clients
+
+
+def test_local_state_dies_with_the_process(world):
+    env, net, hosts, gossip, pst, clients = world
+    victim = clients[0]
+    engine_before = victim.engine.search
+    hosts["cli0"].go_down("reclaimed")
+    env.run(until=env.now + 30)
+    # The search object (local state) is unreachable/not resumed anywhere:
+    # nothing in the system references the dead client's in-flight search.
+    assert not hosts["cli0"].up
+    assert engine_before is victim.engine.search  # frozen, no one resumes it
+
+
+def test_replicated_state_survives_single_process_loss(world):
+    env, net, hosts, gossip, pst, clients = world
+    # cli0 is dead (previous test); the best-so-far record lives on in the
+    # gossip pool and the surviving client.
+    rec = gossip.freshest.get(RAMSEY_BEST)
+    assert rec is not None
+    assert rec.data["energy"] == 0
+    survivor = clients[1].store.get_data(RAMSEY_BEST)
+    assert survivor is not None and survivor["energy"] == 0
+
+
+def test_persistent_state_survives_total_application_loss(world):
+    env, net, hosts, gossip, pst, clients = world
+    # Kill EVERYTHING except the persistent manager: all clients, the
+    # scheduler, the gossip pool.
+    for name in ("cli0", "cli1", "sched", "gos"):
+        if hosts[name].up:
+            hosts[name].go_down("catastrophe")
+    env.run(until=env.now + 60)
+    keys = [k for k in pst.backend.keys() if k.startswith("ramsey")]
+    assert keys, "checkpoint must outlive every active process"
+    obj = pst.backend.get(keys[0])
+    coloring = Coloring.from_hex(obj["k"], obj["coloring"])
+    assert is_counter_example(coloring, obj["n"])
+
+
+def test_restarted_application_reuses_persistent_state(world):
+    env, net, hosts, gossip, pst, clients = world
+    # A fresh client generation can fetch the checkpoint back.
+    from repro.core.linguafranca.endpoint import SimEndpoint
+    from repro.core.linguafranca.messages import Message
+    from repro.simgrid.network import Address
+
+    hosts["cli1"].go_up()
+    probe = SimEndpoint(env, net, Address("cli1", "probe"))
+
+    def fetch(env):
+        reply, _ = yield from probe.request(
+            "pst/pst", Message(mtype="PST_LIST", sender="",
+                               body={"prefix": "ramsey"}), timeout=10)
+        key = reply.body["keys"][0]
+        reply, _ = yield from probe.request(
+            "pst/pst", Message(mtype="PST_FETCH", sender="",
+                               body={"key": key}), timeout=10)
+        return reply.body["object"]
+
+    proc = env.process(fetch(env))
+    env.run(until=env.now + 60)
+    obj = proc.value
+    assert is_counter_example(Coloring.from_hex(obj["k"], obj["coloring"]),
+                              obj["n"])

@@ -1,0 +1,80 @@
+"""Tests for work units."""
+
+import pytest
+
+from repro.core.services.scheduler import QueueWorkSource
+from repro.ramsey.graphs import Coloring
+from repro.ramsey.tasks import make_unit, run_unit, unit_generator, validate_unit
+from repro.ramsey.verify import is_counter_example
+
+
+def test_make_and_validate_unit():
+    unit = make_unit("u1", k=10, n=4, heuristic="tabu", seed=3)
+    validate_unit(unit)
+    assert unit["id"] == "u1"
+    assert unit["ops_budget"] > 0
+
+
+def test_make_unit_rejects_unknown_heuristic():
+    with pytest.raises(ValueError):
+        make_unit("u1", 10, 4, heuristic="bogosort")
+
+
+def test_validate_rejects_missing_fields_and_bad_sizes():
+    with pytest.raises(ValueError):
+        validate_unit({"id": "x"})
+    bad = make_unit("u", 10, 4)
+    bad["k"] = 3
+    with pytest.raises(ValueError):
+        validate_unit(bad)
+
+
+def test_unit_generator_cycles_heuristics_and_seeds():
+    gen = unit_generator(k=43, n=5, base_seed=100)
+    units = [gen(i) for i in range(1, 5)]
+    assert [u["heuristic"] for u in units] == [
+        "anneal", "minconflict", "tabu", "anneal"]
+    assert len({u["seed"] for u in units}) == 4
+    assert all(u["k"] == 43 and u["n"] == 5 for u in units)
+    for u in units:
+        validate_unit(u)
+
+
+def test_unit_generator_feeds_work_source():
+    source = QueueWorkSource(generator=unit_generator(10, 4))
+    a, b = source.next_unit(), source.next_unit()
+    assert a["id"] != b["id"]
+
+
+def test_run_unit_finds_small_counter_example():
+    unit = make_unit("u", k=5, n=3, heuristic="tabu", seed=0)
+    result = run_unit(unit, max_steps=3000)
+    assert result["found"]
+    coloring = Coloring.from_hex(5, result["coloring"])
+    assert is_counter_example(coloring, 3)
+    assert result["ops"] > 0
+
+
+def test_run_unit_with_resume_snapshot():
+    unit = make_unit("u", k=8, n=3, heuristic="tabu", seed=1)
+    partial = run_unit(unit, max_steps=30)
+    from repro.ramsey.heuristics import TabuSearch
+    import numpy as np
+
+    # Fabricate a resume from the partial result's best coloring.
+    resumed_unit = dict(unit)
+    resumed_unit["resume"] = {
+        "k": 8, "n": 3,
+        "coloring": partial["coloring"],
+        "energy": 0, "best_coloring": partial["coloring"],
+        "best_energy": 0, "steps": partial["steps"],
+    }
+    result = run_unit(resumed_unit, max_steps=100)
+    assert result["best_energy"] <= partial["best_energy"]
+
+
+def test_run_unit_ignores_corrupt_resume():
+    unit = make_unit("u", k=6, n=3, heuristic="anneal", seed=2)
+    unit["resume"] = {"coloring": "zz", "garbage": True}
+    result = run_unit(unit, max_steps=50)  # must not raise
+    assert result["steps"] == 50 or result["found"]

@@ -1,0 +1,119 @@
+"""Tests for Paley constructions and the independent verifier."""
+
+import numpy as np
+import pytest
+
+from repro.core.services.persistent import ValidationError
+from repro.ramsey.graphs import Coloring, count_mono_cliques
+from repro.ramsey.known import (
+    KNOWN_RAMSEY,
+    PALEY_WITNESSES,
+    SEARCH_TARGETS,
+    paley_coloring,
+)
+from repro.ramsey.verify import (
+    counter_example_validator,
+    find_mono_clique,
+    is_counter_example,
+    verify_counter_example_object,
+)
+
+
+def test_paley_5_witnesses_r3():
+    c = paley_coloring(5)
+    assert is_counter_example(c, 3)
+    assert count_mono_cliques(c, 3) == 0
+
+
+def test_paley_13_witnesses_r4():
+    c = paley_coloring(13)
+    assert count_mono_cliques(c, 4) == 0
+    assert is_counter_example(c, 4)
+
+
+def test_paley_17_witnesses_r4_tight():
+    """Paley(17) proves R(4,4) > 17 — tight, since R(4,4) = 18."""
+    c = paley_coloring(17)
+    assert count_mono_cliques(c, 4) == 0
+
+
+def test_paley_17_is_not_a_k5_free_but_has_no_mono_k4():
+    # Sanity: it *does* contain mono triangles (3 < 4).
+    c = paley_coloring(17)
+    assert count_mono_cliques(c, 3) > 0
+
+
+def test_paley_37_witnesses_r5():
+    c = paley_coloring(37)
+    assert count_mono_cliques(c, 5) == 0
+
+
+def test_paley_rejects_bad_q():
+    with pytest.raises(ValueError):
+        paley_coloring(7)  # 7 % 4 == 3
+    with pytest.raises(ValueError):
+        paley_coloring(9)  # not prime
+    with pytest.raises(ValueError):
+        paley_coloring(4)
+
+
+def test_paley_is_self_complementary_in_counts():
+    """Red and blue mono-clique counts are equal for Paley colorings."""
+    from repro.ramsey.graphs import _count_cliques
+
+    c = paley_coloring(13)
+    red = _count_cliques(c.red, 13, 3, None)
+    blue = _count_cliques([c.blue_mask(v) for v in range(13)], 13, 3, None)
+    assert red == blue
+
+
+def test_find_mono_clique_returns_witness():
+    k = 6  # R(3,3)=6: every 2-coloring of K_6 has a mono triangle
+    rng = np.random.default_rng(0)
+    for _ in range(5):
+        c = Coloring.random(k, rng)
+        witness = find_mono_clique(c, 3)
+        assert witness is not None
+        colors = {c.color(u, v) for i, u in enumerate(witness) for v in witness[i + 1:]}
+        assert len(colors) == 1  # genuinely monochromatic
+
+
+def test_known_table_consistency():
+    assert KNOWN_RAMSEY[3] == (6, 6)
+    assert KNOWN_RAMSEY[4] == (18, 18)
+    assert KNOWN_RAMSEY[5][1] == 43
+    assert SEARCH_TARGETS[5] == 43
+
+
+def test_verify_object_accepts_valid():
+    c = paley_coloring(17)
+    obj = {"k": 17, "n": 4, "coloring": c.to_hex()}
+    decoded = verify_counter_example_object(obj)
+    assert decoded == c
+
+
+def test_verify_object_rejects_non_counter_example():
+    rng = np.random.default_rng(1)
+    c = Coloring.random(6, rng)  # K_6 always has a mono triangle
+    obj = {"k": 6, "n": 3, "coloring": c.to_hex()}
+    with pytest.raises(ValidationError, match="monochromatic"):
+        verify_counter_example_object(obj)
+
+
+def test_verify_object_rejects_malformed():
+    with pytest.raises(ValidationError):
+        verify_counter_example_object({"k": 5})
+    with pytest.raises(ValidationError):
+        verify_counter_example_object({"k": 5, "n": 3, "coloring": "zz-not-hex"})
+    with pytest.raises(ValidationError):
+        verify_counter_example_object({"k": 3, "n": 5, "coloring": ""})
+
+
+def test_validator_hook_scopes_to_ramsey_keys():
+    # Non-ramsey keys pass untouched.
+    counter_example_validator("other/key", {"anything": 1})
+    # Ramsey keys are checked.
+    c = paley_coloring(5)
+    counter_example_validator("ramsey/r3", {"k": 5, "n": 3, "coloring": c.to_hex()})
+    with pytest.raises(ValidationError):
+        counter_example_validator("ramsey/r3", {"k": 5, "n": 3, "coloring": ""})

@@ -1,0 +1,330 @@
+"""Unit tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.simgrid.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 5
+    assert env.now == 5
+
+
+def test_zero_delay_timeout_runs_same_time():
+    env = Environment()
+    seen = []
+
+    def proc(env):
+        yield env.timeout(0)
+        seen.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert seen == [0.0]
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_fifo_order_at_same_time():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1)
+        order.append(name)
+
+    for name in "abc":
+        env.process(proc(env, name))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_process_return_value_propagates():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(3)
+        return 42
+
+    def outer(env):
+        value = yield env.process(inner(env))
+        return value + 1
+
+    p = env.process(outer(env))
+    env.run()
+    assert p.value == 43
+    assert env.now == 3
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def inner(env):
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    def outer(env):
+        try:
+            yield env.process(inner(env))
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    p = env.process(outer(env))
+    env.run()
+    assert p.value == "caught boom"
+
+
+def test_unhandled_process_exception_raises_from_run():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+        raise RuntimeError("unhandled")
+
+    env.process(proc(env))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        env.run()
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as i:
+            return ("interrupted", i.cause, env.now)
+
+    def attacker(env, target):
+        yield env.timeout(7)
+        target.interrupt("reclaimed")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert v.value == ("interrupted", "reclaimed", 7)
+
+
+def test_interrupt_terminated_process_is_error():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_keep_waiting():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(10)
+        except Interrupt:
+            pass
+        yield env.timeout(10)
+        return env.now
+
+    def attacker(env, target):
+        yield env.timeout(4)
+        target.interrupt()
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert v.value == 14
+
+
+def test_any_of_first_wins():
+    env = Environment()
+
+    def proc(env):
+        fast = env.timeout(1, value="fast")
+        slow = env.timeout(5, value="slow")
+        result = yield AnyOf(env, [fast, slow])
+        return (list(result.values()), env.now)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (["fast"], 1)
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def proc(env):
+        a = env.timeout(2, value="a")
+        b = env.timeout(5, value="b")
+        result = yield AllOf(env, [a, b])
+        return (sorted(result.values()), env.now)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (["a", "b"], 5)
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def ticker(env):
+        while True:
+            yield env.timeout(10)
+
+    env.process(ticker(env))
+    env.run(until=35)
+    assert env.now == 35
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3)
+        return "done"
+
+    p = env.process(proc(env))
+    result = env.run(until=p)
+    assert result == "done"
+    assert env.now == 3
+
+
+def test_run_until_past_time_is_error():
+    env = Environment(initial_time=10)
+    with pytest.raises(SimulationError):
+        env.run(until=5)
+
+
+def test_event_succeed_only_once():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_value_before_trigger_is_error():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    p = env.process(bad(env))
+    with pytest.raises(SimulationError):
+        env.run()
+    assert not p.ok
+
+
+def test_process_cannot_interrupt_itself():
+    env = Environment()
+
+    def selfharm(env, box):
+        box.append(env.active_process)
+        with pytest.raises(SimulationError):
+            box[0].interrupt()
+        yield env.timeout(0)
+
+    box = []
+    env.process(selfharm(env, box))
+    env.run()
+
+
+def test_waiting_on_already_processed_event():
+    env = Environment()
+
+    def proc(env):
+        t = env.timeout(1, value="x")
+        yield env.timeout(5)
+        # t processed long ago; yielding it must resume immediately.
+        v = yield t
+        return (v, env.now)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == ("x", 5)
+
+
+def test_initial_time():
+    env = Environment(initial_time=1000.0)
+    assert env.now == 1000.0
+
+    def proc(env):
+        yield env.timeout(5)
+
+    env.process(proc(env))
+    env.run()
+    assert env.now == 1005.0
+
+
+def test_peek_and_step():
+    env = Environment()
+    env.timeout(4)
+    assert env.peek() == 4
+    env.step()
+    assert env.now == 4
+    assert env.peek() == float("inf")
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_deterministic_replay():
+    """Two identical simulations produce identical event traces."""
+
+    def build(env, trace):
+        def worker(env, name, delays):
+            for d in delays:
+                yield env.timeout(d)
+                trace.append((env.now, name))
+
+        env.process(worker(env, "w1", [1, 2, 3]))
+        env.process(worker(env, "w2", [2, 2, 2]))
+        env.process(worker(env, "w3", [3, 1, 2]))
+
+    t1, t2 = [], []
+    for trace in (t1, t2):
+        env = Environment()
+        build(env, trace)
+        env.run()
+    assert t1 == t2
+
+
+def test_process_is_alive():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(10)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive

@@ -1,0 +1,191 @@
+"""Edge-case and failure-propagation tests for the simulation engine."""
+
+import pytest
+
+from repro.simgrid.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    PRIORITY_URGENT,
+    SimulationError,
+)
+
+
+def test_failed_event_propagates_into_anyof():
+    env = Environment()
+
+    def proc(env):
+        ev = env.event()
+
+        def fail_later(env, ev):
+            yield env.timeout(1)
+            ev.fail(ValueError("boom"))
+
+        env.process(fail_later(env, ev))
+        try:
+            yield AnyOf(env, [ev, env.timeout(100)])
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "caught boom"
+
+
+def test_failed_event_propagates_into_allof():
+    env = Environment()
+
+    def proc(env):
+        ok = env.timeout(1)
+        bad = env.event()
+
+        def fail_later(env, ev):
+            yield env.timeout(2)
+            ev.fail(RuntimeError("nope"))
+
+        env.process(fail_later(env, bad))
+        try:
+            yield AllOf(env, [ok, bad])
+        except RuntimeError:
+            return "failed as expected"
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "failed as expected"
+
+
+def test_unwaited_failed_event_raises_from_run():
+    env = Environment()
+    ev = env.event()
+    ev.fail(KeyError("unobserved"))
+    with pytest.raises(KeyError):
+        env.run()
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_urgent_priority_processed_first():
+    env = Environment()
+    order = []
+
+    normal = env.event()
+    urgent = env.event()
+    normal.callbacks.append(lambda e: order.append("normal"))
+    urgent.callbacks.append(lambda e: order.append("urgent"))
+    normal.succeed()
+    urgent.succeed(priority=PRIORITY_URGENT)
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_event_trigger_chaining():
+    env = Environment()
+    src = env.event()
+    dst = env.event()
+    src.succeed("payload")
+    env.run()
+    dst.trigger(src)
+    assert dst.triggered
+    env.run()
+    assert dst.value == "payload"
+
+
+def test_anyof_empty_event_list_triggers_immediately():
+    env = Environment()
+
+    def proc(env):
+        result = yield AnyOf(env, [])
+        return result
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == {}
+
+
+def test_allof_empty_event_list_triggers_immediately():
+    env = Environment()
+
+    def proc(env):
+        result = yield AllOf(env, [])
+        return result
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == {}
+
+
+def test_condition_with_already_processed_events():
+    env = Environment()
+    t = env.timeout(1, value="early")
+
+    def proc(env):
+        yield env.timeout(5)
+        result = yield AllOf(env, [t])
+        return list(result.values())
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == ["early"]
+
+
+def test_nested_process_chains():
+    env = Environment()
+
+    def leaf(env, n):
+        yield env.timeout(n)
+        return n
+
+    def mid(env):
+        a = yield env.process(leaf(env, 2))
+        b = yield env.process(leaf(env, 3))
+        return a + b
+
+    def top(env):
+        total = yield env.process(mid(env))
+        return total * 10
+
+    p = env.process(top(env))
+    env.run()
+    assert p.value == 50
+    assert env.now == 5
+
+
+def test_interrupt_during_condition_wait():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield AllOf(env, [env.timeout(100), env.timeout(200)])
+        except BaseException as exc:
+            return type(exc).__name__
+
+    def attacker(env, target):
+        yield env.timeout(5)
+        target.interrupt()
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run(until=300)
+    assert v.value == "Interrupt"
+
+
+def test_run_until_triggered_event_already_processed():
+    env = Environment()
+    t = env.timeout(1, value="x")
+    env.run(until=10)
+    assert env.run(until=t) == "x"
+
+
+def test_many_simultaneous_events_deterministic():
+    env = Environment()
+    order = []
+    for i in range(100):
+        ev = env.timeout(5, value=i)
+        ev.callbacks.append(lambda e: order.append(e.value))
+    env.run()
+    assert order == list(range(100))
