@@ -5,84 +5,62 @@ many discrete events per second the substrate processes, and what one
 EveryWare message round trip costs end-to-end (encode, route, deliver,
 decode, reply). These bound how large an SC98-style scenario a given
 machine can replay.
+
+The workload sizes honor ``REPRO_BENCH_EVENTS`` / ``REPRO_BENCH_ROUNDTRIPS``
+so the CI perf smoke can run reduced-N. With ``REPRO_PERF_STRICT=1`` each
+bench also fails if its throughput regresses more than 30% below the
+committed ``BENCH_engine.json`` baseline (rates are size-independent, so
+reduced-N runs compare against the same baseline).
 """
 
-from repro.core.linguafranca.endpoint import SimEndpoint
-from repro.core.linguafranca.messages import Message
-from repro.simgrid.engine import Environment
-from repro.simgrid.host import Host, HostSpec
-from repro.simgrid.network import Address, Network
-from repro.simgrid.rand import RngStreams
+import os
 
+import perfjson
 from conftest import save_artifact
+from workloads import (
+    N_ROUNDTRIPS,
+    N_TIMEOUT_EVENTS,
+    run_message_pingpong,
+    run_timeout_storm,
+)
 
-N_TIMEOUT_EVENTS = 200_000
-N_ROUNDTRIPS = 5_000
-
-
-def run_timeout_storm() -> float:
-    env = Environment()
-
-    def ticker(env, period):
-        while True:
-            yield env.timeout(period)
-
-    for i in range(20):
-        env.process(ticker(env, 1.0 + i * 0.01))
-    env.run(until=N_TIMEOUT_EVENTS / 20)
-    return env.now
+N_EVENTS = int(os.environ.get("REPRO_BENCH_EVENTS", N_TIMEOUT_EVENTS))
+N_CYCLES = int(os.environ.get("REPRO_BENCH_ROUNDTRIPS", N_ROUNDTRIPS))
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
+STRICT = os.environ.get("REPRO_PERF_STRICT") == "1"
 
 
-def run_message_pingpong() -> int:
-    env = Environment()
-    streams = RngStreams(seed=1)
-    net = Network(env, streams, jitter=0.0)
-    for name in ("a", "b"):
-        net.add_host(Host(env, HostSpec(name=name), streams))
-    server = SimEndpoint(env, net, Address("b", "svc"))
-    client = SimEndpoint(env, net, Address("a", "cli"))
-
-    def server_proc(env):
-        while True:
-            msg = yield from server.recv(None)
-            server.send(msg.sender, msg.reply("PONG", sender=server.contact))
-
-    def client_proc(env):
-        done = 0
-        for i in range(N_ROUNDTRIPS):
-            reply, _ = yield from client.request(
-                "b/svc", Message(mtype="PING", sender="", body={"i": i}),
-                timeout=10)
-            if reply is not None:
-                done += 1
-        return done
-
-    env.process(server_proc(env))
-    proc = env.process(client_proc(env))
-    env.run(until=proc)
-    return proc.value
+def _maybe_enforce_baseline(workload: str, rate: float) -> None:
+    if not STRICT:
+        return
+    problem = perfjson.check_regression(perfjson.ENGINE_JSON, workload, rate)
+    assert problem is None, problem
 
 
 def test_engine_event_throughput(benchmark, artifact_dir):
-    elapsed = benchmark.pedantic(run_timeout_storm, rounds=1, iterations=1)
-    events_per_sec = N_TIMEOUT_EVENTS / benchmark.stats["mean"]
+    benchmark.pedantic(run_timeout_storm, args=(N_EVENTS,),
+                       rounds=ROUNDS, iterations=1, warmup_rounds=1)
+    events_per_sec = N_EVENTS / benchmark.stats["median"]
+    best = N_EVENTS / benchmark.stats["min"]
     lines = [
         "Simulator throughput on this machine:",
-        f"  bare timer events : {events_per_sec:,.0f} events/s "
-        f"({N_TIMEOUT_EVENTS:,} events)",
+        f"  bare timer events : {events_per_sec:,.0f} events/s median, "
+        f"{best:,.0f} best ({N_EVENTS:,} events x {ROUNDS} rounds)",
     ]
     save_artifact(artifact_dir, "engine_throughput.txt", "\n".join(lines))
-    assert elapsed > 0
     assert events_per_sec > 10_000  # sanity floor, generous for any machine
+    _maybe_enforce_baseline("timeout_storm", events_per_sec)
 
 
 def test_message_roundtrip_throughput(benchmark, artifact_dir):
-    done = benchmark.pedantic(run_message_pingpong, rounds=1, iterations=1)
-    per_sec = N_ROUNDTRIPS / benchmark.stats["mean"]
+    benchmark.pedantic(run_message_pingpong, args=(N_CYCLES,),
+                       rounds=ROUNDS, iterations=1, warmup_rounds=1)
+    per_sec = N_CYCLES / benchmark.stats["median"]
     lines = [
         "Full lingua-franca round trips through the simulated network:",
         f"  {per_sec:,.0f} request/response cycles per wall second "
-        f"({N_ROUNDTRIPS:,} cycles, every one through the real codec)",
+        f"({N_CYCLES:,} cycles x {ROUNDS} rounds, every one through the "
+        "real codec)",
     ]
     save_artifact(artifact_dir, "message_throughput.txt", "\n".join(lines))
-    assert done == N_ROUNDTRIPS
+    _maybe_enforce_baseline("message_pingpong", per_sec)

@@ -1,0 +1,92 @@
+"""Ramsey-kernel, metrics and codec throughput.
+
+The compute side of the reproduction: tabu-search moves (the §3 search
+heuristics' unit of progress), full clique recounts, perf-record
+ingestion into the measurement plane, and lingua-franca codec round
+trips. Together with ``bench_engine.py`` these are the repository's
+perf-regression harness; ``benchmarks/perf_snapshot.py`` records the same
+workloads to the repo-root ``BENCH_*.json`` trajectory files.
+
+With ``REPRO_PERF_STRICT=1`` each bench fails if throughput regresses
+more than 30% below the committed ``BENCH_kernels.json`` baseline.
+"""
+
+import os
+
+import perfjson
+from conftest import save_artifact
+from workloads import (
+    N_CODEC_MESSAGES,
+    N_INGEST_RECORDS,
+    N_RECOUNTS,
+    N_TABU_STEPS,
+    run_clique_recount,
+    run_codec_roundtrip,
+    run_metrics_ingest,
+    run_tabu_search,
+)
+
+N_STEPS = int(os.environ.get("REPRO_BENCH_TABU_STEPS", N_TABU_STEPS))
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
+STRICT = os.environ.get("REPRO_PERF_STRICT") == "1"
+
+
+def _maybe_enforce_baseline(workload: str, rate: float) -> None:
+    if not STRICT:
+        return
+    problem = perfjson.check_regression(perfjson.KERNELS_JSON, workload, rate)
+    assert problem is None, problem
+
+
+def test_tabu_moves_throughput(benchmark, artifact_dir):
+    benchmark.pedantic(run_tabu_search, args=(N_STEPS,),
+                       rounds=ROUNDS, iterations=1, warmup_rounds=1)
+    moves_per_sec = N_STEPS / benchmark.stats["median"]
+    lines = [
+        "Ramsey tabu search on K_43 (R(5,5) target, 8 candidate probes):",
+        f"  {moves_per_sec:,.0f} moves/s median "
+        f"({N_STEPS} steps x {ROUNDS} rounds)",
+    ]
+    save_artifact(artifact_dir, "kernel_tabu_throughput.txt", "\n".join(lines))
+    assert moves_per_sec > 50  # sanity floor
+    _maybe_enforce_baseline("tabu_search", moves_per_sec)
+
+
+def test_clique_recount_throughput(benchmark, artifact_dir):
+    benchmark.pedantic(run_clique_recount, args=(N_RECOUNTS,),
+                       rounds=ROUNDS, iterations=1, warmup_rounds=1)
+    recounts_per_sec = N_RECOUNTS / benchmark.stats["median"]
+    lines = [
+        "Full monochromatic-K_5 recount of a K_43 coloring:",
+        f"  {recounts_per_sec:,.1f} recounts/s median",
+    ]
+    save_artifact(artifact_dir, "kernel_recount_throughput.txt",
+                  "\n".join(lines))
+    _maybe_enforce_baseline("clique_recount", recounts_per_sec)
+
+
+def test_metrics_ingest_throughput(benchmark, artifact_dir):
+    benchmark.pedantic(run_metrics_ingest, args=(N_INGEST_RECORDS,),
+                       rounds=ROUNDS, iterations=1, warmup_rounds=1)
+    records_per_sec = N_INGEST_RECORDS / benchmark.stats["median"]
+    lines = [
+        "Perf-record ingestion into the TimeBuckets measurement plane:",
+        f"  {records_per_sec:,.0f} records/s median "
+        f"({N_INGEST_RECORDS:,} records x {ROUNDS} rounds)",
+    ]
+    save_artifact(artifact_dir, "metrics_ingest_throughput.txt",
+                  "\n".join(lines))
+    _maybe_enforce_baseline("metrics_ingest", records_per_sec)
+
+
+def test_codec_roundtrip_throughput(benchmark, artifact_dir):
+    benchmark.pedantic(run_codec_roundtrip, args=(N_CODEC_MESSAGES,),
+                       rounds=ROUNDS, iterations=1, warmup_rounds=1)
+    msgs_per_sec = N_CODEC_MESSAGES / benchmark.stats["median"]
+    lines = [
+        "Lingua-franca encode+decode of a repeated control message:",
+        f"  {msgs_per_sec:,.0f} messages/s median "
+        f"({N_CODEC_MESSAGES:,} messages x {ROUNDS} rounds)",
+    ]
+    save_artifact(artifact_dir, "codec_throughput.txt", "\n".join(lines))
+    _maybe_enforce_baseline("codec_roundtrip", msgs_per_sec)

@@ -1,0 +1,107 @@
+"""Reading/writing the repo-root ``BENCH_*.json`` perf-trajectory files.
+
+Schema (``repro-perf/1``)::
+
+    {
+      "schema": "repro-perf/1",
+      "generated_by": "benchmarks/perf_snapshot.py",
+      "workloads": {
+        "<name>": {
+          "unit": "events/s",
+          "work_items": 200000,
+          "rounds": 5,
+          "before": {"best": ..., "median": ..., "source": "..."},
+          "after":  {"best": ..., "median": ...},
+          "speedup_median": 2.1
+        }
+      }
+    }
+
+``before`` is the seed-commit measurement (taken interleaved with the
+current tree in one process; see ``perf_snapshot.py --before-tree``) and
+is preserved across snapshot refreshes, so the file always shows the
+trajectory relative to where the repository started. The CI perf smoke
+compares a fresh reduced-N run against the committed ``after`` medians
+and fails on a >30% regression.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Callable, Optional
+
+SCHEMA = "repro-perf/1"
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+ENGINE_JSON = REPO_ROOT / "BENCH_engine.json"
+KERNELS_JSON = REPO_ROOT / "BENCH_kernels.json"
+
+#: CI fails when a workload's fresh median drops below this fraction of
+#: the committed ``after`` median.
+REGRESSION_TOLERANCE = 0.30
+
+
+def measure_rate(workload: Callable[[], int], rounds: int = 5) -> dict:
+    """Run ``workload`` ``rounds`` times; report items/s best and median."""
+    rates = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        items = workload()
+        elapsed = time.perf_counter() - t0
+        rates.append(items / elapsed)
+    rates.sort()
+    return {
+        "best": round(rates[-1], 1),
+        "median": round(rates[len(rates) // 2], 1),
+    }
+
+
+def load(path: pathlib.Path) -> Optional[dict]:
+    if not path.exists():
+        return None
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("schema") != SCHEMA:
+        raise ValueError(f"{path.name}: unknown schema {data.get('schema')!r}")
+    return data
+
+
+def write(path: pathlib.Path, workloads: dict) -> None:
+    for spec in workloads.values():
+        before = spec.get("before")
+        after = spec.get("after")
+        if before and after and before.get("median"):
+            spec["speedup_median"] = round(
+                after["median"] / before["median"], 2)
+    payload = {
+        "schema": SCHEMA,
+        "generated_by": "benchmarks/perf_snapshot.py",
+        "workloads": workloads,
+    }
+    path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
+
+
+def committed_after_median(path: pathlib.Path, workload: str) -> Optional[float]:
+    """The committed baseline median for ``workload``, if recorded."""
+    data = load(path)
+    if data is None:
+        return None
+    spec = data["workloads"].get(workload)
+    if spec is None or "after" not in spec:
+        return None
+    return float(spec["after"]["median"])
+
+
+def check_regression(path: pathlib.Path, workload: str,
+                     current_rate: float) -> Optional[str]:
+    """Return an error string if ``current_rate`` regresses >30% below the
+    committed baseline median, None if acceptable or no baseline exists."""
+    baseline = committed_after_median(path, workload)
+    if baseline is None:
+        return None
+    floor = baseline * (1.0 - REGRESSION_TOLERANCE)
+    if current_rate < floor:
+        return (f"{workload}: {current_rate:,.0f}/s is more than "
+                f"{REGRESSION_TOLERANCE:.0%} below the committed baseline "
+                f"median of {baseline:,.0f}/s (floor {floor:,.0f}/s)")
+    return None

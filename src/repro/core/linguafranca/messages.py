@@ -31,6 +31,19 @@ def fresh_req_id() -> int:
     return next(_req_counter)
 
 
+#: Encoded-bytes cache for repeated identical control messages (gossip
+#: probes, scheduler polls, registry heartbeats re-sent unchanged every
+#: period). Keyed on every field that feeds the wire bytes — including the
+#: body's *insertion order*, since json.dumps preserves it — so a hit
+#: returns exactly the bytes a fresh encode would produce. Messages whose
+#: body holds unhashable values (nested dicts/lists) skip the cache, as
+#: does anything carrying a ``req_id``/``reply_to``: those ids are
+#: process-unique, so such messages can never repeat and caching them
+#: would be pure miss overhead.
+_encode_cache: dict[tuple, bytes] = {}
+_ENCODE_CACHE_MAX = 2048
+
+
 class MessageError(Exception):
     """Malformed message content."""
 
@@ -52,6 +65,15 @@ class Message:
 
     def encode(self) -> bytes:
         """Serialize to a framed packet."""
+        key = None
+        if self.req_id is None and self.reply_to is None:
+            try:
+                key = (self.mtype, self.sender, tuple(self.body.items()))
+                cached = _encode_cache.get(key)
+                if cached is not None:
+                    return cached
+            except TypeError:  # unhashable body value: encode uncached
+                key = None
         record: dict[str, Any] = {"s": self.sender, "b": self.body}
         if self.req_id is not None:
             record["q"] = self.req_id
@@ -61,7 +83,12 @@ class Message:
             payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
         except (TypeError, ValueError) as exc:
             raise MessageError(f"unserializable message body: {exc}") from exc
-        return encode_packet(self.mtype, payload)
+        data = encode_packet(self.mtype, payload)
+        if key is not None:
+            if len(_encode_cache) >= _ENCODE_CACHE_MAX:
+                _encode_cache.clear()
+            _encode_cache[key] = data
+        return data
 
     @classmethod
     def decode(cls, data: bytes) -> "Message":

@@ -64,20 +64,46 @@ def encode_packet(mtype: str, payload: bytes) -> bytes:
     if len(payload) > MAX_PAYLOAD_LEN:
         raise PacketError(f"payload too large ({len(payload)} bytes)")
     head = HEADER.pack(MAGIC, VERSION, len(tbytes), len(payload))
-    body = head + tbytes + payload
-    return body + TRAILER.pack(zlib.crc32(body) & 0xFFFFFFFF)
+    # Run the crc over the parts and join once, instead of materializing
+    # the unframed body just to checksum it and then copying it again.
+    crc = zlib.crc32(payload, zlib.crc32(tbytes, zlib.crc32(head)))
+    return b"".join((head, tbytes, payload, TRAILER.pack(crc & 0xFFFFFFFF)))
 
 
 def decode_packet(data: bytes) -> tuple[str, bytes]:
-    """Decode exactly one packet; raises PacketError on any mismatch."""
-    decoder = PacketDecoder()
-    decoder.feed(data)
-    got = decoder.next_packet()
-    if got is None:
+    """Decode exactly one packet; raises PacketError on any mismatch.
+
+    Single-pass: validates and slices ``data`` directly instead of
+    round-tripping it through a :class:`PacketDecoder` buffer (the stream
+    decoder exists for the TCP transport, where record boundaries do not
+    align with ``recv`` boundaries — here the frame is already exact).
+    """
+    if len(data) < HEADER.size:
         raise PacketError("truncated packet")
-    if decoder.pending_bytes:
-        raise PacketError(f"{decoder.pending_bytes} trailing bytes after packet")
-    return got
+    magic, version, tlen, plen = HEADER.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise PacketError(f"bad magic {bytes(magic)!r}")
+    if version != VERSION:
+        raise PacketError(f"unsupported version {version}")
+    if tlen == 0 or tlen > MAX_TYPE_LEN:
+        raise PacketError(f"bad type length {tlen}")
+    if plen > MAX_PAYLOAD_LEN:
+        raise PacketError(f"bad payload length {plen}")
+    total = HEADER.size + tlen + plen + TRAILER.size
+    if len(data) < total:
+        raise PacketError("truncated packet")
+    if len(data) > total:
+        raise PacketError(f"{len(data) - total} trailing bytes after packet")
+    body_end = total - TRAILER.size
+    (crc,) = TRAILER.unpack_from(data, body_end)
+    actual = zlib.crc32(memoryview(data)[:body_end]) & 0xFFFFFFFF
+    if crc != actual:
+        raise PacketError(f"crc mismatch (got {crc:#x}, want {actual:#x})")
+    try:
+        mtype = data[HEADER.size : HEADER.size + tlen].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise PacketError("message type is not valid UTF-8") from exc
+    return mtype, bytes(data[HEADER.size + tlen : body_end])
 
 
 class PacketDecoder:
@@ -117,14 +143,20 @@ class PacketDecoder:
             return None
         body_end = total - TRAILER.size
         (crc,) = TRAILER.unpack_from(buf, body_end)
-        actual = zlib.crc32(bytes(buf[:body_end])) & 0xFFFFFFFF
-        if crc != actual:
-            raise PacketError(f"crc mismatch (got {crc:#x}, want {actual:#x})")
-        try:
-            mtype = bytes(buf[HEADER.size : HEADER.size + tlen]).decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise PacketError("message type is not valid UTF-8") from exc
-        payload = bytes(buf[HEADER.size + tlen : body_end])
+        # The memoryview must be released before `del buf[:total]` resizes
+        # the bytearray, hence the with-block; it avoids copying the body
+        # just to checksum it (and the slice-then-bytes double copies).
+        with memoryview(buf) as view:
+            actual = zlib.crc32(view[:body_end]) & 0xFFFFFFFF
+            if crc != actual:
+                raise PacketError(
+                    f"crc mismatch (got {crc:#x}, want {actual:#x})"
+                )
+            try:
+                mtype = str(view[HEADER.size : HEADER.size + tlen], "utf-8")
+            except UnicodeDecodeError as exc:
+                raise PacketError("message type is not valid UTF-8") from exc
+            payload = bytes(view[HEADER.size + tlen : body_end])
         del buf[:total]
         return mtype, payload
 

@@ -49,34 +49,51 @@ class LoggingServer(Component):
         super().__init__(name)
         self.max_records = max_records
         self.records: list[LogRecord] = []
+        #: Per-kind view of ``records`` (same objects, same order),
+        #: maintained on append so the measurement plane's per-kind scans
+        #: don't walk millions of records of other kinds.
+        self._by_kind: dict[str, list[LogRecord]] = {}
         self.appended = 0
         self.dropped = 0
 
     def on_message(self, message: Message, now: float) -> list[Effect]:
         if message.mtype == LOG_APPEND:
+            records = self.records
+            by_kind = self._by_kind
+            max_records = self.max_records
+            sender = message.sender
             for item in message.body.get("records", []):
                 if not isinstance(item, dict):
                     continue
-                if len(self.records) >= self.max_records:
+                if len(records) >= max_records:
                     self.dropped += 1
                     continue
-                self.records.append(LogRecord(
+                kind = str(item.get("k", "event"))
+                data = item.get("d")
+                rec = LogRecord(
                     stamp=now,
-                    source=message.sender,
-                    kind=str(item.get("k", "event")),
-                    data=item.get("d", {}) if isinstance(item.get("d"), dict) else {},
-                ))
+                    source=sender,
+                    kind=kind,
+                    data=data if isinstance(data, dict) else {},
+                )
+                records.append(rec)
+                bucket = by_kind.get(kind)
+                if bucket is None:
+                    bucket = by_kind[kind] = []
+                bucket.append(rec)
                 self.appended += 1
             return []
         if message.mtype == LOG_QUERY:
             since = float(message.body.get("since", 0.0))
             kind = message.body.get("kind")
             limit = int(message.body.get("limit", 1000))
+            # Records are appended in stamp order, so the per-kind index
+            # yields the same records in the same order as a full scan.
+            source = (self.records if kind is None
+                      else self._by_kind.get(kind, []))
             out = []
-            for rec in self.records:
+            for rec in source:
                 if rec.stamp < since:
-                    continue
-                if kind is not None and rec.kind != kind:
                     continue
                 out.append(rec.to_body())
                 if len(out) >= limit:
@@ -87,4 +104,4 @@ class LoggingServer(Component):
 
     # -- experiment-side accessors (not part of the wire protocol) -----------
     def by_kind(self, kind: str) -> list[LogRecord]:
-        return [r for r in self.records if r.kind == kind]
+        return list(self._by_kind.get(kind, ()))

@@ -60,11 +60,15 @@ class OpCounter:
 class Coloring:
     """A two-coloring of the edges of the complete graph ``K_k``.
 
-    ``red[v]`` is the bitmask of vertices joined to ``v`` by a red edge;
-    blue masks are derived (every edge is exactly one of red/blue).
+    ``red[v]`` is the bitmask of vertices joined to ``v`` by a red edge.
+    ``blue[v]`` is its complement (minus the self-loop bit) and is kept
+    up to date on every mutation: the clique kernels consume both mask
+    lists directly, so deriving blue lazily would rebuild a k-element
+    list on every energy-delta probe — the single hottest allocation in
+    the heuristics before it was cached here.
     """
 
-    __slots__ = ("k", "red")
+    __slots__ = ("k", "red", "blue")
 
     def __init__(self, k: int, red: Optional[list[int]] = None) -> None:
         if k < 2:
@@ -77,6 +81,9 @@ class Coloring:
                 raise ValueError("mask list length != k")
             self.red = list(red)
             self._check_symmetric()
+        full = (1 << k) - 1
+        red_masks = self.red
+        self.blue = [full & ~red_masks[v] & ~(1 << v) for v in range(k)]
 
     def _check_symmetric(self) -> None:
         for v in range(self.k):
@@ -113,12 +120,18 @@ class Coloring:
         return c
 
     def _set_red(self, u: int, v: int) -> None:
-        self.red[u] |= 1 << v
-        self.red[v] |= 1 << u
+        ub, vb = 1 << u, 1 << v
+        self.red[u] |= vb
+        self.red[v] |= ub
+        self.blue[u] &= ~vb
+        self.blue[v] &= ~ub
 
     def _set_blue(self, u: int, v: int) -> None:
-        self.red[u] &= ~(1 << v)
-        self.red[v] &= ~(1 << u)
+        ub, vb = 1 << u, 1 << v
+        self.red[u] &= ~vb
+        self.red[v] &= ~ub
+        self.blue[u] |= vb
+        self.blue[v] |= ub
 
     # -- inspection ------------------------------------------------------------
     def color(self, u: int, v: int) -> int:
@@ -128,8 +141,7 @@ class Coloring:
         return RED if (self.red[u] >> v) & 1 else BLUE
 
     def blue_mask(self, v: int) -> int:
-        full = (1 << self.k) - 1
-        return full & ~self.red[v] & ~(1 << v)
+        return self.blue[v]
 
     def flip(self, u: int, v: int) -> None:
         """Toggle the color of edge (u, v)."""
@@ -139,7 +151,14 @@ class Coloring:
             self._set_red(u, v)
 
     def copy(self) -> "Coloring":
-        return Coloring(self.k, list(self.red))
+        # The masks of a live Coloring are symmetric by construction, so
+        # skip __init__'s O(k^2) _check_symmetric revalidation: heuristics
+        # copy on every best-so-far improvement.
+        c = Coloring.__new__(Coloring)
+        c.k = self.k
+        c.red = self.red.copy()
+        c.blue = self.blue.copy()
+        return c
 
     def edges(self) -> Iterator[tuple[int, int, int]]:
         """Yield (u, v, color) for every edge with u < v."""
@@ -182,7 +201,7 @@ class Coloring:
         return c
 
     def __repr__(self) -> str:
-        reds = sum(bin(m).count("1") for m in self.red) // 2
+        reds = sum(m.bit_count() for m in self.red) // 2
         total = self.k * (self.k - 1) // 2
         return f"<Coloring K_{self.k} red={reds}/{total}>"
 
@@ -200,9 +219,20 @@ def _count_cliques(masks: list[int], k: int, n: int, ops: Optional[OpCounter]) -
         if depth == n - 1:
             # Only one more vertex needed: any candidate completes a clique.
             counted += k
-            return bin(candidates).count("1")
+            return candidates.bit_count()
         total = 0
         m = candidates
+        if depth == n - 2:
+            # Flattened leaf level: one popcount per extension instead of
+            # a recursive call per bit (metered identically: 2k for the
+            # loop step + k for the leaf it replaces).
+            while m:
+                low = m & -m
+                v = low.bit_length() - 1
+                m &= m - 1
+                counted += 3 * k
+                total += (candidates & masks[v] & ~(low - 1) & ~low).bit_count()
+            return total
         while m:
             low = m & -m
             v = low.bit_length() - 1
@@ -231,9 +261,8 @@ def count_mono_cliques(
     Zero means ``coloring`` is a counter-example for ``R(n, n) > k``.
     """
     k = coloring.k
-    red = coloring.red
-    blue = [coloring.blue_mask(v) for v in range(k)]
-    return _count_cliques(red, k, n, ops) + _count_cliques(blue, k, n, ops)
+    return (_count_cliques(coloring.red, k, n, ops)
+            + _count_cliques(coloring.blue, k, n, ops))
 
 
 def find_any_mono_clique(
@@ -267,7 +296,7 @@ def find_any_mono_clique(
                 return found
         return None
 
-    blue = [coloring.blue_mask(v) for v in range(k)]
+    blue = coloring.blue
     full = (1 << k) - 1
     for offset in range(k):
         v = (start + offset) % k
@@ -283,6 +312,61 @@ def find_any_mono_clique(
     return None
 
 
+def _count_cliques_with_edge_in(
+    masks: list[int], k: int, u: int, v: int, n: int,
+    ops: Optional[OpCounter],
+) -> int:
+    """``K_n`` through edge (u, v) in the graph given by ``masks``.
+
+    Mask-level core of :func:`count_mono_cliques_with_edge`, also called
+    directly by the heuristics' zero-flip energy-delta path: because no
+    mask excludes more than the self-loop bit, ``masks[u] & masks[v]``
+    never contains u or v, so the count for the *flipped* edge color can
+    be taken from the opposite-color masks without mutating the coloring
+    at all. Op metering is identical either way for the same reason.
+    """
+    common = masks[u] & masks[v]
+    counted = 2 * k
+    if n == 2:
+        if ops is not None:
+            ops.add(counted)
+        return 1  # the edge itself is the K_2
+    # Count (n-2)-cliques inside `common`, in the subgraph induced on it.
+    sub = [masks[w] & common for w in range(k)]
+    counted += k
+
+    def rec(candidates: int, need: int) -> int:
+        nonlocal counted
+        if need == 1:
+            counted += k
+            return candidates.bit_count()
+        total = 0
+        m = candidates
+        if need == 2:
+            # Flattened leaf level: one popcount per extension instead of
+            # a recursive call per bit (metered identically: 2k for the
+            # loop step + k for the leaf it replaces).
+            while m:
+                low = m & -m
+                w = low.bit_length() - 1
+                m &= m - 1
+                counted += 3 * k
+                total += (candidates & sub[w] & ~(low - 1) & ~low).bit_count()
+            return total
+        while m:
+            low = m & -m
+            w = low.bit_length() - 1
+            m &= m - 1
+            counted += 2 * k
+            total += rec(candidates & sub[w] & ~(low - 1) & ~low, need - 1)
+        return total
+
+    total = rec(common, n - 2)
+    if ops is not None:
+        ops.add(counted)
+    return total
+
+
 def count_mono_cliques_with_edge(
     coloring: Coloring, u: int, v: int, n: int, ops: Optional[OpCounter] = None
 ) -> int:
@@ -293,35 +377,5 @@ def count_mono_cliques_with_edge(
     energy delta of flipping one edge in O(neighborhood) instead of
     recounting the whole graph.
     """
-    k = coloring.k
-    if coloring.color(u, v) == RED:
-        masks = coloring.red
-    else:
-        masks = [coloring.blue_mask(w) for w in range(k)]
-    common = masks[u] & masks[v]
-    if ops is not None:
-        ops.add(2 * k)
-    if n == 2:
-        return 1  # the edge itself is the K_2
-    # Count (n-2)-cliques inside `common`, in the subgraph induced on it.
-    sub = [masks[w] & common for w in range(k)]
-    if ops is not None:
-        ops.add(k)
-
-    def rec(candidates: int, need: int) -> int:
-        if need == 1:
-            if ops is not None:
-                ops.add(k)
-            return bin(candidates).count("1")
-        total = 0
-        m = candidates
-        while m:
-            low = m & -m
-            w = low.bit_length() - 1
-            m &= m - 1
-            if ops is not None:
-                ops.add(2 * k)
-            total += rec(candidates & sub[w] & ~(low - 1) & ~low, need - 1)
-        return total
-
-    return rec(common, n - 2)
+    masks = coloring.red if coloring.color(u, v) == RED else coloring.blue
+    return _count_cliques_with_edge_in(masks, coloring.k, u, v, n, ops)

@@ -29,10 +29,11 @@ from typing import Optional
 import numpy as np
 
 from .graphs import (
+    RED,
     Coloring,
     OpCounter,
+    _count_cliques_with_edge_in,
     count_mono_cliques,
-    count_mono_cliques_with_edge,
     find_any_mono_clique,
 )
 
@@ -115,11 +116,24 @@ class _EdgeFlipSearch:
         return (u, v) if u < v else (v, u)
 
     def _flip_delta(self, u: int, v: int) -> int:
-        """Energy change if edge (u, v) were flipped (state restored)."""
-        before = count_mono_cliques_with_edge(self.coloring, u, v, self.n, self.ops)
-        self.coloring.flip(u, v)
-        after = count_mono_cliques_with_edge(self.coloring, u, v, self.n, self.ops)
-        self.coloring.flip(u, v)
+        """Energy change if edge (u, v) were flipped.
+
+        Flipping (u, v) only changes bit v of the u-row masks and bit u of
+        the v-row masks, and neither bit can appear in the common
+        neighborhood ``masks[u] & masks[v]`` — so the clique count through
+        the flipped edge equals the count through (u, v) in the
+        *opposite*-color masks of the current state. Both counts (and
+        their op metering) are therefore taken without mutating the
+        coloring, where the original implementation flipped the edge
+        twice and paid two full mask-row updates per probed candidate.
+        """
+        c = self.coloring
+        if c.color(u, v) == RED:
+            same, other = c.red, c.blue
+        else:
+            same, other = c.blue, c.red
+        before = _count_cliques_with_edge_in(same, c.k, u, v, self.n, self.ops)
+        after = _count_cliques_with_edge_in(other, c.k, u, v, self.n, self.ops)
         return after - before
 
     def _apply_flip(self, u: int, v: int, delta: int) -> None:

@@ -12,6 +12,25 @@ Events scheduled for the same simulated time are processed in FIFO order of
 scheduling (a monotonically increasing sequence number breaks ties), so a
 simulation driven by a seeded RNG replays identically.
 
+Performance notes
+-----------------
+Every experiment in this reproduction is bounded by this module's event
+loop, so the hot paths are deliberately low-level (see DESIGN.md §6):
+
+* every event class declares ``__slots__`` (no per-event ``__dict__``);
+* :class:`Timeout` — the dominant event type by far — schedules itself
+  inline instead of going through the generic :meth:`Environment.schedule`
+  state checks (a fresh timeout is pending by construction);
+* :meth:`Process._resume` never scans callback lists; the rare
+  ``interrupt()`` path detaches the process from its old target instead,
+  so the per-resume cost is a couple of attribute stores;
+* :meth:`Environment.run` inlines the event-pop loop with ``heappop`` and
+  the queue bound to locals, and skips the deadline comparison entirely
+  when no ``until=<time>`` was given.
+
+None of this changes observable scheduling order: same seeds produce
+byte-identical simulation results.
+
 Example
 -------
 >>> env = Environment()
@@ -26,7 +45,8 @@ Example
 
 from __future__ import annotations
 
-import heapq
+from heapq import heapify, heappop, heappush
+from sys import getrefcount
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -48,10 +68,47 @@ __all__ = [
 PRIORITY_URGENT = 0
 PRIORITY_NORMAL = 1
 
-# Event lifecycle states.
+#: Queue entries are ``(time, tag, event)`` 3-tuples where
+#: ``tag = (priority - 1) * _PRIORITY_STRIDE + seq`` — priority dominates
+#: the monotonically increasing sequence number, exactly as the former
+#: ``(time, priority, seq, event)`` 4-tuples sorted, with one less tuple
+#: element to build and compare per event. PRIORITY_NORMAL (the common
+#: case) lands on ``tag = seq``, a machine-word int with no bignum
+#: arithmetic; PRIORITY_URGENT biases by ``-_PRIORITY_STRIDE`` so every
+#: urgent event sorts before every normal one at the same time.
+_PRIORITY_STRIDE = 1 << 62
+
+#: Tag of the run(until=<time>) deadline sentinel: sorts before any real
+#: event at the same time, urgent included (seq >= 1 makes every real tag
+#: greater than -_PRIORITY_STRIDE - 1 > this).
+_DEADLINE_TAG = -(1 << 63)
+
+_new_timeout = object.__new__  # allocation helper for the timeout fast path
+
+
+class _Deadline:
+    """Queue sentinel for ``run(until=<time>)``.
+
+    Popping the sentinel ends the run: it sorts *before* every real event
+    scheduled at the deadline (negative tag), so events at exactly
+    ``stop_at`` are not processed — the same semantics as checking
+    ``queue[0][0] >= stop_at`` before every pop, without paying for that
+    comparison per event. ``callbacks`` is None so the run loop recognizes
+    it from the field it already loads. A stale sentinel (left queued when
+    a run aborted early) is skipped when eventually popped.
+    """
+
+    __slots__ = ("callbacks",)
+
+    def __init__(self) -> None:
+        self.callbacks = None
+
+# Event lifecycle states. There is no PROCESSED state value: "callbacks
+# have run" is encoded as ``callbacks is None`` (the event loop nulls the
+# list out as it pops each event), which the hot paths read anyway — so the
+# loop saves one attribute store per event.
 _PENDING = 0
-_TRIGGERED = 1  # scheduled on the event queue but callbacks not yet run
-_PROCESSED = 2  # callbacks have run
+_TRIGGERED = 1  # scheduled on the event queue
 
 
 class SimulationError(Exception):
@@ -87,6 +144,8 @@ class Event:
     *triggers* it, scheduling its callbacks at the current simulation time.
     """
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_state", "_defused")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         self.callbacks: Optional[list[Callable[["Event"], None]]] = []
@@ -94,7 +153,9 @@ class Event:
         self._ok: bool = True
         self._state: int = _PENDING
         #: Whether a raised failure was handed to a waiter. Unhandled
-        #: failures propagate out of Environment.run().
+        #: failures propagate out of Environment.run(). Events that can
+        #: only succeed (timeouts, Initialize) never materialize this slot:
+        #: it is read exclusively behind a ``not _ok`` check.
         self._defused: bool = False
 
     # -- state inspection -------------------------------------------------
@@ -106,7 +167,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once the event's callbacks have been executed."""
-        return self._state == _PROCESSED
+        return self.callbacks is None
 
     @property
     def ok(self) -> bool:
@@ -127,7 +188,11 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, delay=0, priority=priority)
+        self._state = _TRIGGERED
+        env = self.env
+        env._seq += 1
+        heappush(env._queue,
+                 (env._now, (priority - 1) * _PRIORITY_STRIDE + env._seq, self))
         return self
 
     def fail(self, exc: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
@@ -138,7 +203,11 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = False
         self._value = exc
-        self.env.schedule(self, delay=0, priority=priority)
+        self._state = _TRIGGERED
+        env = self.env
+        env._seq += 1
+        heappush(env._queue,
+                 (env._now, (priority - 1) * _PRIORITY_STRIDE + env._seq, self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -150,21 +219,36 @@ class Event:
             self.fail(event._value)
 
     def __repr__(self) -> str:
-        state = {_PENDING: "pending", _TRIGGERED: "triggered", _PROCESSED: "processed"}
-        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+        if self.callbacks is None:
+            state = "processed"
+        elif self._state != _PENDING:
+            state = "triggered"
+        else:
+            state = "pending"
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` simulated seconds after creation."""
+    """An event that triggers ``delay`` simulated seconds after creation.
+
+    The constructor schedules inline: a fresh timeout is pending by
+    construction, so the generic :meth:`Environment.schedule` state check
+    is unnecessary on what is by far the most common event type.
+    """
+
+    __slots__ = ("_delay",)
 
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay!r}")
-        super().__init__(env)
-        self._delay = delay
+        self.env = env
+        self.callbacks = []
         self._value = value
         self._ok = True
-        env.schedule(self, delay=delay)
+        self._delay = delay
+        self._state = _TRIGGERED
+        env._seq += 1
+        heappush(env._queue, (env._now + delay, env._seq, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self._delay}>"
@@ -173,11 +257,16 @@ class Timeout(Event):
 class Initialize(Event):
     """Internal: kicks a newly created :class:`Process`."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process") -> None:
-        super().__init__(env)
+        self.env = env
+        self.callbacks = [process._bound_resume]
+        self._value = None
         self._ok = True
-        self.callbacks.append(process._resume)
-        env.schedule(self, delay=0, priority=PRIORITY_URGENT)
+        self._state = _TRIGGERED
+        env._seq += 1
+        heappush(env._queue, (env._now, env._seq - _PRIORITY_STRIDE, self))
 
 
 class Process(Event):
@@ -187,12 +276,18 @@ class Process(Event):
     returns (value = return value) or raises (failure).
     """
 
+    __slots__ = ("_generator", "_target", "_bound_resume")
+
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "throw"):
             raise SimulationError(f"{generator!r} is not a generator")
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None  # event we are waiting on
+        # Bind once: `self._resume` creates a fresh bound-method object on
+        # every attribute access, and _resume registers itself as a callback
+        # on every wait — reuse one binding instead.
+        self._bound_resume = self._resume
         Initialize(env, self)
 
     @property
@@ -209,68 +304,74 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self._state != _PENDING:
             raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
-        if self._generator is self.env._active_generator:
+        if self.env._active_process is self:
             raise SimulationError("a process cannot interrupt itself")
         event = Event(self.env)
         event._ok = False
         event._value = Interrupt(cause)
         event._defused = True
-        event.callbacks.append(self._resume)
+        event.callbacks.append(self._deliver_interrupt)
         self.env.schedule(event, delay=0, priority=PRIORITY_URGENT)
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        """Detach from the interrupted wait, then resume with the failure.
+
+        Doing the (linear) callback-list removal here — on the rare
+        interrupt path — is what lets :meth:`_resume` skip detach checks
+        entirely on every normal wakeup.
+        """
+        if self._state != _PENDING:
+            return  # the process ended before the interrupt was delivered
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._bound_resume)
+            except ValueError:
+                pass
+        self._resume(event)
 
     def _resume(self, event: Event) -> None:
         """Advance the generator with the triggered event's outcome."""
         env = self.env
         env._active_process = self
-        env._active_generator = self._generator
+        generator = self._generator
         while True:
-            # Detach from the event that woke us.
-            if self._target is not None and self._target.callbacks is not None:
-                try:
-                    self._target.callbacks.remove(self._resume)
-                except ValueError:
-                    pass
-            self._target = None
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     event._defused = True
-                    next_event = self._generator.throw(event._value)
+                    next_event = generator.throw(event._value)
             except StopIteration as exc:
                 env._active_process = None
-                env._active_generator = None
+                self._target = None
                 self.succeed(exc.value)
                 return
             except BaseException as exc:
                 env._active_process = None
-                env._active_generator = None
+                self._target = None
                 self.fail(exc)
                 return
 
-            if not isinstance(next_event, Event):
-                env._active_process = None
-                env._active_generator = None
-                err = SimulationError(
-                    f"process yielded a non-event: {next_event!r}"
-                )
-                self.fail(err)
-                return
+            if type(next_event) is Timeout or isinstance(next_event, Event):
+                callbacks = next_event.callbacks
+                if callbacks is None:
+                    # Already happened: loop and resume immediately.
+                    event = next_event
+                    continue
+                # Wait for it.
+                self._target = next_event
+                callbacks.append(self._bound_resume)
+                break
 
-            if next_event._state == _PROCESSED:
-                # Already happened: loop and resume immediately with its value.
-                event = next_event
-                continue
-            # Wait for it.
-            self._target = next_event
-            if next_event.callbacks is None:
-                # Being processed right now; shouldn't happen, but be safe.
-                event = next_event
-                continue
-            next_event.callbacks.append(self._resume)
-            break
+            env._active_process = None
+            self._target = None
+            err = SimulationError(
+                f"process yielded a non-event: {next_event!r}"
+            )
+            self.fail(err)
+            return
         env._active_process = None
-        env._active_generator = None
 
 
 class Condition(Event):
@@ -278,7 +379,15 @@ class Condition(Event):
 
     The value of a condition is a dict mapping each *triggered* constituent
     event to its value, in trigger order.
+
+    Empty conditions are resolved at construction time: ``evaluate`` is
+    consulted once with ``(events=[], count=0)`` and, if satisfied, the
+    condition succeeds immediately with ``{}``. Both built-in evaluators
+    accept the empty set — ``AllOf([])`` is vacuously satisfied and
+    ``AnyOf([])`` triggers immediately rather than deadlocking.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -293,20 +402,23 @@ class Condition(Event):
         for e in self._events:
             if e.env is not env:
                 raise SimulationError("events from different environments")
-        if self._evaluate(self._events, 0) and not self._events:
-            self.succeed({})
+        if not self._events:
+            # No constituents: settle now if the evaluator accepts the
+            # empty set (both built-ins do), else stay pending forever.
+            if self._evaluate(self._events, 0):
+                self.succeed({})
             return
         for e in self._events:
-            if e._state == _PROCESSED:
+            if e.callbacks is None:
                 self._check(e)
-            elif e.callbacks is not None:
+            else:
                 e.callbacks.append(self._check)
         # Handle the case where enough events were already processed.
         if self._state == _PENDING and self._evaluate(self._events, self._count):
             self.succeed(self._collect())
 
     def _collect(self) -> dict:
-        return {e: e._value for e in self._events if e._state == _PROCESSED and e._ok}
+        return {e: e._value for e in self._events if e.callbacks is None and e._ok}
 
     def _check(self, event: Event) -> None:
         if self._state != _PENDING:
@@ -329,14 +441,19 @@ class Condition(Event):
 
 
 class AnyOf(Condition):
-    """Triggers when any constituent event triggers."""
+    """Triggers when any constituent event triggers (immediately if empty)."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.any_events, events)
 
 
 class AllOf(Condition):
-    """Triggers when all constituent events have triggered."""
+    """Triggers when all constituent events have triggered (vacuously true
+    for an empty set)."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, Condition.all_events, events)
@@ -345,12 +462,18 @@ class AllOf(Condition):
 class Environment:
     """Execution environment: clock, event queue, and process management."""
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_free_timeouts")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, int, Event]] = []
+        self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._active_process: Optional[Process] = None
-        self._active_generator: Optional[Generator] = None
+        #: Dead Timeout shells recycled by run(); see timeout(). Needs no
+        #: size cap: a shell is only parked here after being popped off the
+        #: queue, so the list never outgrows the peak number of timeouts
+        #: that were ever simultaneously scheduled.
+        self._free_timeouts: list[Timeout] = []
 
     @property
     def now(self) -> float:
@@ -366,7 +489,35 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        # Inlined twin of Timeout.__init__ (kept in sync): building the
+        # dominant event type through type.__call__ -> __init__ costs an
+        # extra Python frame per event, which this factory skips.
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        free = self._free_timeouts
+        if free:
+            # Reuse a dead shell (and its empty callbacks list) that run()
+            # proved unreachable. Recycled shells are known to hold
+            # env=self, _ok=True, _state=_TRIGGERED and _value=None (only
+            # successfully processed timeouts are recycled, and the
+            # recycler clears _value), so only the changed fields need
+            # storing.
+            t = free.pop()
+            t._delay = delay
+            if value is not None:
+                t._value = value
+        else:
+            t = _new_timeout(Timeout)
+            t.env = self
+            t.callbacks = []
+            t._value = value
+            t._ok = True
+            t._delay = delay
+            t._state = _TRIGGERED
+        seq = self._seq + 1
+        self._seq = seq
+        heappush(self._queue, (self._now + delay, seq, t))
+        return t
 
     def process(self, generator: Generator) -> Process:
         return Process(self, generator)
@@ -385,7 +536,9 @@ class Environment:
             raise SimulationError(f"{event!r} already scheduled")
         event._state = _TRIGGERED
         self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        heappush(self._queue,
+                 (self._now + delay,
+                  (priority - 1) * _PRIORITY_STRIDE + self._seq, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -395,12 +548,9 @@ class Environment:
         """Process the next scheduled event."""
         if not self._queue:
             raise SimulationError("no more events")
-        when, _prio, _seq, event = heapq.heappop(self._queue)
-        self._now = when
+        self._now, _tag, event = heappop(self._queue)
         callbacks = event.callbacks
         event.callbacks = None
-        event._state = _PROCESSED
-        assert callbacks is not None
         for cb in callbacks:
             cb(event)
         if not event._ok and not event._defused:
@@ -414,14 +564,12 @@ class Environment:
         stop_event: Optional[Event] = None
         if isinstance(until, Event):
             stop_event = until
-            if stop_event._state == _PROCESSED:
+            if stop_event.callbacks is None:  # already processed
                 return stop_event._value
 
             def _stop(event: Event) -> None:
                 raise StopSimulation(event._value)
 
-            if stop_event.callbacks is None:
-                return stop_event._value
             stop_event.callbacks.append(_stop)
         elif until is not None:
             stop_at = float(until)
@@ -429,16 +577,80 @@ class Environment:
                 raise SimulationError(
                     f"until={stop_at} is in the past (now={self._now})"
                 )
+        # The loops below inline step() with `queue` and `heappop` bound to
+        # locals. A deadline is implemented as a queue sentinel rather than
+        # a per-event `queue[0][0] >= stop_at` comparison; the sentinel's
+        # negative tag sorts it before every real event scheduled at
+        # exactly `stop_at`, preserving the seed semantics (events at the
+        # deadline are not processed). Identical event ordering either way.
+        # After an event's callbacks have run, a refcount of exactly 2
+        # (the loop local + getrefcount's argument) proves no process,
+        # condition, or user variable can ever reach the event again; dead
+        # Timeout shells and their callback lists are recycled through
+        # timeout() instead of round-tripping the allocator. Purely an
+        # allocation optimization: scheduling order is untouched.
+        queue = self._queue
+        pop = heappop
+        refs = getrefcount
+        free = self._free_timeouts
+        timeout_cls = Timeout
+        if stop_at is None:
+            try:
+                while queue:
+                    self._now, _tag, event = pop(queue)
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if len(callbacks) == 1:  # the overwhelmingly common case
+                        callbacks[0](event)
+                    else:
+                        for cb in callbacks:
+                            cb(event)
+                    # A Timeout can never fail (it is born triggered, so
+                    # fail() rejects it), which makes the failure check and
+                    # the recycle check mutually exclusive branches.
+                    if type(event) is timeout_cls:
+                        if refs(event) == 2:
+                            callbacks.clear()
+                            event.callbacks = callbacks
+                            event._value = None
+                            free.append(event)
+                    elif not event._ok and not event._defused:
+                        raise event._value
+            except StopSimulation as stop:
+                return stop.value
+            if stop_event is not None and stop_event.callbacks is not None:
+                raise SimulationError("run() until-event was never triggered")
+            return None
+        sentinel_entry = (stop_at, _DEADLINE_TAG, _Deadline())
+        heappush(queue, sentinel_entry)
         try:
-            while self._queue:
-                if stop_at is not None and self._queue[0][0] >= stop_at:
-                    self._now = stop_at
+            while True:
+                self._now, _tag, event = pop(queue)
+                callbacks = event.callbacks
+                if callbacks is None:
+                    # The deadline sentinel: _now is already stop_at.
                     return None
-                self.step()
-        except StopSimulation as stop:
-            return stop.value
-        if stop_event is not None and stop_event._state != _PROCESSED:
-            raise SimulationError("run() until-event was never triggered")
-        if stop_at is not None:
-            self._now = stop_at
-        return None
+                event.callbacks = None
+                if len(callbacks) == 1:  # the overwhelmingly common case
+                    callbacks[0](event)
+                else:
+                    for cb in callbacks:
+                        cb(event)
+                if type(event) is timeout_cls:
+                    if refs(event) == 2:
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        event._value = None
+                        free.append(event)
+                elif not event._ok and not event._defused:
+                    raise event._value
+        except BaseException:
+            # Crash path (unhandled event failure, KeyboardInterrupt, ...):
+            # withdraw the sentinel so the queue is left clean for any
+            # subsequent run()/step() calls.
+            try:
+                queue.remove(sentinel_entry)
+                heapify(queue)
+            except ValueError:
+                pass
+            raise

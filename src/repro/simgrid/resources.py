@@ -18,6 +18,8 @@ __all__ = ["Store", "StoreGet", "StorePut", "Gate", "get_with_timeout"]
 class StoreGet(Event):
     """Event that triggers when an item becomes available in the store."""
 
+    __slots__ = ("store",)
+
     def __init__(self, store: "Store") -> None:
         super().__init__(store.env)
         self.store = store
@@ -35,6 +37,8 @@ class StoreGet(Event):
 
 class StorePut(Event):
     """Event that triggers when the item has been accepted by the store."""
+
+    __slots__ = ("store", "item")
 
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)

@@ -1,0 +1,199 @@
+"""Determinism guarantees of the DES engine.
+
+The reproduction's headline claim — same seed, same Fig. 2 curve — rests
+on the engine resolving every scheduling ambiguity the same way on every
+run: simultaneous timeouts fire in creation order, interrupts preempt
+normal events at the same timestamp, and resuming on an already-processed
+event continues immediately. These tests pin those rules down so the
+hot-path work in the engine cannot silently reorder anything.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.experiments.sc98 import SC98Config, build_sc98
+from repro.simgrid.engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Interrupt,
+)
+
+
+def _run_mini_sc98():
+    cfg = SC98Config(scale=0.02, seed=1998, duration=1800.0)
+    world = build_sc98(cfg)
+    res = world.run()
+    digest = hashlib.sha256()
+    digest.update(res.series.times.tobytes())
+    digest.update(res.series.total_rate.tobytes())
+    for k in sorted(res.series.rate_by_infra):
+        digest.update(res.series.rate_by_infra[k].tobytes())
+    for k in sorted(res.series.hosts_by_infra):
+        digest.update(res.series.hosts_by_infra[k].tobytes())
+    return digest.hexdigest(), world.env.now, world.env._seq
+
+
+def test_same_seed_sc98_run_is_bit_identical():
+    first = _run_mini_sc98()
+    second = _run_mini_sc98()
+    assert first == second
+
+
+def test_simultaneous_timeouts_fire_in_creation_order():
+    env = Environment()
+    order = []
+
+    def waiter(env, name, delay):
+        yield env.timeout(delay)
+        order.append(name)
+
+    # All four deadlines coincide at t=6; creation order must win.
+    env.process(waiter(env, "a", 6.0))
+    env.process(waiter(env, "b", 6.0))
+    env.process(waiter(env, "c", 6.0))
+    env.process(waiter(env, "d", 6.0))
+    env.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_staggered_creation_same_deadline_is_fifo():
+    env = Environment()
+    order = []
+
+    def spawn_later(env):
+        # Created later but waiting on the same absolute deadline (t=10).
+        yield env.timeout(4.0)
+        yield env.timeout(6.0)
+        order.append("late")
+
+    def early(env):
+        yield env.timeout(10.0)
+        order.append("early")
+
+    env.process(early(env))
+    env.process(spawn_later(env))
+    env.run()
+    # The t=10 timeout scheduled at t=0 precedes the one scheduled at t=4.
+    assert order == ["early", "late"]
+
+
+def test_interrupt_preempts_same_time_timeout():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(5.0)
+            log.append("timeout")
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause))
+
+    def interrupter(env):
+        yield env.timeout(5.0)
+        victim.interrupt(cause="now")
+
+    # Created first, so the interrupter wakes before the victim's timeout
+    # fires at the shared t=5 deadline.
+    env.process(interrupter(env))
+    victim = env.process(sleeper(env))
+    env.run()
+    # Both the victim's timeout and the interrupt land at t=5; the urgent
+    # interrupt must be delivered, not the timeout.
+    assert log == [("interrupted", "now")]
+    assert env.now == 5.0
+
+
+def test_yielding_processed_event_resumes_immediately():
+    env = Environment()
+    seen = []
+
+    def producer(env):
+        yield env.timeout(1.0)
+
+    def consumer(env, ev):
+        yield env.timeout(3.0)  # ev is long processed by now
+        value = yield ev
+        seen.append((env.now, value))
+
+    ev = env.event()
+
+    def trigger(env):
+        yield env.timeout(1.0)
+        ev.succeed("ready")
+
+    env.process(producer(env))
+    env.process(trigger(env))
+    env.process(consumer(env, ev))
+    env.run()
+    # No extra delay: the consumer resumes at t=3 with the stored value.
+    assert seen == [(3.0, "ready")]
+
+
+def test_empty_allof_succeeds_immediately():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        value = yield AllOf(env, [])
+        results.append((env.now, value))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [(0, {})]
+
+
+def test_empty_anyof_succeeds_immediately():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        value = yield AnyOf(env, [])
+        results.append((env.now, value))
+
+    env.process(proc(env))
+    env.run()
+    assert results == [(0, {})]
+
+
+def test_condition_with_already_processed_constituents():
+    env = Environment()
+    results = []
+
+    def stage_one(env):
+        yield env.timeout(1.0)
+
+    def late_waiter(env, t1, t2):
+        yield env.timeout(5.0)
+        value = yield AllOf(env, [t1, t2])
+        results.append((env.now, value))
+
+    t1 = env.timeout(1.0, value="one")
+    t2 = env.timeout(2.0, value="two")
+    env.process(stage_one(env))
+    env.process(late_waiter(env, t1, t2))
+    env.run()
+    assert results == [(5.0, {t1: "one", t2: "two"})]
+
+
+def test_run_until_processed_event_returns_its_value():
+    env = Environment()
+    t = env.timeout(1.0, value=42)
+    env.run(until=5.0)
+    assert t.processed
+    assert env.run(until=t) == 42
+
+
+def test_interrupt_terminated_process_raises():
+    from repro.simgrid.engine import SimulationError
+
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    proc = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
