@@ -18,7 +18,7 @@ from repro.apps.gnet import (
     mine_serial,
     task_cost,
 )
-from repro.apps.runner import run_farm
+from repro.api import run_farm
 
 N_TX = 4000
 N_ITEMS = 24

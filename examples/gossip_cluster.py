@@ -10,13 +10,19 @@ written on either side reaches everyone.
 Run: ``python examples/gossip_cluster.py``
 """
 
-from repro.core.component import Component
-from repro.core.gossip import ComparatorRegistry, GossipAgent, GossipServer, StateStore
-from repro.core.simdriver import SimDriver
-from repro.simgrid import Environment
-from repro.simgrid.host import Host, HostSpec
-from repro.simgrid.network import Network
-from repro.simgrid.rand import RngStreams
+from repro.api import (
+    ComparatorRegistry,
+    Component,
+    Environment,
+    GossipAgent,
+    GossipServer,
+    Host,
+    HostSpec,
+    Network,
+    RngStreams,
+    SimDriver,
+    StateStore,
+)
 
 
 class Worker(Component):

@@ -23,7 +23,7 @@ from repro.apps.pet import (
     reconstruct_serial,
     task_cost,
 )
-from repro.apps.runner import run_farm
+from repro.api import run_farm
 
 SIZE = 64
 N_ANGLES = 48

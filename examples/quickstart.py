@@ -18,9 +18,16 @@ import time
 
 import numpy as np
 
-from repro.core.forecasting import ForecastRegistry, event_tag
-from repro.core.linguafranca import Message, TcpClient, TcpServer
-from repro.ramsey import Coloring, TabuSearch, is_counter_example
+from repro.api import (
+    Coloring,
+    ForecastRegistry,
+    Message,
+    TabuSearch,
+    TcpClient,
+    TcpServer,
+    event_tag,
+    is_counter_example,
+)
 
 
 def main() -> None:

@@ -14,29 +14,30 @@ Run: ``python examples/ramsey_search.py``
 
 import numpy as np
 
-from repro.core.gossip import ComparatorRegistry, GossipServer
-from repro.core.services import (
-    LoggingServer,
-    PersistentStateServer,
-    QueueWorkSource,
-    SchedulerServer,
-)
-from repro.core.simdriver import SimDriver
-from repro.ramsey import (
+from repro.api import (
     RAMSEY_BEST,
     Coloring,
+    ComparatorRegistry,
+    ConstantLoad,
+    Environment,
+    GossipServer,
+    Host,
+    HostSpec,
+    LoggingServer,
+    MeanRevertingLoad,
+    Network,
+    PersistentStateServer,
+    QueueWorkSource,
     RamseyClient,
     RealEngine,
+    RngStreams,
+    SchedulerServer,
+    SimDriver,
+    counter_example_validator,
     is_counter_example,
     ramsey_comparator,
     unit_generator,
 )
-from repro.ramsey.verify import counter_example_validator
-from repro.simgrid import Environment
-from repro.simgrid.host import Host, HostSpec
-from repro.simgrid.load import ConstantLoad, MeanRevertingLoad
-from repro.simgrid.network import Network
-from repro.simgrid.rand import RngStreams
 
 K, N = 14, 4  # search K_14 for mono-K_4-free colorings (harder, still < R(4,4)=18)
 N_CLIENTS = 4

@@ -15,7 +15,7 @@ minutes of wall time.)
 import argparse
 import time
 
-from repro.experiments import (
+from repro.api import (
     SC98Config,
     build_sc98,
     render_fig2,

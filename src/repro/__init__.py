@@ -2,8 +2,16 @@
 
 Reproduction of "Running EveryWare on the Computational Grid" (SC'99).
 
+The supported import surface is :mod:`repro.api` — a curated facade
+re-exporting the component model, retry/timeout policies, drivers,
+simulated-grid substrate (including fault injection), services, and the
+prebuilt experiment scenarios. Deep module paths keep working but are
+not part of the compatibility contract.
+
 Subpackages
 -----------
+``repro.api``
+    The curated public facade: import from here.
 ``repro.core``
     The EveryWare toolkit: the portable lingua franca, NWS-style
     forecasting services, the Gossip distributed state exchange, and the
@@ -23,4 +31,4 @@ Subpackages
 
 __version__ = "1.0.0"
 
-__all__ = ["core", "simgrid", "infra", "ramsey", "experiments"]
+__all__ = ["api", "core", "simgrid", "infra", "ramsey", "experiments"]

@@ -1,0 +1,201 @@
+"""The supported public surface of the EveryWare reproduction.
+
+Everything an application, experiment, or example needs is re-exported
+here under one roof::
+
+    from repro.api import Component, Send, RetryPolicy, FaultPlan, ...
+
+Anything *not* listed in ``__all__`` is an internal detail that may move
+between releases; the deep module paths (``repro.core.gossip.server``,
+...) keep working but are not part of the compatibility contract.
+
+The surface groups into five layers:
+
+* **Components and effects** — the sans-IO programming model: a
+  :class:`Component` handles messages/timers and returns effect lists
+  (:class:`Send`, :class:`SetTimer`, ...); drivers own all I/O.
+* **Policies** — :class:`TimeoutPolicy` and :class:`RetryPolicy`
+  describe *how* a reliable :class:`Send` is timed out and retried; the
+  drivers execute them so components never hand-roll retry loops.
+* **Drivers and transport** — :class:`SimDriver` (simulated grid) and
+  :class:`NetDriver` (real TCP) run components; :class:`Message`,
+  :class:`TcpClient`/:class:`TcpServer` are the lingua franca.
+* **Simulated grid** — :class:`Environment`, :class:`Host`,
+  :class:`Network`, load models, and the fault-injection subsystem
+  (:class:`FaultPlan` and its injectors).
+* **Services and scenarios** — the EveryWare services (gossip,
+  scheduler, persistent state, logging, task farm) and the prebuilt
+  experiment worlds (:func:`build_core`, :func:`build_sc98`,
+  :func:`run_chaos`).
+"""
+
+from __future__ import annotations
+
+# -- components and effects ------------------------------------------------
+from .core.component import (
+    CancelTimer,
+    Component,
+    Effect,
+    LogLine,
+    NullRuntime,
+    Send,
+    SetTimer,
+    Stop,
+)
+
+# -- retry / timeout policies ----------------------------------------------
+from .core.policy import RetryPolicy, TimeoutPolicy
+
+# -- drivers and transport -------------------------------------------------
+from .core.simdriver import SimDriver
+from .core.netdriver import NetDriver
+from .core.linguafranca import Message, TcpClient, TcpServer
+from .core.forecasting import (
+    ForecastRegistry,
+    ForecasterBank,
+    default_bank,
+    event_tag,
+)
+
+# -- gossip and services ---------------------------------------------------
+from .core.gossip import ComparatorRegistry, GossipAgent, GossipServer, StateStore
+from .core.services import (
+    LoggingServer,
+    PersistentStateServer,
+    QueueWorkSource,
+    SchedulerServer,
+)
+from .core.services.framework import TaskFarmMaster, TaskFarmWorker
+
+# -- simulated grid --------------------------------------------------------
+from .simgrid import Environment
+from .simgrid.host import Host, HostSpec
+from .simgrid.load import ConstantLoad, MeanRevertingLoad
+from .simgrid.network import Address, AddressError, Network
+from .simgrid.rand import RngStreams
+from .simgrid.faults import (
+    FaultPlan,
+    FaultStats,
+    HostCrash,
+    InfraOutage,
+    MessageChaos,
+    SitePartition,
+)
+
+# -- application: Ramsey search --------------------------------------------
+from .ramsey import (
+    RAMSEY_BEST,
+    Coloring,
+    ModelEngine,
+    RamseyClient,
+    RealEngine,
+    TabuSearch,
+    is_counter_example,
+    ramsey_comparator,
+    unit_generator,
+)
+from .ramsey.verify import counter_example_validator
+
+# -- scenarios and experiment harnesses ------------------------------------
+from .apps.runner import run_farm
+from .experiments.scenario import ServiceCore, build_core, model_client_factory
+from .experiments.sc98 import SC98Config, SC98Results, SC98World, build_sc98
+from .experiments.report import (
+    render_fig2,
+    render_fig3a,
+    render_fig3b,
+    render_grid_criteria,
+    render_headlines,
+)
+from .experiments.chaos import (
+    PROFILES,
+    ChaosConfig,
+    ChaosReport,
+    build_plan,
+    run_chaos,
+    run_chaos_matrix,
+)
+
+__all__ = [
+    # components and effects
+    "CancelTimer",
+    "Component",
+    "Effect",
+    "LogLine",
+    "NullRuntime",
+    "Send",
+    "SetTimer",
+    "Stop",
+    # policies
+    "RetryPolicy",
+    "TimeoutPolicy",
+    # drivers and transport
+    "SimDriver",
+    "NetDriver",
+    "Message",
+    "TcpClient",
+    "TcpServer",
+    "ForecastRegistry",
+    "ForecasterBank",
+    "default_bank",
+    "event_tag",
+    # gossip and services
+    "ComparatorRegistry",
+    "GossipAgent",
+    "GossipServer",
+    "StateStore",
+    "LoggingServer",
+    "PersistentStateServer",
+    "QueueWorkSource",
+    "SchedulerServer",
+    "TaskFarmMaster",
+    "TaskFarmWorker",
+    # simulated grid
+    "Environment",
+    "Host",
+    "HostSpec",
+    "ConstantLoad",
+    "MeanRevertingLoad",
+    "Address",
+    "AddressError",
+    "Network",
+    "RngStreams",
+    # fault injection
+    "FaultPlan",
+    "FaultStats",
+    "HostCrash",
+    "InfraOutage",
+    "MessageChaos",
+    "SitePartition",
+    # Ramsey application
+    "RAMSEY_BEST",
+    "Coloring",
+    "ModelEngine",
+    "RamseyClient",
+    "RealEngine",
+    "TabuSearch",
+    "is_counter_example",
+    "ramsey_comparator",
+    "unit_generator",
+    "counter_example_validator",
+    # scenarios
+    "run_farm",
+    "ServiceCore",
+    "build_core",
+    "model_client_factory",
+    "SC98Config",
+    "SC98Results",
+    "SC98World",
+    "build_sc98",
+    "render_fig2",
+    "render_fig3a",
+    "render_fig3b",
+    "render_grid_criteria",
+    "render_headlines",
+    "PROFILES",
+    "ChaosConfig",
+    "ChaosReport",
+    "build_plan",
+    "run_chaos",
+    "run_chaos_matrix",
+]

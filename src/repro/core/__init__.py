@@ -3,19 +3,24 @@
 from .component import (
     CancelTimer,
     Component,
+    Effect,
     LogLine,
     NullRuntime,
     Send,
     SetTimer,
     Stop,
 )
+from .policy import RetryPolicy, TimeoutPolicy
 
 __all__ = [
     "CancelTimer",
     "Component",
+    "Effect",
     "LogLine",
     "NullRuntime",
+    "RetryPolicy",
     "Send",
     "SetTimer",
     "Stop",
+    "TimeoutPolicy",
 ]

@@ -19,9 +19,13 @@ runs under any transport.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, Protocol, Union
+from typing import TYPE_CHECKING, Any, Callable, Optional, Protocol, Union
 
 from .linguafranca.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (policy imports forecasting,
+    # whose sensors are themselves components)
+    from .policy import RetryPolicy, TimeoutPolicy
 
 __all__ = [
     "Component",
@@ -38,10 +42,25 @@ __all__ = [
 
 @dataclass
 class Send:
-    """Transmit ``message`` to the component at address ``dst``."""
+    """Transmit ``message`` to the component at address ``dst``.
+
+    All effect constructors accept positional or keyword arguments;
+    the reliability knobs below are keyword-only.
+
+    When ``retry`` is given the send becomes *reliable*: the driver
+    assigns a ``req_id``, waits for a correlated reply for the time-out
+    resolved by ``timeout`` (a :class:`TimeoutPolicy`, a plain number of
+    seconds, or ``None`` for the driver's own policy), retransmits with
+    the policy's backoff, and on give-up invokes
+    :meth:`Component.on_send_failed` with this effect. ``label`` lets
+    the component tell its outstanding requests apart in that hook.
+    """
 
     dst: str
     message: Message
+    retry: Optional[RetryPolicy] = field(default=None, kw_only=True)
+    timeout: Optional[Union[TimeoutPolicy, float]] = field(default=None, kw_only=True)
+    label: Optional[str] = field(default=None, kw_only=True)
 
 
 @dataclass
@@ -154,6 +173,13 @@ class Component:
 
     def on_timer(self, key: str, now: float) -> list[Effect]:
         """Called when the named timer expires."""
+        return []
+
+    def on_send_failed(self, send: Send, now: float) -> list[Effect]:
+        """Called when a reliable :class:`Send` exhausts its
+        :class:`~repro.core.policy.RetryPolicy` without a correlated
+        reply. Route on ``send.label`` to decide recovery (rotate to
+        another server, requeue the work, log and move on)."""
         return []
 
     def on_stop(self, now: float, reason: str) -> None:

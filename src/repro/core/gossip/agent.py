@@ -19,12 +19,15 @@ from typing import Optional
 
 from ..component import Effect, LogLine, Send, SetTimer
 from ..linguafranca.messages import Message
+from ..policy import RetryPolicy
 from .server import GOS_POLL, GOS_REG, GOS_REG_OK, GOS_STATE, GOS_UPDATE
 from .state import StateStore
 
 __all__ = ["GossipAgent"]
 
 T_REREG = "gosagent:rereg"
+#: Label on the reliable GOS_REG send; see :meth:`GossipAgent.handles_fail`.
+L_REGISTER = "gosagent:register"
 
 _AGENT_MTYPES = frozenset({GOS_POLL, GOS_UPDATE, GOS_REG_OK})
 
@@ -37,12 +40,17 @@ class GossipAgent:
         store: StateStore,
         well_known: list[str],
         register_period: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if not well_known:
             raise ValueError("GossipAgent needs at least one well-known gossip")
         self.store = store
         self.well_known = list(well_known)
         self.register_period = register_period
+        #: Registration retransmission; the driver owns the actual retry
+        #: loop, the agent only decides what give-up means (try the next
+        #: well-known gossip).
+        self.retry = retry or RetryPolicy(max_attempts=3)
         self.registered_with: Optional[str] = None
         self.known_gossips: list[str] = list(well_known)
         self.last_poll_seen: Optional[float] = None
@@ -58,6 +66,10 @@ class GossipAgent:
     def handles_timer(key: str) -> bool:
         return key == T_REREG
 
+    @staticmethod
+    def handles_fail(label: Optional[str]) -> bool:
+        return label == L_REGISTER
+
     # -- protocol ------------------------------------------------------------
     def on_start(self, now: float, contact: str) -> list[Effect]:
         return [*self._register(contact), SetTimer(T_REREG, self.register_period)]
@@ -68,8 +80,18 @@ class GossipAgent:
         return [
             Send(target, Message(
                 mtype=GOS_REG, sender=contact,
-                body={"types": self.store.types()})),
+                body={"types": self.store.types()}),
+                retry=self.retry, label=L_REGISTER),
         ]
+
+    def on_send_failed(self, send: Send, now: float, contact: str) -> list[Effect]:
+        """The gossip we tried to register with never confirmed: rotate
+        to the next well-known member and re-announce (the round-robin
+        cursor already advanced past the dead one)."""
+        if send.label != L_REGISTER:
+            return []
+        return [LogLine(f"gossip {send.dst} unresponsive; rotating registration"),
+                *self._register(contact)]
 
     def on_message(self, message: Message, now: float, contact: str) -> list[Effect]:
         if message.mtype == GOS_REG_OK:

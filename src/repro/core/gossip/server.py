@@ -25,6 +25,7 @@ from typing import Optional
 
 from ..component import CancelTimer, Component, Effect, LogLine, Send, SetTimer, Stop
 from ..forecasting.benchmarking import EventTimer, ForecastRegistry, event_tag
+from ..policy import TimeoutPolicy
 from ..linguafranca.messages import Message
 from .clique import CLIQUE_MTYPES, CliqueState
 from .state import ComparatorRegistry, StateRecord
@@ -112,6 +113,17 @@ class GossipServer(Component):
         self.component_state: dict[str, dict[str, StateRecord]] = {}
         self.forecasts = ForecastRegistry()
         self.timer = EventTimer(self.forecasts)
+        # Both flavors prebuilt so the ablation A1 switch (the mutable
+        # ``dynamic_timeouts`` flag, flipped post-construction by
+        # scenario code) just picks between them per call.
+        self._static_timeout = TimeoutPolicy.static(default_timeout)
+        self._dynamic_timeout = TimeoutPolicy.forecast(
+            registry=self.forecasts,
+            multiplier=4.0,
+            default=default_timeout,
+            floor=0.25,
+            ceiling=4.0 * poll_period,
+        )
         self.stats = GossipStats()
         self.clique: Optional[CliqueState] = None
 
@@ -272,16 +284,12 @@ class GossipServer(Component):
             return self._sync_round(now) + [SetTimer(T_SYNC, self.sync_period)]
         return []
 
+    def timeout_policy(self) -> TimeoutPolicy:
+        """The reply time-out policy currently in force (A1 switch)."""
+        return self._dynamic_timeout if self.dynamic_timeouts else self._static_timeout
+
     def _component_timeout(self, contact: str) -> float:
-        if not self.dynamic_timeouts:
-            return self.default_timeout
-        return self.forecasts.timeout(
-            event_tag(contact, GOS_POLL),
-            multiplier=4.0,
-            default=self.default_timeout,
-            floor=0.25,
-            ceiling=4.0 * self.poll_period,
-        )
+        return self.timeout_policy().timeout_for(event_tag(contact, GOS_POLL))
 
     def _poll_round(self, now: float) -> list[Effect]:
         effects: list[Effect] = []

@@ -19,11 +19,14 @@ from __future__ import annotations
 
 import random
 import time
+import warnings
 from typing import Optional
 
 from .component import CancelTimer, Component, Effect, LogLine, Send, SetTimer, Stop
+from .forecasting.benchmarking import event_tag
 from .linguafranca.messages import Message
 from .linguafranca.tcp import TcpClient, TcpServer, TransportError
+from .policy import ReliableSendTracker, TimeoutPolicy
 
 __all__ = ["NetDriver"]
 
@@ -58,12 +61,27 @@ class NetDriver:
         port: int = 0,
         log_sink=None,
         seed: Optional[int] = None,
+        timeout_policy: Optional[TimeoutPolicy] = None,
+        send_timeout: Optional[float] = None,
     ) -> None:
+        if send_timeout is not None:
+            warnings.warn(
+                "NetDriver(send_timeout=...) is deprecated; pass "
+                "timeout_policy=TimeoutPolicy.static(value) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if timeout_policy is None:
+                timeout_policy = TimeoutPolicy.static(send_timeout)
         self.component = component
         self.server = TcpServer(host, port, self._handle)
         self.contact = self.server.contact
         self.client = TcpClient(sender=self.contact)
         self.log_sink = log_sink
+        # Per-destination/message-tag connect+send budgets; dynamic
+        # time-out discovery (§2.2) instead of the old hardcoded 2.0s.
+        self.timeout_policy = timeout_policy or TimeoutPolicy.forecast(default=2.0)
+        self.tracker: Optional[ReliableSendTracker] = None
         self._rng = random.Random(seed)
         self._timers: dict[str, float] = {}
         self._t0 = time.monotonic()
@@ -80,13 +98,9 @@ class NetDriver:
     def _apply(self, effects: list[Effect]) -> None:
         for eff in effects:
             if isinstance(eff, Send):
-                host, _, port = eff.dst.rpartition(":")
-                try:
-                    self.client.send(host, int(port), eff.message, timeout=2.0)
-                except (TransportError, ValueError):
-                    # Fire-and-forget: unreachable peers are a normal
-                    # condition; time-outs higher up handle recovery.
-                    self.send_errors += 1
+                if eff.retry is not None:
+                    self._reliable().track(eff, self.now())
+                self._transmit(eff)
             elif isinstance(eff, SetTimer):
                 self._timers[eff.key] = self.now() + eff.delay
             elif isinstance(eff, CancelTimer):
@@ -101,7 +115,35 @@ class NetDriver:
             else:
                 raise TypeError(f"unknown effect {eff!r}")
 
+    def _transmit(self, eff: Send) -> None:
+        host, _, port = eff.dst.rpartition(":")
+        tag = event_tag(eff.dst, eff.message.mtype)
+        if isinstance(eff.timeout, TimeoutPolicy):
+            timeout = eff.timeout.timeout_for(tag)
+        elif eff.timeout is not None:
+            timeout = float(eff.timeout)
+        else:
+            timeout = self.timeout_policy.timeout_for(tag)
+        started = self.now()
+        try:
+            self.client.send(host, int(port), eff.message, timeout=timeout)
+        except (TransportError, ValueError):
+            # Fire-and-forget: unreachable peers are a normal
+            # condition; time-outs higher up handle recovery.
+            self.send_errors += 1
+        else:
+            # Feed the measured connect+send time back into the
+            # forecaster so future budgets track observed behavior.
+            self.timeout_policy.observe(tag, self.now() - started)
+
+    def _reliable(self) -> ReliableSendTracker:
+        if self.tracker is None:
+            self.tracker = ReliableSendTracker(self.timeout_policy, self._rng.random)
+        return self.tracker
+
     def _handle(self, message: Message) -> Optional[Message]:
+        if self.tracker is not None:
+            self.tracker.resolve(message.reply_to, self.now())
         try:
             effects = self.component.on_message(message, self.now())
         except Exception as exc:  # noqa: BLE001 — robustness boundary
@@ -113,7 +155,20 @@ class NetDriver:
         self._apply(effects)
         return None  # all replies travel as explicit Send effects
 
+    def _service_reliable(self) -> None:
+        if self.tracker is None or not len(self.tracker):
+            return
+        now = self.now()
+        for action, pending in self.tracker.due(now):
+            if self._stopped:
+                return
+            if action == "resend":
+                self._transmit(pending.eff)
+            else:
+                self._apply(self.component.on_send_failed(pending.eff, now))
+
     def _fire_due_timers(self) -> None:
+        self._service_reliable()
         while not self._stopped:
             now = self.now()
             due = sorted(
@@ -139,6 +194,12 @@ class NetDriver:
         if not self._started:
             self.start()
         deadline = min(self._timers.values()) if self._timers else None
+        if self.tracker is not None:
+            retry_deadline = self.tracker.next_deadline()
+            if retry_deadline is not None and (
+                deadline is None or retry_deadline < deadline
+            ):
+                deadline = retry_deadline
         wait = max_wait
         if deadline is not None:
             wait = min(max(deadline - self.now(), 0.0), max_wait)

@@ -1,0 +1,241 @@
+"""Stack-wide retry/timeout/backoff policies (§2.2 applied uniformly).
+
+The paper credits *dynamic time-out discovery* — forecast the response
+time of each tagged program event, scale it by a safety multiplier — for
+much of EveryWare's stability, and every SC98 service coped with loss by
+retransmitting until an acknowledgement arrived. Before this module each
+component re-implemented that recovery ad hoc (bare ``SetTimer`` retry
+loops in the task farm, Gossip agent, Ramsey client). Now a
+:class:`~repro.core.component.Send` effect may carry a
+:class:`RetryPolicy`, and the *driver* (``SimDriver`` / ``NetDriver``)
+owns the retransmission machinery:
+
+* the per-attempt reply deadline comes from a :class:`TimeoutPolicy`
+  (static, or forecast-driven through a
+  :class:`~repro.core.forecasting.benchmarking.ForecastRegistry`);
+* failed attempts back off exponentially with jitter drawn from the
+  driver's deterministic RNG stream;
+* when the policy gives up, the component hears about it exactly once
+  through :meth:`Component.on_send_failed` and decides what to do
+  (rotate to another server, requeue, log).
+
+Both drivers share :class:`ReliableSendTracker`, the sans-IO bookkeeping
+core: it never touches sockets or simulated mailboxes, it only tracks
+deadlines and tells the driver *resend* or *give up*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+from .forecasting.benchmarking import ForecastRegistry, event_tag
+from .linguafranca.messages import fresh_req_id
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (component->policy)
+    from .component import Send
+
+__all__ = ["TimeoutPolicy", "RetryPolicy", "ReliableSendTracker", "PendingSend"]
+
+
+@dataclass(frozen=True)
+class TimeoutPolicy:
+    """How long to wait for a reply to a tagged request.
+
+    Two flavors, matching ablation A1:
+
+    * :meth:`static` — a fixed value, the pre-EveryWare default;
+    * :meth:`forecast` — the paper's dynamic time-out discovery:
+      ``forecast(tag) x multiplier`` clamped to ``[floor, ceiling]``,
+      falling back to ``default`` before any history exists.
+
+    The policy is immutable; the mutable forecast history lives in the
+    attached :class:`ForecastRegistry` (shared freely between policies).
+    """
+
+    default: float = 10.0
+    multiplier: float = 4.0
+    floor: float = 0.5
+    ceiling: float = 120.0
+    registry: Optional[ForecastRegistry] = None
+
+    @classmethod
+    def static(cls, value: float) -> "TimeoutPolicy":
+        """A fixed time-out, regardless of history."""
+        return cls(default=float(value), registry=None)
+
+    @classmethod
+    def forecast(
+        cls,
+        registry: Optional[ForecastRegistry] = None,
+        multiplier: float = 4.0,
+        default: float = 10.0,
+        floor: float = 0.5,
+        ceiling: float = 120.0,
+    ) -> "TimeoutPolicy":
+        """Forecast-driven time-outs over ``registry`` (fresh if omitted)."""
+        return cls(
+            default=default,
+            multiplier=multiplier,
+            floor=floor,
+            ceiling=ceiling,
+            registry=registry if registry is not None else ForecastRegistry(),
+        )
+
+    @property
+    def dynamic(self) -> bool:
+        return self.registry is not None
+
+    def timeout_for(self, tag: Optional[str] = None) -> float:
+        """The current time-out for ``tag`` (the static value when no
+        registry is attached or no tag is given)."""
+        if self.registry is None or tag is None:
+            return self.default
+        return self.registry.timeout(
+            tag,
+            multiplier=self.multiplier,
+            default=self.default,
+            floor=self.floor,
+            ceiling=self.ceiling,
+        )
+
+    def observe(self, tag: str, value: float) -> None:
+        """Feed one measured response time into the forecast history
+        (no-op for static policies)."""
+        if self.registry is not None:
+            self.registry.record(tag, value)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retransmission with exponential backoff and jitter.
+
+    ``interval(attempt, timeout, rand)`` is how long to wait for attempt
+    number ``attempt`` (1-based): the reply time-out scaled by
+    ``backoff**(attempt-1)``, clamped to ``max_interval``, then jittered
+    by ±``jitter`` using ``rand`` drawn from the driver's deterministic
+    stream. After ``max_attempts`` unanswered attempts the driver stops
+    retransmitting and delivers the give-up to the component.
+    """
+
+    max_attempts: int = 4
+    backoff: float = 2.0
+    jitter: float = 0.25
+    max_interval: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def should_retry(self, attempt: int) -> bool:
+        """May another attempt follow attempt number ``attempt``?"""
+        return attempt < self.max_attempts
+
+    def interval(self, attempt: int, timeout: float, rand: float = 0.5) -> float:
+        """Wait before declaring attempt ``attempt`` (1-based) lost."""
+        base = min(timeout * self.backoff ** (attempt - 1), self.max_interval)
+        if self.jitter > 0.0:
+            base *= 1.0 + self.jitter * (2.0 * rand - 1.0)
+        return max(base, 0.0)
+
+
+class PendingSend:
+    """One reliable send awaiting its correlated reply."""
+
+    __slots__ = ("eff", "tag", "attempt", "deadline", "last_sent")
+
+    def __init__(self, eff: "Send", tag: str, now: float) -> None:
+        self.eff = eff
+        self.tag = tag
+        self.attempt = 1
+        self.deadline = 0.0
+        self.last_sent = now
+
+
+class ReliableSendTracker:
+    """Driver-side bookkeeping for ``Send`` effects carrying a policy.
+
+    The driver calls :meth:`track` when it transmits a reliable send,
+    :meth:`resolve` when any message with a matching ``reply_to``
+    arrives, and :meth:`due` from its timer machinery; :meth:`due` hands
+    back ``("resend", pending)`` / ``("give_up", pending)`` actions and
+    the driver does the I/O. Deadlines merge into the driver's existing
+    timer wheel through :meth:`next_deadline`.
+    """
+
+    def __init__(
+        self,
+        timeout_policy: TimeoutPolicy,
+        rand: Callable[[], float],
+    ) -> None:
+        self.timeout_policy = timeout_policy
+        self._rand = rand
+        self._pending: dict[int, PendingSend] = {}
+        self.tracked = 0
+        self.retries = 0
+        self.resolved = 0
+        self.give_ups = 0
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def track(self, eff: "Send", now: float) -> None:
+        """Start tracking a reliable send (assigns a ``req_id`` so the
+        reply can be correlated; the caller transmits the message)."""
+        message = eff.message
+        if message.req_id is None:
+            message.req_id = fresh_req_id()
+        pending = PendingSend(eff, event_tag(eff.dst, message.mtype), now)
+        pending.deadline = now + self._interval(pending)
+        self._pending[message.req_id] = pending
+        self.tracked += 1
+
+    def _interval(self, pending: PendingSend) -> float:
+        timeout: Union[TimeoutPolicy, float, None] = pending.eff.timeout
+        if timeout is None:
+            base = self.timeout_policy.timeout_for(pending.tag)
+        elif isinstance(timeout, TimeoutPolicy):
+            base = timeout.timeout_for(pending.tag)
+        else:
+            base = float(timeout)
+        assert pending.eff.retry is not None
+        return pending.eff.retry.interval(pending.attempt, base, float(self._rand()))
+
+    def resolve(self, reply_to: Optional[int], now: float) -> Optional[PendingSend]:
+        """A reply correlated to ``reply_to`` arrived; stop retrying and
+        feed the measured response time back into the timeout policy."""
+        if reply_to is None or not self._pending:
+            return None
+        pending = self._pending.pop(reply_to, None)
+        if pending is None:
+            return None
+        self.resolved += 1
+        self.timeout_policy.observe(pending.tag, max(now - pending.last_sent, 0.0))
+        return pending
+
+    def next_deadline(self) -> Optional[float]:
+        if not self._pending:
+            return None
+        return min(p.deadline for p in self._pending.values())
+
+    def due(self, now: float) -> list[tuple[str, PendingSend]]:
+        """Expired attempts, in deterministic (req_id) order."""
+        if not self._pending:
+            return []
+        actions: list[tuple[str, PendingSend]] = []
+        for req_id in sorted(self._pending):
+            pending = self._pending[req_id]
+            if pending.deadline > now:
+                continue
+            assert pending.eff.retry is not None
+            if pending.eff.retry.should_retry(pending.attempt):
+                pending.attempt += 1
+                pending.last_sent = now
+                pending.deadline = now + self._interval(pending)
+                self.retries += 1
+                actions.append(("resend", pending))
+            else:
+                del self._pending[req_id]
+                self.give_ups += 1
+                actions.append(("give_up", pending))
+        return actions

@@ -28,6 +28,7 @@ from typing import Any, Callable, Optional
 
 from ..component import Component, Effect, LogLine, Send, SetTimer
 from ..linguafranca.messages import Message
+from ..policy import RetryPolicy
 
 __all__ = ["TaskFarmMaster", "TaskFarmWorker", "FARM_GET", "FARM_TASK",
            "FARM_RESULT", "FARM_ACK"]
@@ -38,8 +39,12 @@ FARM_RESULT = "FARM_RESULT"
 FARM_ACK = "FARM_ACK"
 
 T_REISSUE = "farm:reissue"
-T_RETRY = "farm:retry"
+T_IDLE = "farm:idle"
 T_SUBMIT = "farm:submit"
+
+# Labels on the worker's reliable sends (routed in on_send_failed).
+L_GET = "farm:get"
+L_RESULT = "farm:result"
 
 
 @dataclass
@@ -147,7 +152,12 @@ class TaskFarmWorker(Component):
 
     ``execute(task) -> result`` does the actual computation; ``cost(task)
     -> ops`` prices it so simulated time is charged against the host's
-    delivered speed. Results are retransmitted until the master ACKs.
+    delivered speed. Task pulls and result submissions are reliable
+    sends: the driver retransmits them under ``retry`` until the
+    master's correlated FARM_TASK / FARM_ACK reply arrives, and the
+    worker only hears about exhausted policies through
+    :meth:`on_send_failed`. ``retry_period`` is the idle re-poll period
+    once the farm reports itself drained.
     """
 
     def __init__(
@@ -157,25 +167,29 @@ class TaskFarmWorker(Component):
         execute: Callable[[dict], dict],
         cost: Callable[[dict], float],
         retry_period: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         super().__init__(name)
         self.master = master
         self.execute = execute
         self.cost = cost
         self.retry_period = retry_period
+        self.retry = retry or RetryPolicy(max_attempts=4)
         self.current: Optional[dict] = None
         self._result: Optional[dict] = None
         self._awaiting_ack = False
         self.tasks_done = 0
         self.ops_charged = 0.0
+        self.master_give_ups = 0
 
     # -- protocol ------------------------------------------------------------
     def _get(self) -> list[Effect]:
         return [Send(self.master, Message(
-            mtype=FARM_GET, sender=self.contact))]
+            mtype=FARM_GET, sender=self.contact),
+            retry=self.retry, label=L_GET)]
 
     def on_start(self, now: float) -> list[Effect]:
-        return [*self._get(), SetTimer(T_RETRY, self.retry_period)]
+        return self._get()
 
     def on_message(self, message: Message, now: float) -> list[Effect]:
         if message.mtype == FARM_TASK:
@@ -183,7 +197,7 @@ class TaskFarmWorker(Component):
             if task is None:
                 # Farm drained (or nothing yet): idle and re-ask later.
                 self.current = None
-                return [SetTimer(T_RETRY, self.retry_period)]
+                return [SetTimer(T_IDLE, self.retry_period)]
             self.current = task
             self._result = None
             self._awaiting_ack = False
@@ -211,18 +225,29 @@ class TaskFarmWorker(Component):
             if self._result is None:
                 self._result = self.execute(self.current)
             self._awaiting_ack = True
-            return [*self._submit(), SetTimer(T_RETRY, self.retry_period)]
-        if key == T_RETRY:
-            if self._awaiting_ack and self._result is not None:
-                # Result not acknowledged: retransmit.
-                return [*self._submit(), SetTimer(T_RETRY, self.retry_period)]
-            if self.current is None:
-                return [*self._get(), SetTimer(T_RETRY, self.retry_period)]
-            return [SetTimer(T_RETRY, self.retry_period)]
+            return self._submit()
+        if key == T_IDLE:
+            if self.current is None and not self._awaiting_ack:
+                return self._get()
+            return []
+        return []
+
+    def on_send_failed(self, send: Send, now: float) -> list[Effect]:
+        # The master stayed silent through the whole retry policy. Keep
+        # trying at give-up cadence: the farm master reissues and
+        # deduplicates, so re-pulling and re-submitting are both safe.
+        self.master_give_ups += 1
+        if send.label == L_RESULT and self._awaiting_ack and self._result is not None:
+            return [LogLine(f"master {send.dst} silent; resubmitting result"),
+                    *self._submit()]
+        if send.label == L_GET and self.current is None:
+            return [LogLine(f"master {send.dst} silent; re-requesting work"),
+                    *self._get()]
         return []
 
     def _submit(self) -> list[Effect]:
         assert self.current is not None and self._result is not None
         return [Send(self.master, Message(
             mtype=FARM_RESULT, sender=self.contact,
-            body={"task_id": self.current["id"], "result": self._result}))]
+            body={"task_id": self.current["id"], "result": self._result}),
+            retry=self.retry, label=L_RESULT)]

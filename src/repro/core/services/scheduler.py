@@ -102,6 +102,7 @@ class SchedulerStats:
     migrations: int = 0
     reaps: int = 0
     param_directives: int = 0
+    units_requeued: int = 0
 
 
 @dataclass
@@ -248,6 +249,7 @@ class SchedulerServer(Component):
             new_unit = self._assign(client, now)
             if migrated is not None:
                 self.work.requeue(migrated)
+                self.stats.units_requeued += 1
             self.stats.migrations += 1
             action, unit_payload = "migrate", new_unit
         body = {"action": action, "unit": unit_payload}
@@ -290,6 +292,7 @@ class SchedulerServer(Component):
             if now - client.last_seen > deadline:
                 if client.unit is not None:
                     self.work.requeue(client.unit)
+                    self.stats.units_requeued += 1
                 del self.clients[contact]
                 self.forecasts.drop(event_tag(contact, RATE))
                 self.stats.reaps += 1

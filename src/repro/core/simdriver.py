@@ -17,6 +17,7 @@ from ..simgrid.host import Host
 from ..simgrid.network import Address, Network
 from .component import CancelTimer, Component, Effect, LogLine, Send, SetTimer, Stop
 from .linguafranca.endpoint import SimEndpoint
+from .policy import ReliableSendTracker, TimeoutPolicy
 
 __all__ = ["SimDriver"]
 
@@ -61,6 +62,7 @@ class SimDriver:
         component: Component,
         streams,
         log_sink: Optional[LogSink] = None,
+        timeout_policy: Optional[TimeoutPolicy] = None,
     ) -> None:
         self.env = env
         self.network = network
@@ -70,6 +72,13 @@ class SimDriver:
         self.address = Address(host.name, port)
         self.endpoint = SimEndpoint(env, network, self.address)
         self.log_sink = log_sink
+        # Reply time-outs for reliable sends: forecast-driven per event
+        # tag by default (§2.2 dynamic time-out discovery), overridable
+        # per driver or per Send effect.
+        self.timeout_policy = timeout_policy or TimeoutPolicy.forecast(default=10.0)
+        # Created on the first reliable Send; None keeps the common
+        # fire-and-forget path allocation-free.
+        self.tracker: Optional[ReliableSendTracker] = None
         self._timers: dict[str, float] = {}
         self._stopped = False
         self.handler_errors = 0
@@ -91,6 +100,8 @@ class SimDriver:
     def _apply(self, effects: list[Effect]) -> None:
         for eff in effects:
             if isinstance(eff, Send):
+                if eff.retry is not None:
+                    self._reliable().track(eff, self.env.now)
                 self.endpoint.send(eff.dst, eff.message)
             elif isinstance(eff, SetTimer):
                 self._timers[eff.key] = self.env.now + eff.delay
@@ -105,11 +116,38 @@ class SimDriver:
             else:
                 raise TypeError(f"unknown effect {eff!r}")
 
+    def _reliable(self) -> ReliableSendTracker:
+        if self.tracker is None:
+            rng = self.streams.get(f"retry:{self.endpoint.contact}")
+            self.tracker = ReliableSendTracker(
+                self.timeout_policy, lambda: float(rng.random())
+            )
+        return self.tracker
+
     def _next_deadline(self) -> Optional[float]:
-        return min(self._timers.values()) if self._timers else None
+        deadline = min(self._timers.values()) if self._timers else None
+        if self.tracker is not None:
+            retry_deadline = self.tracker.next_deadline()
+            if retry_deadline is not None and (
+                deadline is None or retry_deadline < deadline
+            ):
+                deadline = retry_deadline
+        return deadline
+
+    def _service_reliable(self, now: float) -> None:
+        if self.tracker is None or not len(self.tracker):
+            return
+        for action, pending in self.tracker.due(now):
+            if self._stopped:
+                return
+            if action == "resend":
+                self.endpoint.send(pending.eff.dst, pending.eff.message)
+            else:  # give_up — the component decides how to recover.
+                self._apply(self.component.on_send_failed(pending.eff, now))
 
     def _fire_due_timers(self) -> None:
         now = self.env.now
+        self._service_reliable(now)
         while not self._stopped:
             due = [k for k, t in self._timers.items() if t <= now]
             if not due:
@@ -135,6 +173,8 @@ class SimDriver:
                 if self._stopped:
                     break
                 if message is not None:
+                    if self.tracker is not None:
+                        self.tracker.resolve(message.reply_to, self.env.now)
                     try:
                         effects = self.component.on_message(message, self.env.now)
                     except Exception as exc:  # noqa: BLE001 — robustness boundary

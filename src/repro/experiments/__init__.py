@@ -29,6 +29,26 @@ from .sc98 import (
 )
 from .scenario import ServiceCore, build_core, model_client_factory
 
+#: Chaos-matrix names resolved lazily (PEP 562) so that running
+#: ``python -m repro.experiments.chaos`` does not import the module
+#: twice (once via this package, once via runpy).
+_CHAOS_EXPORTS = {
+    "PROFILES",
+    "ChaosConfig",
+    "ChaosReport",
+    "build_plan",
+    "run_chaos",
+    "run_chaos_matrix",
+}
+
+
+def __getattr__(name):
+    if name in _CHAOS_EXPORTS:
+        from . import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "SweepOutcome",
     "bootstrap_ci",
@@ -60,4 +80,10 @@ __all__ = [
     "ServiceCore",
     "build_core",
     "model_client_factory",
+    "PROFILES",
+    "ChaosConfig",
+    "ChaosReport",
+    "build_plan",
+    "run_chaos",
+    "run_chaos_matrix",
 ]

@@ -49,6 +49,9 @@ class ServiceCore:
     persistent_contacts: list[str] = field(default_factory=list)
     work_sources: list[QueueWorkSource] = field(default_factory=list)
     service_hosts: list[Host] = field(default_factory=list)
+    #: Live service drivers, keyed by "host/port" contact (replaced on
+    #: relaunch after a fault-injected reboot).
+    service_drivers: dict[str, SimDriver] = field(default_factory=dict)
 
 
 def build_core(
@@ -66,12 +69,18 @@ def build_core(
     gossip_poll_period: float = 120.0,
     gossip_sync_period: float = 90.0,
     service_sites: Optional[list[str]] = None,
+    ks: Optional[list[int]] = None,
 ) -> ServiceCore:
     """Deploy the well-known services on stable service hosts.
 
     Services live on dedicated, reliable hosts (the paper stationed its
     Gossips "at well-known addresses around the country" and kept
     persistent state at SDSC).
+
+    ``ks`` optionally gives each scheduler its own problem size
+    (scheduler ``i`` mints units for ``ks[i % len(ks)]``); the chaos
+    scenarios use it to spread the search over several small targets so
+    distinct counter-example keys reach the persistent store.
     """
     core = ServiceCore(env=env, network=network, streams=streams)
     sites = service_sites or ["ucsd", "utk", "uva", "ncsa"]
@@ -102,20 +111,25 @@ def build_core(
             poll_period=gossip_poll_period,
             sync_period=gossip_sync_period,
         )
-        SimDriver(env, network, host, "gossip", gossip, streams).start()
+        driver = SimDriver(env, network, host, "gossip", gossip, streams)
+        driver.start()
+        core.service_drivers[driver.endpoint.contact] = driver
         core.gossips.append(gossip)
     core.gossip_contacts = gossip_contacts
 
     for i in range(n_schedulers):
         host = service_host(f"sched{i}", i)
+        sched_k = ks[i % len(ks)] if ks else k
         work = QueueWorkSource(generator=unit_generator(
-            k, n, base_seed=1000 * (i + 1), ops_budget=unit_ops_budget))
+            sched_k, n, base_seed=1000 * (i + 1), ops_budget=unit_ops_budget))
         sched = SchedulerServer(
             f"sched{i}", work,
             report_period=report_period,
             reap_period=2 * report_period,
         )
-        SimDriver(env, network, host, "sched", sched, streams).start()
+        driver = SimDriver(env, network, host, "sched", sched, streams)
+        driver.start()
+        core.service_drivers[driver.endpoint.contact] = driver
         core.schedulers.append(sched)
         core.work_sources.append(work)
         core.scheduler_contacts.append(f"sched{i}/sched")
@@ -123,7 +137,9 @@ def build_core(
     for i in range(n_loggers):
         host = service_host(f"logger{i}", i)
         logger = LoggingServer(f"logger{i}")
-        SimDriver(env, network, host, "log", logger, streams).start()
+        driver = SimDriver(env, network, host, "log", logger, streams)
+        driver.start()
+        core.service_drivers[driver.endpoint.contact] = driver
         core.loggers.append(logger)
         core.logger_contacts.append(f"logger{i}/log")
 
@@ -131,7 +147,9 @@ def build_core(
         host = service_host(f"pst{i}", i)
         pst = PersistentStateServer(f"pst{i}")
         pst.add_validator(counter_example_validator)
-        SimDriver(env, network, host, "pst", pst, streams).start()
+        driver = SimDriver(env, network, host, "pst", pst, streams)
+        driver.start()
+        core.service_drivers[driver.endpoint.contact] = driver
         core.persistents.append(pst)
         core.persistent_contacts.append(f"pst{i}/pst")
 

@@ -124,6 +124,31 @@ class InfraAdapter:
 
         self.env.process(waiter())
 
+    # -- fault injection ---------------------------------------------------------
+    def go_dark(self, reason: str = "fault:outage") -> int:
+        """Take the whole infrastructure offline at once (§5's Legion
+        anecdote: an entire testbed vanishing mid-run). Every up host
+        goes down, killing its client. Returns the number of hosts
+        downed; :meth:`relight` undoes it."""
+        downed = 0
+        for host in self.hosts:
+            if host.up:
+                host.go_down(reason)
+                downed += 1
+        return downed
+
+    def relight(self) -> int:
+        """Bring a dark infrastructure back: restart every down host and
+        relaunch a client on each. Returns the number of hosts revived."""
+        revived = 0
+        for host in self.hosts:
+            if not host.up:
+                host.go_up()
+                revived += 1
+            if host.name not in self.drivers:
+                self.launch_client(host)
+        return revived
+
     # -- accounting ------------------------------------------------------------
     def active_host_count(self) -> int:
         """Hosts currently delivering work (running a client)."""

@@ -28,6 +28,7 @@ import numpy as np
 
 from ..core.component import Component, Effect, LogLine, Send, SetTimer
 from ..core.gossip.agent import GossipAgent
+from ..core.policy import RetryPolicy
 from ..core.gossip.state import StateRecord, StateStore
 from ..core.linguafranca.messages import Message
 from ..core.services.logging import LOG_APPEND
@@ -52,6 +53,10 @@ RAMSEY_BEST = "RAMSEY_BEST"
 T_WORK = "cli:work"
 T_REPORT = "cli:report"
 T_HELLO = "cli:hello"
+
+# Labels on the client's reliable sends (routed in on_send_failed).
+L_HELLO = "cli:hello"
+L_CHECKPOINT = "cli:checkpoint"
 
 
 def ramsey_comparator(a: StateRecord, b: StateRecord) -> int:
@@ -234,6 +239,7 @@ class RamseyClient(Component):
         hello_retry: float = 20.0,
         sched_dead_factor: float = 3.0,
         seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         super().__init__(name)
         if not schedulers:
@@ -249,6 +255,9 @@ class RamseyClient(Component):
         self.hello_retry = hello_retry
         self.sched_dead_factor = sched_dead_factor
         self.seed = seed
+        #: Retransmission for hellos and checkpoints (driver-owned loop;
+        #: the client only decides what a give-up means).
+        self.retry = retry or RetryPolicy(max_attempts=3)
         self._sched_idx = 0
         self.unit: Optional[dict] = None
         self.store: Optional[StateStore] = None
@@ -262,6 +271,7 @@ class RamseyClient(Component):
         self.counter_examples_found = 0
         self.checkpoint_acks = 0
         self.checkpoint_denials = 0
+        self.checkpoint_give_ups = 0
 
     # -- helpers ------------------------------------------------------------
     @property
@@ -273,7 +283,16 @@ class RamseyClient(Component):
 
     def _hello(self) -> list[Effect]:
         return [Send(self.scheduler, Message(
-            mtype=SCH_HELLO, sender=self.contact, body={"infra": self.infra}))]
+            mtype=SCH_HELLO, sender=self.contact, body={"infra": self.infra}),
+            retry=self.retry, label=L_HELLO)]
+
+    def _checkpoint(self, found: dict) -> list[Effect]:
+        assert self.persistent is not None
+        key = f"ramsey/r{found['n']}/k{found['k']}"
+        return [Send(self.persistent, Message(
+            mtype=PST_STORE, sender=self.contact,
+            body={"key": key, "object": found}),
+            retry=self.retry, label=L_CHECKPOINT)]
 
     # -- lifecycle ------------------------------------------------------------
     def on_start(self, now: float) -> list[Effect]:
@@ -281,7 +300,8 @@ class RamseyClient(Component):
         if self.gossip_well_known:
             self.store = StateStore(self.contact)
             self.store.register(RAMSEY_BEST, comparator=ramsey_comparator)
-            self.agent = GossipAgent(self.store, self.gossip_well_known)
+            self.agent = GossipAgent(self.store, self.gossip_well_known,
+                                     retry=self.retry)
             effects.extend(self.agent.on_start(now, self.contact))
         self._last_work_mark = now
         self._last_directive = now
@@ -363,6 +383,29 @@ class RamseyClient(Component):
             return effects
         return []
 
+    def on_send_failed(self, send: Send, now: float) -> list[Effect]:
+        if self.agent is not None and GossipAgent.handles_fail(send.label):
+            return self.agent.on_send_failed(send, now, self.contact)
+        if send.label == L_HELLO:
+            # Scheduler unreachable through the whole retry policy:
+            # rotate immediately instead of waiting out the T_HELLO
+            # silence watchdog (the Condor lesson, §5.4).
+            self._rotate_scheduler()
+            self._last_directive = now
+            return [LogLine(f"scheduler {send.dst} unreachable; "
+                            f"trying {self.scheduler}"),
+                    *self._hello()]
+        if send.label == L_CHECKPOINT:
+            # A counter-example must never be lost to a transient outage
+            # of the persistent state manager: keep resubmitting (the
+            # store is idempotent per key).
+            self.checkpoint_give_ups += 1
+            return [LogLine("persistent store unreachable; "
+                            "re-sending checkpoint", level="warning"),
+                    Send(send.dst, send.message, retry=self.retry,
+                         label=L_CHECKPOINT)]
+        return []
+
     def _work_slice(self, now: float) -> list[Effect]:
         elapsed = now - self._last_work_mark
         self._last_work_mark = now
@@ -393,10 +436,7 @@ class RamseyClient(Component):
                 f"counter-example found for R({status.found['n']}) on "
                 f"k={status.found['k']}"))
             if self.persistent is not None:
-                key = f"ramsey/r{status.found['n']}/k{status.found['k']}"
-                effects.append(Send(self.persistent, Message(
-                    mtype=PST_STORE, sender=self.contact,
-                    body={"key": key, "object": status.found})))
+                effects.extend(self._checkpoint(status.found))
             if self.agent is not None and self.store is not None:
                 effects.extend(self.agent.push(self.contact))
         if status.done:

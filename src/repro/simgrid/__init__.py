@@ -11,6 +11,15 @@ from .engine import (
     SimulationError,
     Timeout,
 )
+from .faults import (
+    FaultPlan,
+    FaultStats,
+    HostCrash,
+    InfraOutage,
+    MessageChaos,
+    SitePartition,
+)
+from .network import Address, AddressError, Network
 from .resources import Gate, Store, get_with_timeout
 
 __all__ = [
@@ -23,6 +32,15 @@ __all__ = [
     "Process",
     "SimulationError",
     "Timeout",
+    "Address",
+    "AddressError",
+    "FaultPlan",
+    "FaultStats",
+    "HostCrash",
+    "InfraOutage",
+    "MessageChaos",
+    "Network",
+    "SitePartition",
     "Gate",
     "Store",
     "get_with_timeout",

@@ -24,7 +24,15 @@ from .load import EventSchedule, LoadModel
 from .rand import PrefixedStreams, RngStreams
 from .resources import Store
 
-__all__ = ["Address", "Network", "NetworkStats", "Delivery"]
+__all__ = ["Address", "AddressError", "Network", "NetworkStats", "Delivery"]
+
+
+class AddressError(ValueError):
+    """Canonical error for malformed endpoint addresses.
+
+    Subclasses :class:`ValueError` so pre-existing ``except ValueError``
+    callers keep working.
+    """
 
 
 @dataclass(frozen=True, order=True)
@@ -40,8 +48,8 @@ class Address:
     @classmethod
     def parse(cls, text: str) -> "Address":
         host, sep, port = text.partition("/")
-        if not sep or not host or not port:
-            raise ValueError(f"bad address {text!r} (want 'host/port')")
+        if not sep or not host or not port or "/" in port:
+            raise AddressError(f"bad address {text!r} (want 'host/port')")
         return cls(host, port)
 
 
@@ -54,6 +62,10 @@ class NetworkStats:
     dropped_unbound: int = 0
     dropped_loss: int = 0
     bytes_delivered: int = 0
+    # Fault-injection accounting (see repro.simgrid.faults.MessageChaos).
+    dropped_fault: int = 0
+    duplicated_fault: int = 0
+    delayed_fault: int = 0
 
 
 @dataclass
@@ -95,6 +107,11 @@ class Network:
         self._mailboxes: dict[Address, Store] = {}
         self._site_latency: dict[tuple[str, str], float] = {}
         self._partition_groups: list[frozenset[str]] = []
+        #: Active message-chaos injector (duck-typed: anything with a
+        #: ``fates(rng) -> Optional[list[float]]`` method; installed and
+        #: removed by :class:`repro.simgrid.faults.FaultPlan`). ``None``
+        #: keeps the send path on its zero-overhead fast path.
+        self.chaos = None
         self.stats = NetworkStats()
         # Congestion >= 1 multiplies latency and divides bandwidth.
         self._congestion = 1.0
@@ -206,6 +223,9 @@ class Network:
             self.stats.dropped_loss += 1
             return
         delay = self.delay(src.host, dst.host, len(payload))
+        if self.chaos is not None:
+            self._send_chaotic(src, dst, payload, delay)
+            return
         delivery = Delivery(
             src=src,
             dst=dst,
@@ -217,6 +237,33 @@ class Network:
         timer = self.env.timeout(delay)
         assert timer.callbacks is not None
         timer.callbacks.append(lambda _ev: self._deliver(delivery))
+
+    def _send_chaotic(self, src: Address, dst: Address, payload: bytes,
+                      delay: float) -> None:
+        """Slow path behind an active fault injector: the chaos hook maps
+        one logical send to zero (drop), one, or several (duplicate)
+        physical deliveries, each with an optional extra delay — extra
+        delays on a subset of traffic are what reorder messages."""
+        fates = self.chaos.fates(self._rng)
+        if not fates:
+            self.stats.dropped_fault += 1
+            return
+        if len(fates) > 1:
+            self.stats.duplicated_fault += len(fates) - 1
+        for extra in fates:
+            if extra > 0.0:
+                self.stats.delayed_fault += 1
+            delivery = Delivery(
+                src=src,
+                dst=dst,
+                payload=payload,
+                sent_at=self.env.now,
+                delivered_at=self.env.now + delay + extra,
+            )
+            timer = self.env.timeout(delay + extra)
+            assert timer.callbacks is not None
+            timer.callbacks.append(
+                lambda _ev, _d=delivery: self._deliver(_d))
 
     def _deliver(self, delivery: Delivery) -> None:
         dst_host = self._hosts.get(delivery.dst.host)

@@ -118,7 +118,7 @@ def test_worker_computes_and_submits():
     assert worker.tasks_done == 1
 
 
-def test_worker_retries_unacked_result():
+def test_worker_submits_reliably_and_resubmits_on_give_up():
     worker = TaskFarmWorker("w", "m/farm",
                             execute=lambda t: {"ok": 1},
                             cost=lambda t: 10.0, retry_period=5.0)
@@ -126,12 +126,19 @@ def test_worker_retries_unacked_result():
     worker.on_start(0.0)
     worker.on_message(msg(FARM_TASK, sender="m/farm",
                           body={"task": {"id": "t0"}}), 1.0)
-    worker.on_timer("farm:submit", 2.0)
-    # No ACK arrives; the retry timer must retransmit the same result.
-    effects = worker.on_timer("farm:retry", 7.0)
+    # The submission is a reliable send: the *driver* retransmits it
+    # until the master's FARM_ACK; the component just marks it so.
+    (send, *_) = sends_of(worker.on_timer("farm:submit", 2.0))
+    assert send.message.mtype == FARM_RESULT
+    assert send.retry is worker.retry
+    assert send.label == "farm:result"
+    # If the whole policy is exhausted the worker resubmits afresh
+    # (masters deduplicate, so this is always safe).
+    effects = worker.on_send_failed(send, 60.0)
     sends = sends_of(effects)
     assert sends and sends[0].message.mtype == FARM_RESULT
     assert sends[0].message.body["task_id"] == "t0"
+    assert worker.master_give_ups == 1
 
 
 def test_worker_idle_when_farm_drained():
@@ -141,8 +148,8 @@ def test_worker_idle_when_farm_drained():
     worker.on_start(0.0)
     effects = worker.on_message(msg(FARM_TASK, sender="m/farm",
                                     body={"task": None}), 1.0)
-    assert not sends_of(effects)  # just waits and retries later
-    effects = worker.on_timer("farm:retry", 40.0)
+    assert not sends_of(effects)  # just waits and re-polls later
+    effects = worker.on_timer("farm:idle", 40.0)
     assert sends_of(effects)[0].message.mtype == FARM_GET
 
 

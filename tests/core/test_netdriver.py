@@ -169,3 +169,37 @@ def test_real_gossip_pool_over_tcp():
         assert wait_until(lambda: gossip.stats.states_received >= 1)
     assert worker.contact in gossip.registry
     assert gossip.freshest["NOTE"].data == {"v": 1}
+
+
+def test_netdriver_default_timeout_policy_is_forecast_driven():
+    driver = NetDriver(EchoComponent())
+    try:
+        assert driver.timeout_policy.dynamic
+        assert driver.timeout_policy.timeout_for() == pytest.approx(2.0)
+    finally:
+        driver.close()
+
+
+def test_netdriver_send_timeout_kwarg_deprecated_but_honored():
+    with pytest.deprecated_call():
+        driver = NetDriver(EchoComponent(), send_timeout=1.5)
+    try:
+        assert not driver.timeout_policy.dynamic
+        assert driver.timeout_policy.timeout_for("any#TAG") == 1.5
+    finally:
+        driver.close()
+
+
+def test_netdriver_explicit_policy_wins_silently():
+    import warnings
+
+    from repro.core.policy import TimeoutPolicy
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        driver = NetDriver(EchoComponent(),
+                           timeout_policy=TimeoutPolicy.static(3.0))
+    try:
+        assert driver.timeout_policy.timeout_for() == 3.0
+    finally:
+        driver.close()

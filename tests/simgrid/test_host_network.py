@@ -393,3 +393,13 @@ def test_trace_load_drives_a_host():
     assert host.effective_speed() == pytest.approx(1000.0)
     env.run(until=91)
     assert host.effective_speed() == pytest.approx(500.0)
+
+
+def test_address_parse_raises_canonical_error():
+    from repro.simgrid.network import AddressError
+
+    for bad in ("noport", "", "a/b/c", "/", "a/", "/b"):
+        with pytest.raises(AddressError):
+            Address.parse(bad)
+    # AddressError stays a ValueError for pre-existing callers.
+    assert issubclass(AddressError, ValueError)
