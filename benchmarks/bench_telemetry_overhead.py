@@ -1,0 +1,139 @@
+"""Telemetry must be free when off (observability satellite gate).
+
+Two checks:
+
+* **Baseline gate** — with tracing disabled and no profiler attached, the
+  engine hot paths may not regress more than 3% against the tree that
+  last refreshed ``BENCH_engine.json`` (the PR that established the perf
+  baseline). Separate-process wall-clock numbers are useless at that
+  tolerance — machine noise alone exceeds it — so under
+  ``REPRO_PERF_STRICT=1`` this bench checks the baseline commit out into
+  a temporary git worktree and alternates timed rounds between the two
+  checkouts in one process, the same interleaving that
+  ``perf_snapshot.py --before-tree`` uses. Skipped when strict mode is
+  off or the baseline commit is unreachable (shallow clone).
+
+* **Tracing cost report** — the driver hot path with tracing on vs off,
+  interleaved in-process on the current tree. Informational: enabling
+  spans is allowed to cost, being *able* to enable them is not.
+"""
+
+import os
+import pathlib
+import subprocess
+import tempfile
+
+import pytest
+
+import perf_snapshot
+import workloads
+from conftest import save_artifact
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+STRICT = os.environ.get("REPRO_PERF_STRICT") == "1"
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
+N_EVENTS = int(os.environ.get("REPRO_BENCH_EVENTS",
+                              workloads.N_TIMEOUT_EVENTS))
+N_CYCLES = int(os.environ.get("REPRO_BENCH_ROUNDTRIPS",
+                              workloads.N_ROUNDTRIPS))
+N_DRIVER = int(os.environ.get("REPRO_BENCH_DRIVER_ROUNDTRIPS",
+                              workloads.N_DRIVER_ROUNDTRIPS))
+
+#: Maximum allowed regression of the telemetry-disabled tree against the
+#: perf-baseline tree, measured interleaved.
+DISABLED_OVERHEAD_TOLERANCE = 0.03
+
+GATED_WORKLOADS = {
+    "timeout_storm": ("events/s", lambda: workloads.run_timeout_storm(N_EVENTS)),
+    "message_pingpong": ("roundtrips/s",
+                         lambda: workloads.run_message_pingpong(N_CYCLES)),
+}
+
+
+def _git(*argv: str) -> str:
+    return subprocess.check_output(("git", "-C", str(REPO_ROOT)) + argv,
+                                   text=True).strip()
+
+
+def _baseline_commit() -> str:
+    """The commit that last refreshed the committed perf baseline."""
+    sha = _git("log", "-n1", "--format=%H", "--", "BENCH_engine.json")
+    if not sha:
+        raise RuntimeError("BENCH_engine.json has no history")
+    return sha
+
+
+def _interleaved_medians(fn, baseline_src: str | None, rounds: int):
+    """Alternate timed rounds of ``fn`` between the baseline checkout and
+    the current tree; return (baseline_median, current_median)."""
+    baseline_rates, current_rates = [], []
+    for _ in range(rounds):
+        if baseline_src is not None:
+            baseline_rates.append(
+                perf_snapshot._one_interleaved_round(baseline_src, fn))
+        current_rates.append(perf_snapshot._one_interleaved_round(None, fn))
+    current_rates.sort()
+    current = current_rates[len(current_rates) // 2]
+    if baseline_src is None:
+        return None, current
+    baseline_rates.sort()
+    return baseline_rates[len(baseline_rates) // 2], current
+
+
+def test_disabled_telemetry_within_3pct_of_baseline(artifact_dir):
+    if not STRICT:
+        pytest.skip("interleaved baseline gate only runs under "
+                    "REPRO_PERF_STRICT=1")
+    try:
+        sha = _baseline_commit()
+        worktree = tempfile.mkdtemp(prefix="repro-perf-baseline-")
+        _git("worktree", "add", "--detach", worktree, sha)
+    except (subprocess.CalledProcessError, RuntimeError) as exc:
+        pytest.skip(f"baseline tree unavailable (shallow clone?): {exc}")
+    baseline_src = str(pathlib.Path(worktree) / "src")
+    lines = [f"Telemetry-disabled overhead vs perf-baseline tree "
+             f"{sha[:12]} (interleaved, {ROUNDS} rounds):"]
+    failures = []
+    try:
+        for name, (unit, fn) in GATED_WORKLOADS.items():
+            base, current = _interleaved_medians(fn, baseline_src, ROUNDS)
+            ratio = current / base
+            lines.append(f"  {name:<18} baseline {base:12,.0f} {unit:<12} "
+                         f"current {current:12,.0f}  ({ratio:.3f}x)")
+            if ratio < 1.0 - DISABLED_OVERHEAD_TOLERANCE:
+                failures.append(f"{name}: {current:,.0f} {unit} is "
+                                f"{(1 - ratio) * 100:.1f}% below the "
+                                f"baseline tree's {base:,.0f}")
+    finally:
+        subprocess.run(["git", "-C", str(REPO_ROOT), "worktree", "remove",
+                        "--force", worktree], check=False)
+    save_artifact(artifact_dir, "telemetry_overhead.txt", "\n".join(lines))
+    assert not failures, "; ".join(failures)
+
+
+def test_tracing_cost_is_reported(artifact_dir):
+    def traced():
+        return workloads.run_driver_pingpong(N_DRIVER, trace=True)
+
+    def untraced():
+        return workloads.run_driver_pingpong(N_DRIVER, trace=False)
+
+    traced_rates, untraced_rates = [], []
+    untraced()  # warm-up (imports, allocator)
+    for _ in range(ROUNDS):
+        untraced_rates.append(
+            perf_snapshot._one_interleaved_round(None, untraced))
+        traced_rates.append(perf_snapshot._one_interleaved_round(None, traced))
+    untraced_rates.sort()
+    traced_rates.sort()
+    off = untraced_rates[len(untraced_rates) // 2]
+    on = traced_rates[len(traced_rates) // 2]
+    lines = [
+        "Driver round trips with tracing on vs off (current tree, "
+        f"interleaved, {ROUNDS} rounds of {N_DRIVER:,}):",
+        f"  tracing off : {off:12,.0f} roundtrips/s",
+        f"  tracing on  : {on:12,.0f} roundtrips/s  "
+        f"({off / on:.2f}x cost to enable)",
+    ]
+    save_artifact(artifact_dir, "tracing_cost.txt", "\n".join(lines))
+    assert off > 0 and on > 0

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 N_TIMEOUT_EVENTS = 200_000
 N_ROUNDTRIPS = 5_000
+N_DRIVER_ROUNDTRIPS = 3_000
 N_TABU_STEPS = 200
 N_RECOUNTS = 20
 N_INGEST_RECORDS = 200_000
@@ -73,6 +74,59 @@ def run_message_pingpong(n: int = N_ROUNDTRIPS) -> int:
     proc = env.process(client_proc(env))
     env.run(until=proc)
     assert proc.value == n
+    return n
+
+
+def run_driver_pingpong(n: int = N_DRIVER_ROUNDTRIPS, trace: bool = False) -> int:
+    """Request/response cycles through the component driver — the path
+    the observability layer instruments (telemetry counters, optional
+    span begin/finish per send, recv and timer)."""
+    from repro.core.component import Component, Send
+    from repro.core.linguafranca.messages import Message
+    from repro.core.simdriver import SimDriver
+    from repro.core.telemetry import Telemetry
+    from repro.simgrid.engine import Environment
+    from repro.simgrid.host import Host, HostSpec
+    from repro.simgrid.network import Network
+    from repro.simgrid.rand import RngStreams
+
+    class Ping(Component):
+        def __init__(self):
+            super().__init__("ping")
+            self.left = n
+
+        def on_start(self, now):
+            return [Send("b/pong", Message(mtype="PING", sender=self.contact,
+                                           body={}))]
+
+        def on_message(self, message, now):
+            self.left -= 1
+            if self.left <= 0:
+                return []
+            return [Send("b/pong", Message(mtype="PING", sender=self.contact,
+                                           body={}))]
+
+    class Pong(Component):
+        def on_message(self, message, now):
+            return [Send(message.sender,
+                         message.reply("PONG", sender=self.contact))]
+
+    env = Environment()
+    streams = RngStreams(seed=1)
+    net = Network(env, streams, jitter=0.0)
+    hosts = {name: Host(env, HostSpec(name=name), streams)
+             for name in ("a", "b")}
+    for h in hosts.values():
+        net.add_host(h)
+    telemetry = Telemetry(trace=trace)
+    net.attach_telemetry(telemetry)
+    ping = Ping()
+    SimDriver(env, net, hosts["b"], "pong", Pong("pong"), streams,
+              telemetry=telemetry).start()
+    SimDriver(env, net, hosts["a"], "cli", ping, streams,
+              telemetry=telemetry).start()
+    env.run()
+    assert ping.left == 0
     return n
 
 

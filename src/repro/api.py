@@ -27,6 +27,9 @@ The surface groups into five layers:
   scheduler, persistent state, logging, task farm) and the prebuilt
   experiment worlds (:func:`build_core`, :func:`build_sc98`,
   :func:`run_chaos`).
+* **Observability** — :class:`Telemetry` (metrics registry + causal
+  tracer), the :class:`EngineProfiler`, and the Chrome-trace/metrics
+  exporters (see DESIGN.md §9 and ``repro trace``).
 """
 
 from __future__ import annotations
@@ -45,6 +48,20 @@ from .core.component import (
 
 # -- retry / timeout policies ----------------------------------------------
 from .core.policy import RetryPolicy, TimeoutPolicy
+
+# -- observability ----------------------------------------------------------
+from .core.telemetry import (
+    MetricsRegistry,
+    Span,
+    Telemetry,
+    TraceContext,
+    Tracer,
+    export_chrome_trace,
+    render_timeline,
+    write_metrics_json,
+    write_trace_json,
+)
+from .simgrid.profile import EngineProfiler
 
 # -- drivers and transport -------------------------------------------------
 from .core.simdriver import SimDriver
@@ -115,6 +132,12 @@ from .experiments.chaos import (
     run_chaos,
     run_chaos_matrix,
 )
+from .experiments.observe import (
+    ObserveConfig,
+    ObserveWorld,
+    requeue_chains,
+    run_observe,
+)
 
 __all__ = [
     # components and effects
@@ -129,6 +152,17 @@ __all__ = [
     # policies
     "RetryPolicy",
     "TimeoutPolicy",
+    # observability
+    "MetricsRegistry",
+    "Span",
+    "Telemetry",
+    "TraceContext",
+    "Tracer",
+    "export_chrome_trace",
+    "render_timeline",
+    "write_metrics_json",
+    "write_trace_json",
+    "EngineProfiler",
     # drivers and transport
     "SimDriver",
     "NetDriver",
@@ -198,4 +232,8 @@ __all__ = [
     "build_plan",
     "run_chaos",
     "run_chaos_matrix",
+    "ObserveConfig",
+    "ObserveWorld",
+    "requeue_chains",
+    "run_observe",
 ]

@@ -5,6 +5,8 @@ Commands
 ``sc98``    run the SC98 scenario and print/export the paper's figures
 ``ramsey``  run a counter-example search locally (real kernels)
 ``pet``     run the distributed PET reconstruction demo
+``trace``   run a scenario with causal tracing on; export Chrome trace
+``metrics`` run a scenario and print/export its metrics snapshot
 ``info``    print version and system inventory
 """
 
@@ -109,6 +111,105 @@ def _cmd_pet(args: argparse.Namespace) -> int:
     return 0 if corr > 0.8 else 1
 
 
+def _run_observed(args: argparse.Namespace, trace: bool):
+    """Build and run the scenario named by ``args``; returns
+    (report dict, telemetry, engine profiler or None)."""
+    profiler = None
+    if getattr(args, "profile_engine", False):
+        from .simgrid.profile import EngineProfiler
+
+        profiler = EngineProfiler()
+    if args.scenario == "observe":
+        from .experiments.observe import ObserveConfig, ObserveWorld
+
+        cfg = ObserveConfig(seed=args.seed, duration=args.duration)
+        world = ObserveWorld(cfg, trace=trace)
+        world.env.profiler = profiler
+        report = world.run()
+        return report, world.telemetry, profiler
+    from .experiments.chaos import ChaosConfig, ChaosWorld
+    from .experiments.observe import requeue_chains
+
+    cfg = ChaosConfig(seed=args.seed, duration=args.duration)
+    world = ChaosWorld(args.chaos_profile, cfg, trace=trace)
+    world.env.profiler = profiler
+    report = world.run().to_dict()
+    if trace:
+        report["requeue_chains"] = requeue_chains(world.telemetry)
+    return report, world.telemetry, profiler
+
+
+def _observed_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scenario", choices=["observe", "chaos"],
+                   default="observe")
+    p.add_argument("--chaos-profile", default="crash-heavy",
+                   help="fault profile when --scenario chaos")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--duration", type=float, default=420.0)
+    p.add_argument("--out", type=str, default=None,
+                   help="directory for trace/metrics JSON exports")
+    p.add_argument("--profile-engine", action="store_true",
+                   help="profile the event loop and handler latencies")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .core.telemetry import render_timeline, write_metrics_json, write_trace_json
+
+    from .experiments.report import render_trace_summary
+
+    report, telemetry, profiler = _run_observed(args, trace=True)
+    chains = report.get("requeue_chains", [])
+    print(render_trace_summary(telemetry))
+    print(f"\n{len(chains)} fault->requeue chain(s)")
+    for chain in chains:
+        print(f"  unit {chain['unit_id']} on {chain['client']}: "
+              f"{' <- '.join(chain['faults']) or 'no fault linked'} -> "
+              f"{len(chain['drops'])} drop(s) -> {chain['retransmits']} "
+              f"retransmit(s) -> {chain['call']} {chain['call_outcome']} "
+              f"-> requeued at t={chain['requeued_at']:.1f}s")
+    if args.timeline:
+        print()
+        print(render_timeline(telemetry, limit=args.timeline))
+    if profiler is not None:
+        print()
+        print(profiler.render())
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        paths = [
+            write_trace_json(telemetry, os.path.join(args.out, "trace.json")),
+            write_metrics_json(telemetry, os.path.join(args.out, "metrics.json")),
+        ]
+        report_path = os.path.join(args.out, "report.json")
+        with open(report_path, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        paths.append(report_path)
+        print("\nwrote: " + ", ".join(paths))
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .core.telemetry import write_metrics_json
+
+    report, telemetry, profiler = _run_observed(args, trace=False)
+    snapshot = telemetry.snapshot()
+    print(json.dumps(snapshot, indent=1, sort_keys=True))
+    if profiler is not None:
+        print()
+        print(profiler.render())
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = write_metrics_json(telemetry, os.path.join(args.out, "metrics.json"))
+        print(f"\nwrote: {path}")
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
 
@@ -157,6 +258,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--angles", type=int, default=36)
     p.add_argument("--workers", type=int, default=4)
     p.set_defaults(func=_cmd_pet)
+
+    p = sub.add_parser("trace", help="run a traced scenario; export Chrome trace")
+    _observed_arguments(p)
+    p.add_argument("--timeline", type=int, nargs="?", const=200, default=0,
+                   help="print a text timeline (optionally: max lines)")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("metrics", help="run a scenario; print metrics snapshot")
+    _observed_arguments(p)
+    p.set_defaults(func=_cmd_metrics)
 
     p = sub.add_parser("info", help="version and inventory")
     p.set_defaults(func=_cmd_info)

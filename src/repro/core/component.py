@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Optional, Protocol, Union
 
 from .linguafranca.messages import Message
+from .telemetry import Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard (policy imports forecasting,
     # whose sensors are themselves components)
@@ -150,10 +151,21 @@ class Component:
     def __init__(self, name: str) -> None:
         self.name = name
         self.runtime: Optional[Runtime] = None
+        #: World-shared observability handle; the driver rebinds it before
+        #: ``on_start``. The private default keeps unbound components (unit
+        #: tests, NullRuntime) working — metrics land in a throwaway
+        #: registry and tracing stays off.
+        self.telemetry: Telemetry = Telemetry()
 
     # -- wiring ------------------------------------------------------------
     def bind_runtime(self, runtime: Runtime) -> None:
         self.runtime = runtime
+
+    def bind_telemetry(self, telemetry: Telemetry) -> None:
+        """Attach the world's metrics registry + tracer. Components must
+        fetch metric handles lazily (or in ``on_start``), never in
+        ``__init__``, so they land in the bound registry."""
+        self.telemetry = telemetry
 
     @property
     def contact(self) -> str:

@@ -126,6 +126,10 @@ class GossipServer(Component):
         )
         self.stats = GossipStats()
         self.clique: Optional[CliqueState] = None
+        #: Last observed clique membership, for reconfiguration detection
+        #: (``gossip.clique_reconfigs`` counts regime changes this member
+        #: witnessed — elections, joins, partitions shrinking the pool).
+        self._members_view: tuple[str, ...] = ()
 
     # -- lifecycle ------------------------------------------------------------
     def on_start(self, now: float) -> list[Effect]:
@@ -142,6 +146,10 @@ class GossipServer(Component):
         effects.extend(self.clique.start(now))
         effects.append(SetTimer(T_POLL, self.poll_period))
         effects.append(SetTimer(T_SYNC, self.sync_period))
+        self._members_view = tuple(self.pool_members())
+        self.telemetry.metrics.gauge(
+            "gossip.clique_size", component=self.name).set(
+                len(self._members_view))
         return effects
 
     # -- responsibility partitioning ------------------------------------------
@@ -161,7 +169,9 @@ class GossipServer(Component):
     def on_message(self, message: Message, now: float) -> list[Effect]:
         if message.mtype in CLIQUE_MTYPES:
             assert self.clique is not None
-            return self.clique.on_message(message, now)
+            effects = self.clique.on_message(message, now)
+            self._note_membership(now)
+            return effects
         handler = {
             GOS_REG: self._on_register,
             GOS_STATE: self._on_state,
@@ -172,6 +182,22 @@ class GossipServer(Component):
         if handler is None:
             return []
         return handler(message, now)
+
+    def _note_membership(self, now: float) -> None:
+        """Record a clique regime change, if the last event caused one."""
+        members = tuple(self.pool_members())
+        if members == self._members_view:
+            return
+        before, self._members_view = self._members_view, members
+        metrics = self.telemetry.metrics
+        metrics.counter("gossip.clique_reconfigs", component=self.name).inc()
+        metrics.gauge("gossip.clique_size", component=self.name).set(
+            len(members))
+        self.telemetry.event(
+            "clique reconfigure", now, component=self.name,
+            outcome="reconfigure", size=len(members),
+            joined=sorted(set(members) - set(before)),
+            left=sorted(set(before) - set(members)))
 
     def _on_register(self, message: Message, now: float) -> list[Effect]:
         contact = message.sender
@@ -277,7 +303,9 @@ class GossipServer(Component):
     def on_timer(self, key: str, now: float) -> list[Effect]:
         if key.startswith("clq:"):
             assert self.clique is not None
-            return self.clique.on_timer(key, now)
+            effects = self.clique.on_timer(key, now)
+            self._note_membership(now)
+            return effects
         if key == T_POLL:
             return self._poll_round(now) + [SetTimer(T_POLL, self.poll_period)]
         if key == T_SYNC:
@@ -307,6 +335,8 @@ class GossipServer(Component):
                 del self.registry[contact]
                 self.forecasts.drop(event_tag(contact, GOS_POLL))
                 self.stats.evictions += 1
+                self.telemetry.metrics.counter(
+                    "gossip.evictions", component=self.name).inc()
                 effects.append(LogLine(f"evicting silent component {contact}"))
                 for peer in self.pool_members():
                     if peer != self.contact:

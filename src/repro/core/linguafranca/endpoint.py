@@ -57,7 +57,11 @@ class SimEndpoint:
         """Encode and transmit; fire-and-forget."""
         if not message.sender:
             message.sender = self.contact
-        self.network.send(self.address, _as_address(dst), message.encode())
+        # The trace context rides along out-of-band too, so the network
+        # can attribute in-flight drops to the causing fault without
+        # decoding payloads.
+        self.network.send(self.address, _as_address(dst), message.encode(),
+                          trace=message.trace)
 
     # -- receiving ---------------------------------------------------------
     def recv(self, timeout: Optional[float] = None) -> Generator:

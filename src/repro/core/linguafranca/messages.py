@@ -37,9 +37,10 @@ def fresh_req_id() -> int:
 #: body's *insertion order*, since json.dumps preserves it — so a hit
 #: returns exactly the bytes a fresh encode would produce. Messages whose
 #: body holds unhashable values (nested dicts/lists) skip the cache, as
-#: does anything carrying a ``req_id``/``reply_to``: those ids are
-#: process-unique, so such messages can never repeat and caching them
-#: would be pure miss overhead.
+#: does anything carrying a ``req_id``/``reply_to``: correlated messages
+#: are unique per conversation, so caching them would be pure miss
+#: overhead. Trace contexts are likewise unique per send, so traced
+#: messages skip the cache too.
 _encode_cache: dict[tuple, bytes] = {}
 _ENCODE_CACHE_MAX = 2048
 
@@ -48,7 +49,7 @@ class MessageError(Exception):
     """Malformed message content."""
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One lingua-franca record.
 
@@ -62,11 +63,15 @@ class Message:
     body: dict = field(default_factory=dict)
     req_id: Optional[int] = None
     reply_to: Optional[int] = None
+    #: Causal trace context ``(trace_id, parent span_id)`` stamped by the
+    #: sending driver when tracing is enabled (wire field ``"t"``). See
+    #: :mod:`repro.core.telemetry`.
+    trace: Optional[tuple[int, int]] = None
 
     def encode(self) -> bytes:
         """Serialize to a framed packet."""
         key = None
-        if self.req_id is None and self.reply_to is None:
+        if self.req_id is None and self.reply_to is None and self.trace is None:
             try:
                 key = (self.mtype, self.sender, tuple(self.body.items()))
                 cached = _encode_cache.get(key)
@@ -79,6 +84,8 @@ class Message:
             record["q"] = self.req_id
         if self.reply_to is not None:
             record["r"] = self.reply_to
+        if self.trace is not None:
+            record["t"] = [self.trace[0], self.trace[1]]
         try:
             payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
         except (TypeError, ValueError) as exc:
@@ -108,12 +115,19 @@ class Message:
         body = record["b"]
         if not isinstance(body, dict):
             raise MessageError("message body must be an object")
+        trace = None
+        raw_trace = record.get("t")
+        if raw_trace is not None:  # rare: only traced runs pay validation
+            if (isinstance(raw_trace, (list, tuple)) and len(raw_trace) == 2
+                    and all(isinstance(x, int) for x in raw_trace)):
+                trace = (raw_trace[0], raw_trace[1])
         return cls(
             mtype=mtype,
             sender=record["s"],
             body=body,
             req_id=record.get("q"),
             reply_to=record.get("r"),
+            trace=trace,
         )
 
     def reply(self, mtype: str, sender: str, body: Optional[dict] = None) -> "Message":

@@ -27,6 +27,7 @@ from .forecasting.benchmarking import event_tag
 from .linguafranca.messages import Message
 from .linguafranca.tcp import TcpClient, TcpServer, TransportError
 from .policy import ReliableSendTracker, TimeoutPolicy
+from .telemetry import Telemetry
 
 __all__ = ["NetDriver"]
 
@@ -63,6 +64,7 @@ class NetDriver:
         seed: Optional[int] = None,
         timeout_policy: Optional[TimeoutPolicy] = None,
         send_timeout: Optional[float] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         if send_timeout is not None:
             warnings.warn(
@@ -90,21 +92,52 @@ class NetDriver:
         self.send_errors = 0
         self.handler_errors = 0
         self._started = False
+        # Same observability surface as SimDriver: a shared world handle
+        # or a private tracing-off default. Span timestamps here are wall
+        # seconds since driver start (there is no simulated clock).
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._timer_ctx: dict[str, Optional[tuple[int, int]]] = {}
+        component.bind_telemetry(self.telemetry)
 
     def now(self) -> float:
         return time.monotonic() - self._t0
 
     # -- effects ------------------------------------------------------------
     def _apply(self, effects: list[Effect]) -> None:
+        tracer = self.telemetry.tracer
         for eff in effects:
             if isinstance(eff, Send):
+                message = eff.message
                 if eff.retry is not None:
-                    self._reliable().track(eff, self.now())
+                    pending = self._reliable().track(eff, self.now())
+                    if tracer.enabled:
+                        parent = (message.trace if message.trace is not None
+                                  else tracer.current_ctx())
+                        span = tracer.begin(f"call {message.mtype}",
+                                            component=self.component.name,
+                                            parent=parent, start=self.now(),
+                                            mtype=message.mtype)
+                        if eff.label:
+                            span.args["label"] = eff.label
+                        if message.trace is None:
+                            message.trace = (span.trace_id, span.span_id)
+                        pending.span = span
+                elif tracer.enabled and message.trace is None:
+                    span = tracer.instant(f"send {message.mtype}", self.now(),
+                                          component=self.component.name,
+                                          parent=tracer.current_ctx(),
+                                          mtype=message.mtype)
+                    message.trace = (span.trace_id, span.span_id)
+                self.telemetry.metrics.counter(
+                    "msg.sent", mtype=message.mtype).inc()
                 self._transmit(eff)
             elif isinstance(eff, SetTimer):
                 self._timers[eff.key] = self.now() + eff.delay
+                if tracer.enabled:
+                    self._timer_ctx[eff.key] = tracer.current_ctx()
             elif isinstance(eff, CancelTimer):
                 self._timers.pop(eff.key, None)
+                self._timer_ctx.pop(eff.key, None)
             elif isinstance(eff, LogLine):
                 if self.log_sink is not None:
                     self.log_sink(self.now(), self.component.name,
@@ -138,34 +171,81 @@ class NetDriver:
 
     def _reliable(self) -> ReliableSendTracker:
         if self.tracker is None:
-            self.tracker = ReliableSendTracker(self.timeout_policy, self._rng.random)
+            self.tracker = ReliableSendTracker(
+                self.timeout_policy, self._rng.random,
+                metrics=self.telemetry.metrics)
         return self.tracker
 
     def _handle(self, message: Message) -> Optional[Message]:
+        now = self.now()
+        tracer = self.telemetry.tracer
         if self.tracker is not None:
-            self.tracker.resolve(message.reply_to, self.now())
+            resolved = self.tracker.resolve(message.reply_to, now)
+            if resolved is not None and resolved.span is not None:
+                tracer.finish(resolved.span, now, "ok")
+        self.telemetry.metrics.counter("msg.recv", mtype=message.mtype).inc()
+        span = None
+        if tracer.enabled:
+            span = tracer.begin(f"recv {message.mtype}",
+                                component=self.component.name,
+                                parent=message.trace, start=now,
+                                mtype=message.mtype)
+            tracer.current = span
+        outcome = "ok"
         try:
-            effects = self.component.on_message(message, self.now())
+            effects = self.component.on_message(message, now)
         except Exception as exc:  # noqa: BLE001 — robustness boundary
             self.handler_errors += 1
+            outcome = "error"
             if self.log_sink is not None:
                 self.log_sink(self.now(), self.component.name, "error",
                               f"dropped {message.mtype}: {exc!r}")
             effects = []
-        self._apply(effects)
+        try:
+            self._apply(effects)
+        finally:
+            if span is not None:
+                tracer.finish(span, self.now(), outcome)
+                tracer.current = None
         return None  # all replies travel as explicit Send effects
 
     def _service_reliable(self) -> None:
         if self.tracker is None or not len(self.tracker):
             return
         now = self.now()
+        tracer = self.telemetry.tracer
         for action, pending in self.tracker.due(now):
             if self._stopped:
                 return
+            message = pending.eff.message
             if action == "resend":
+                if tracer.enabled:
+                    parent = (pending.span.ctx if pending.span is not None
+                              else message.trace)
+                    tracer.instant(f"retransmit {message.mtype}", now,
+                                   component=self.component.name,
+                                   parent=parent, outcome="retransmit",
+                                   mtype=message.mtype,
+                                   args={"attempt": pending.attempt})
                 self._transmit(pending.eff)
             else:
-                self._apply(self.component.on_send_failed(pending.eff, now))
+                span = None
+                if tracer.enabled:
+                    if pending.span is not None:
+                        tracer.finish(pending.span, now, "gave-up")
+                    parent = (pending.span.ctx if pending.span is not None
+                              else message.trace)
+                    span = tracer.begin(
+                        f"send-failed {pending.eff.label or message.mtype}",
+                        component=self.component.name, parent=parent,
+                        start=now, mtype=message.mtype)
+                    tracer.current = span
+                try:
+                    self._apply(self.component.on_send_failed(pending.eff, now))
+                finally:
+                    if span is not None:
+                        tracer.finish(span, self.now(), "gave-up")
+                        tracer.current = None
 
     def _fire_due_timers(self) -> None:
         self._service_reliable()
@@ -178,7 +258,20 @@ class NetDriver:
                 return
             _, key = due[0]
             del self._timers[key]
-            self._apply(self.component.on_timer(key, self.now()))
+            ctx = self._timer_ctx.pop(key, None)
+            tracer = self.telemetry.tracer
+            span = None
+            if tracer.enabled:
+                span = tracer.begin(f"timer {key}",
+                                    component=self.component.name,
+                                    parent=ctx, start=now)
+                tracer.current = span
+            try:
+                self._apply(self.component.on_timer(key, self.now()))
+            finally:
+                if span is not None:
+                    tracer.finish(span, self.now(), "ok")
+                    tracer.current = None
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> None:

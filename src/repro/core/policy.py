@@ -26,11 +26,12 @@ deadlines and tells the driver *resend* or *give up*.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Optional, Union
 
 from .forecasting.benchmarking import ForecastRegistry, event_tag
-from .linguafranca.messages import fresh_req_id
+from .telemetry import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (component->policy)
     from .component import Send
@@ -140,9 +141,14 @@ class RetryPolicy:
 
 
 class PendingSend:
-    """One reliable send awaiting its correlated reply."""
+    """One reliable send awaiting its correlated reply.
 
-    __slots__ = ("eff", "tag", "attempt", "deadline", "last_sent")
+    ``span`` is the tracing driver's open "call" span for the request
+    (``None`` when tracing is disabled): retransmits attach to it as
+    children and the driver closes it on resolve/give-up.
+    """
+
+    __slots__ = ("eff", "tag", "attempt", "deadline", "last_sent", "span")
 
     def __init__(self, eff: "Send", tag: str, now: float) -> None:
         self.eff = eff
@@ -150,6 +156,7 @@ class PendingSend:
         self.attempt = 1
         self.deadline = 0.0
         self.last_sent = now
+        self.span = None
 
 
 class ReliableSendTracker:
@@ -167,28 +174,44 @@ class ReliableSendTracker:
         self,
         timeout_policy: TimeoutPolicy,
         rand: Callable[[], float],
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.timeout_policy = timeout_policy
         self._rand = rand
         self._pending: dict[int, PendingSend] = {}
+        # Correlation is per sender (replies come back to the driver that
+        # issued the request), so req_ids only need to be unique within
+        # one tracker. A per-instance counter — unlike the process-wide
+        # ``fresh_req_id`` used by the real TCP transport — keeps wire
+        # bytes, and hence simulated transfer times, identical across
+        # repeated same-seed runs in one process.
+        self._next_req = itertools.count(1)
         self.tracked = 0
         self.retries = 0
         self.resolved = 0
         self.give_ups = 0
+        #: Optional world metrics registry: mirrors the counters above
+        #: onto the scrapeable surface and records forecast error.
+        self.metrics = metrics
 
     def __len__(self) -> int:
         return len(self._pending)
 
-    def track(self, eff: "Send", now: float) -> None:
+    def track(self, eff: "Send", now: float) -> PendingSend:
         """Start tracking a reliable send (assigns a ``req_id`` so the
-        reply can be correlated; the caller transmits the message)."""
+        reply can be correlated; the caller transmits the message).
+        Returns the new :class:`PendingSend` so a tracing driver can
+        attach its call span."""
         message = eff.message
         if message.req_id is None:
-            message.req_id = fresh_req_id()
+            message.req_id = next(self._next_req)
         pending = PendingSend(eff, event_tag(eff.dst, message.mtype), now)
         pending.deadline = now + self._interval(pending)
         self._pending[message.req_id] = pending
         self.tracked += 1
+        if self.metrics is not None:
+            self.metrics.counter("reliable.tracked").inc()
+        return pending
 
     def _interval(self, pending: PendingSend) -> float:
         timeout: Union[TimeoutPolicy, float, None] = pending.eff.timeout
@@ -210,7 +233,19 @@ class ReliableSendTracker:
         if pending is None:
             return None
         self.resolved += 1
-        self.timeout_policy.observe(pending.tag, max(now - pending.last_sent, 0.0))
+        rtt = max(now - pending.last_sent, 0.0)
+        if self.metrics is not None:
+            self.metrics.counter("reliable.resolved").inc()
+            # Forecast error: compare the measured response time against
+            # what the dynamic-benchmark history predicted *before* this
+            # observation is folded in (§2.2 time-out discovery quality).
+            registry = self.timeout_policy.registry
+            if registry is not None:
+                fc = registry.forecast(pending.tag)
+                if fc is not None:
+                    self.metrics.histogram("forecast.abs_error").observe(
+                        abs(rtt - fc.value))
+        self.timeout_policy.observe(pending.tag, rtt)
         return pending
 
     def next_deadline(self) -> Optional[float]:
@@ -233,9 +268,13 @@ class ReliableSendTracker:
                 pending.last_sent = now
                 pending.deadline = now + self._interval(pending)
                 self.retries += 1
+                if self.metrics is not None:
+                    self.metrics.counter("reliable.retries").inc()
                 actions.append(("resend", pending))
             else:
                 del self._pending[req_id]
                 self.give_ups += 1
+                if self.metrics is not None:
+                    self.metrics.counter("reliable.give_ups").inc()
                 actions.append(("give_up", pending))
         return actions

@@ -53,8 +53,19 @@ class LoggingServer(Component):
         #: maintained on append so the measurement plane's per-kind scans
         #: don't walk millions of records of other kinds.
         self._by_kind: dict[str, list[LogRecord]] = {}
-        self.appended = 0
-        self.dropped = 0
+
+    # Append/drop accounting now lives on the world metrics registry
+    # (``log.appended{component=...}`` / ``log.dropped{...}``); these
+    # properties keep the pre-telemetry attribute API working.
+    @property
+    def appended(self) -> int:
+        return self.telemetry.metrics.counter(
+            "log.appended", component=self.name).value
+
+    @property
+    def dropped(self) -> int:
+        return self.telemetry.metrics.counter(
+            "log.dropped", component=self.name).value
 
     def on_message(self, message: Message, now: float) -> list[Effect]:
         if message.mtype == LOG_APPEND:
@@ -62,11 +73,14 @@ class LoggingServer(Component):
             by_kind = self._by_kind
             max_records = self.max_records
             sender = message.sender
+            metrics = self.telemetry.metrics
+            c_appended = metrics.counter("log.appended", component=self.name)
+            c_dropped = metrics.counter("log.dropped", component=self.name)
             for item in message.body.get("records", []):
                 if not isinstance(item, dict):
                     continue
                 if len(records) >= max_records:
-                    self.dropped += 1
+                    c_dropped.inc()
                     continue
                 kind = str(item.get("k", "event"))
                 data = item.get("d")
@@ -81,23 +95,28 @@ class LoggingServer(Component):
                 if bucket is None:
                     bucket = by_kind[kind] = []
                 bucket.append(rec)
-                self.appended += 1
+                c_appended.inc()
+            metrics.gauge("log.records", component=self.name).set(len(records))
             return []
         if message.mtype == LOG_QUERY:
             since = float(message.body.get("since", 0.0))
             kind = message.body.get("kind")
-            limit = int(message.body.get("limit", 1000))
+            # Clamp: limit <= 0 means "no records", and the bound must be
+            # checked *before* appending (the old post-append check let
+            # limit=0 return one record).
+            limit = max(int(message.body.get("limit", 1000)), 0)
             # Records are appended in stamp order, so the per-kind index
             # yields the same records in the same order as a full scan.
             source = (self.records if kind is None
                       else self._by_kind.get(kind, []))
             out = []
-            for rec in source:
-                if rec.stamp < since:
-                    continue
-                out.append(rec.to_body())
-                if len(out) >= limit:
-                    break
+            if limit > 0:
+                for rec in source:
+                    if rec.stamp < since:
+                        continue
+                    out.append(rec.to_body())
+                    if len(out) >= limit:
+                        break
             return [Send(message.sender, message.reply(
                 LOG_RECORDS, sender=self.contact, body={"records": out}))]
         return []

@@ -15,6 +15,14 @@ Protocol
 ``SCH_WORK``    scheduler → client: a work unit + reporting parameters.
 ``SCH_REPORT``  client → scheduler: ops done, rate, progress, done flag.
 ``SCH_DIRECTIVE`` scheduler → client: continue | new_work | migrate.
+``SCH_ACK``     client → scheduler: acknowledges a unit-carrying
+                assignment (see below).
+
+Assignments that carry a work unit are *reliable* sends: the driver
+retransmits them until the client acknowledges with ``SCH_ACK``, and if
+the retry policy gives up (client crashed, site partitioned) the
+scheduler requeues the unit immediately instead of waiting for the reap
+timer — the unit's loss is observed, not inferred.
 
 Schedulers are deliberately stateless with respect to application results
 (the paper runs them inside Condor pools where they die freely): all
@@ -30,6 +38,7 @@ from typing import Optional, Protocol
 from ..component import Component, Effect, LogLine, Send, SetTimer
 from ..forecasting.benchmarking import ForecastRegistry, event_tag
 from ..linguafranca.messages import Message
+from ..policy import RetryPolicy
 
 __all__ = [
     "SchedulerServer",
@@ -40,12 +49,14 @@ __all__ = [
     "SCH_WORK",
     "SCH_REPORT",
     "SCH_DIRECTIVE",
+    "SCH_ACK",
 ]
 
 SCH_HELLO = "SCH_HELLO"
 SCH_WORK = "SCH_WORK"
 SCH_REPORT = "SCH_REPORT"
 SCH_DIRECTIVE = "SCH_DIRECTIVE"
+SCH_ACK = "SCH_ACK"
 
 T_REAP = "sch:reap"
 
@@ -161,6 +172,7 @@ class SchedulerServer(Component):
         migrate_fraction: float = 0.25,
         min_rate_samples: int = 3,
         control_policy=stall_reheat_policy,
+        assign_retry: Optional[RetryPolicy] = RetryPolicy(max_attempts=3),
     ) -> None:
         super().__init__(name)
         self.work = work
@@ -172,6 +184,9 @@ class SchedulerServer(Component):
         self.migrate_fraction = migrate_fraction
         self.min_rate_samples = min_rate_samples
         self.control_policy = control_policy
+        #: Retry policy for unit-carrying assignments (``None`` restores
+        #: the fire-and-forget behavior: lost units wait for the reaper).
+        self.assign_retry = assign_retry
         self.clients: dict[str, _ClientState] = {}
         self.forecasts = ForecastRegistry()
         self.stats = SchedulerStats()
@@ -186,6 +201,11 @@ class SchedulerServer(Component):
             return self._on_hello(message, now)
         if message.mtype == SCH_REPORT:
             return self._on_report(message, now)
+        if message.mtype == SCH_ACK:
+            client = self.clients.get(message.sender)
+            if client is not None:
+                client.last_seen = now
+            return []  # the driver already resolved the reliable send
         return []
 
     def _assign(self, client: _ClientState, now: float) -> Optional[dict]:
@@ -193,7 +213,22 @@ class SchedulerServer(Component):
         if unit is not None:
             client.unit = unit
             self.stats.units_assigned += 1
+            self.telemetry.metrics.counter("sch.units_assigned").inc()
+        try:
+            depth = len(self.work)  # type: ignore[arg-type]
+        except TypeError:
+            depth = 0
+        self.telemetry.metrics.gauge("sch.queue_depth",
+                                     component=self.name).set(depth)
         return unit
+
+    def _assignment_send(self, contact: str, reply: Message) -> Send:
+        """Unit-carrying assignments go out reliably (ACKed, retried,
+        requeued on give-up); unit-less ones stay fire-and-forget."""
+        if self.assign_retry is not None and reply.body.get("unit") is not None:
+            return Send(contact, reply, retry=self.assign_retry,
+                        label=f"assign:{contact}")
+        return Send(contact, reply)
 
     def _on_hello(self, message: Message, now: float) -> list[Effect]:
         contact = message.sender
@@ -209,7 +244,8 @@ class SchedulerServer(Component):
             "unit": client.unit,
             "report_period": self.report_period,
         }
-        return [Send(contact, message.reply(SCH_WORK, sender=self.contact, body=body))]
+        return [self._assignment_send(
+            contact, message.reply(SCH_WORK, sender=self.contact, body=body))]
 
     def _on_report(self, message: Message, now: float) -> list[Effect]:
         contact = message.sender
@@ -250,7 +286,9 @@ class SchedulerServer(Component):
             if migrated is not None:
                 self.work.requeue(migrated)
                 self.stats.units_requeued += 1
+                self.telemetry.metrics.counter("sch.units_requeued").inc()
             self.stats.migrations += 1
+            self.telemetry.metrics.counter("sch.migrations").inc()
             action, unit_payload = "migrate", new_unit
         body = {"action": action, "unit": unit_payload}
         if action == "continue" and self.control_policy is not None:
@@ -258,7 +296,36 @@ class SchedulerServer(Component):
             if params:
                 body["params"] = params
                 self.stats.param_directives += 1
-        return [Send(contact, message.reply(SCH_DIRECTIVE, sender=self.contact, body=body))]
+        return [self._assignment_send(
+            contact,
+            message.reply(SCH_DIRECTIVE, sender=self.contact, body=body))]
+
+    def on_send_failed(self, send: Send, now: float) -> list[Effect]:
+        """A unit-carrying assignment was never acknowledged: the client
+        is unreachable (crashed, partitioned, reclaimed). Requeue the
+        unit right away rather than waiting for the reap timer."""
+        label = send.label or ""
+        if not label.startswith("assign:"):
+            return []
+        contact = label.partition(":")[2]
+        unit = send.message.body.get("unit")
+        if not isinstance(unit, dict):
+            return []
+        client = self.clients.get(contact)
+        # Only requeue if the client still holds *this* unit — a late ACK
+        # path where the client moved on must not clone work.
+        if client is None or client.unit is None or \
+                client.unit.get("id") != unit.get("id"):
+            return []
+        self.work.requeue(client.unit)
+        client.unit = None
+        self.stats.units_requeued += 1
+        self.telemetry.metrics.counter("sch.units_requeued").inc()
+        self.telemetry.event("requeue unit", now, component=self.name,
+                             outcome="requeue",
+                             unit_id=str(unit.get("id")), client=contact)
+        return [LogLine(f"assignment to {contact} gave up; "
+                        f"requeued unit {unit.get('id')!r}")]
 
     # -- migration policy ---------------------------------------------------------
     def _forecast_rate(self, contact: str) -> Optional[float]:
@@ -293,6 +360,11 @@ class SchedulerServer(Component):
                 if client.unit is not None:
                     self.work.requeue(client.unit)
                     self.stats.units_requeued += 1
+                    self.telemetry.metrics.counter("sch.units_requeued").inc()
+                    self.telemetry.event(
+                        "requeue unit", now, component=self.name,
+                        outcome="requeue",
+                        unit_id=str(client.unit.get("id")), client=contact)
                 del self.clients[contact]
                 self.forecasts.drop(event_tag(contact, RATE))
                 self.stats.reaps += 1

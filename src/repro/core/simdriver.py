@@ -10,6 +10,7 @@ guest processes were killed without warning.
 
 from __future__ import annotations
 
+from time import perf_counter as _perf_counter
 from typing import Callable, Generator, Optional
 
 from ..simgrid.engine import Environment, Interrupt, Process
@@ -18,6 +19,7 @@ from ..simgrid.network import Address, Network
 from .component import CancelTimer, Component, Effect, LogLine, Send, SetTimer, Stop
 from .linguafranca.endpoint import SimEndpoint
 from .policy import ReliableSendTracker, TimeoutPolicy
+from .telemetry import Counter, Telemetry
 
 __all__ = ["SimDriver"]
 
@@ -63,6 +65,7 @@ class SimDriver:
         streams,
         log_sink: Optional[LogSink] = None,
         timeout_policy: Optional[TimeoutPolicy] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> None:
         self.env = env
         self.network = network
@@ -84,7 +87,22 @@ class SimDriver:
         self.handler_errors = 0
         self.stop_reason: Optional[str] = None
         self.process: Optional[Process] = None
+        # Worlds thread one shared Telemetry through every driver —
+        # explicitly, or implicitly via Network.attach_telemetry (so the
+        # many driver construction sites inherit it without plumbing); a
+        # private (tracing-off) instance keeps standalone drivers working.
+        if telemetry is None:
+            telemetry = network.telemetry
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        # Ambient trace context captured at SetTimer time, consumed when
+        # the timer fires; only populated while tracing is enabled.
+        self._timer_ctx: dict[str, Optional[tuple[int, int]]] = {}
+        # Per-driver mtype -> Counter caches so the per-message metric
+        # cost is one dict hit, not a registry key build.
+        self._sent_counters: dict[str, Counter] = {}
+        self._recv_counters: dict[str, Counter] = {}
         component.bind_runtime(_SimRuntime(self))
+        component.bind_telemetry(self.telemetry)
 
     # -- lifecycle ------------------------------------------------------------
     def start(self) -> Process:
@@ -98,15 +116,54 @@ class SimDriver:
 
     # -- effect application --------------------------------------------------
     def _apply(self, effects: list[Effect]) -> None:
+        tracer = self.telemetry.tracer
         for eff in effects:
             if isinstance(eff, Send):
+                message = eff.message
                 if eff.retry is not None:
-                    self._reliable().track(eff, self.env.now)
-                self.endpoint.send(eff.dst, eff.message)
+                    pending = self._reliable().track(eff, self.env.now)
+                    if tracer.enabled:
+                        # One "call" span covers the whole reliable
+                        # exchange; retransmits and the receiver's handler
+                        # span hang off it. A re-issued message that
+                        # already carries a trace keeps its root.
+                        parent = (message.trace if message.trace is not None
+                                  else tracer.current_ctx())
+                        span = tracer.begin(
+                            f"call {message.mtype}",
+                            component=self.component.name,
+                            parent=parent,
+                            start=self.env.now,
+                            mtype=message.mtype,
+                        )
+                        if eff.label:
+                            span.args["label"] = eff.label
+                        if message.trace is None:
+                            message.trace = (span.trace_id, span.span_id)
+                        pending.span = span
+                elif tracer.enabled and message.trace is None:
+                    span = tracer.instant(
+                        f"send {message.mtype}",
+                        self.env.now,
+                        component=self.component.name,
+                        parent=tracer.current_ctx(),
+                        mtype=message.mtype,
+                    )
+                    message.trace = (span.trace_id, span.span_id)
+                counter = self._sent_counters.get(message.mtype)
+                if counter is None:
+                    counter = self._sent_counters[message.mtype] = (
+                        self.telemetry.metrics.counter("msg.sent",
+                                                       mtype=message.mtype))
+                counter.inc()
+                self.endpoint.send(eff.dst, message)
             elif isinstance(eff, SetTimer):
                 self._timers[eff.key] = self.env.now + eff.delay
+                if tracer.enabled:
+                    self._timer_ctx[eff.key] = tracer.current_ctx()
             elif isinstance(eff, CancelTimer):
                 self._timers.pop(eff.key, None)
+                self._timer_ctx.pop(eff.key, None)
             elif isinstance(eff, LogLine):
                 if self.log_sink is not None:
                     self.log_sink(self.env.now, self.component.name, eff.level, eff.text)
@@ -120,7 +177,8 @@ class SimDriver:
         if self.tracker is None:
             rng = self.streams.get(f"retry:{self.endpoint.contact}")
             self.tracker = ReliableSendTracker(
-                self.timeout_policy, lambda: float(rng.random())
+                self.timeout_policy, lambda: float(rng.random()),
+                metrics=self.telemetry.metrics,
             )
         return self.tracker
 
@@ -137,16 +195,50 @@ class SimDriver:
     def _service_reliable(self, now: float) -> None:
         if self.tracker is None or not len(self.tracker):
             return
+        tracer = self.telemetry.tracer
         for action, pending in self.tracker.due(now):
             if self._stopped:
                 return
+            message = pending.eff.message
             if action == "resend":
-                self.endpoint.send(pending.eff.dst, pending.eff.message)
+                if tracer.enabled:
+                    parent = (pending.span.ctx if pending.span is not None
+                              else message.trace)
+                    tracer.instant(
+                        f"retransmit {message.mtype}",
+                        now,
+                        component=self.component.name,
+                        parent=parent,
+                        outcome="retransmit",
+                        mtype=message.mtype,
+                        args={"attempt": pending.attempt},
+                    )
+                self.endpoint.send(pending.eff.dst, message)
             else:  # give_up — the component decides how to recover.
-                self._apply(self.component.on_send_failed(pending.eff, now))
+                span = None
+                if tracer.enabled:
+                    if pending.span is not None:
+                        tracer.finish(pending.span, now, "gave-up")
+                    parent = (pending.span.ctx if pending.span is not None
+                              else message.trace)
+                    span = tracer.begin(
+                        f"send-failed {pending.eff.label or message.mtype}",
+                        component=self.component.name,
+                        parent=parent,
+                        start=now,
+                        mtype=message.mtype,
+                    )
+                    tracer.current = span
+                try:
+                    self._apply(self.component.on_send_failed(pending.eff, now))
+                finally:
+                    if span is not None:
+                        tracer.finish(span, self.env.now, "gave-up")
+                        tracer.current = None
 
     def _fire_due_timers(self) -> None:
         now = self.env.now
+        tracer = self.telemetry.tracer
         self._service_reliable(now)
         while not self._stopped:
             due = [k for k, t in self._timers.items() if t <= now]
@@ -156,13 +248,38 @@ class SimDriver:
             due.sort(key=lambda k: (self._timers[k], k))
             key = due[0]
             del self._timers[key]
-            self._apply(self.component.on_timer(key, now))
+            ctx = self._timer_ctx.pop(key, None)
+            span = None
+            if tracer.enabled:
+                # The timer's causal parent is whatever handler armed it.
+                span = tracer.begin(f"timer {key}",
+                                    component=self.component.name,
+                                    parent=ctx, start=now)
+                tracer.current = span
+            try:
+                self._apply(self.component.on_timer(key, now))
+            finally:
+                if span is not None:
+                    tracer.finish(span, self.env.now, "ok")
+                    tracer.current = None
 
     # -- main loop ------------------------------------------------------------
     def _run(self) -> Generator:
         reason = "stopped"
+        tracer = self.telemetry.tracer
         try:
-            self._apply(self.component.on_start(self.env.now))
+            if tracer.enabled:
+                span = tracer.begin(f"start {self.component.name}",
+                                    component=self.component.name,
+                                    start=self.env.now)
+                tracer.current = span
+                try:
+                    self._apply(self.component.on_start(self.env.now))
+                finally:
+                    tracer.finish(span, self.env.now, "ok")
+                    tracer.current = None
+            else:
+                self._apply(self.component.on_start(self.env.now))
             while not self._stopped:
                 deadline = self._next_deadline()
                 if deadline is None:
@@ -173,20 +290,49 @@ class SimDriver:
                 if self._stopped:
                     break
                 if message is not None:
+                    now = self.env.now
                     if self.tracker is not None:
-                        self.tracker.resolve(message.reply_to, self.env.now)
+                        resolved = self.tracker.resolve(message.reply_to, now)
+                        if resolved is not None and resolved.span is not None:
+                            tracer.finish(resolved.span, now, "ok")
+                    counter = self._recv_counters.get(message.mtype)
+                    if counter is None:
+                        counter = self._recv_counters[message.mtype] = (
+                            self.telemetry.metrics.counter(
+                                "msg.recv", mtype=message.mtype))
+                    counter.inc()
+                    span = None
+                    if tracer.enabled:
+                        span = tracer.begin(f"recv {message.mtype}",
+                                            component=self.component.name,
+                                            parent=message.trace,
+                                            start=now, mtype=message.mtype)
+                        tracer.current = span
+                    outcome = "ok"
+                    profiler = self.env.profiler
+                    t0 = _perf_counter() if profiler is not None else 0.0
                     try:
-                        effects = self.component.on_message(message, self.env.now)
+                        effects = self.component.on_message(message, now)
                     except Exception as exc:  # noqa: BLE001 — robustness boundary
                         # A malformed or hostile message must never take a
                         # server down (§2.3 robustness): drop it, log, go on.
                         self.handler_errors += 1
+                        outcome = "error"
                         if self.log_sink is not None:
-                            self.log_sink(self.env.now, self.component.name,
+                            self.log_sink(now, self.component.name,
                                           "error",
                                           f"dropped {message.mtype}: {exc!r}")
                         effects = []
-                    self._apply(effects)
+                    if profiler is not None:
+                        profiler.record_handler(self.component.name,
+                                                message.mtype,
+                                                _perf_counter() - t0)
+                    try:
+                        self._apply(effects)
+                    finally:
+                        if span is not None:
+                            tracer.finish(span, self.env.now, outcome)
+                            tracer.current = None
                 self._fire_due_timers()
             reason = self.stop_reason or "stopped"
         except Interrupt as interrupt:

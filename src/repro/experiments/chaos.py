@@ -31,6 +31,7 @@ from typing import Generator, Optional
 from ..core.component import Component
 from ..core.services.persistent import ValidationError
 from ..core.simdriver import SimDriver
+from ..core.telemetry import Telemetry
 from ..infra.netsolve import NetSolveFarm
 from ..infra.unixpool import UnixPool
 from ..ramsey.client import RealEngine
@@ -79,6 +80,14 @@ def build_plan(profile: str, cfg: ChaosConfig) -> FaultPlan:
         # Background packet loss while machines die and reboot; the
         # Gossip crash lands mid-sync, the persistent-store crash tests
         # that reliable checkpoints ride out the outage.
+        #
+        # The t=0.02s crash lands between a client's first HELLO leaving
+        # and the scheduler's reliable SCH_WORK reply arriving (latency
+        # floor ~50 ms), so the assignment is guaranteed to retransmit
+        # into a dead host, give up, and requeue — under tracing, that is
+        # the fault → drop → retransmit → give-up → requeue span chain
+        # the observability smoke asserts on.
+        plan.crash(at=0.02, host="unix-ws0", reboot_after=120.0)
         plan.chaos(at=250.0, duration=600.0, drop=0.05)
         plan.crash(at=300.0, host="gossip1", reboot_after=240.0)
         plan.crash(at=350.0, host="unix-ws0", reboot_after=300.0)
@@ -153,13 +162,27 @@ class ChaosReport:
 class ChaosWorld:
     """A reduced EveryWare world with a fault plan armed against it."""
 
-    def __init__(self, profile: str, cfg: Optional[ChaosConfig] = None) -> None:
+    def __init__(
+        self,
+        profile: str,
+        cfg: Optional[ChaosConfig] = None,
+        telemetry: Optional[Telemetry] = None,
+        trace: bool = False,
+    ) -> None:
         self.profile = profile
         self.cfg = cfg = cfg or ChaosConfig()
         self.env = Environment()
         self.streams = RngStreams(seed=cfg.seed)
+        # One shared metrics registry + tracer for the whole world; every
+        # driver inherits it through the network (``trace=True`` turns the
+        # causal tracer on — note the trace header changes wire bytes, so
+        # traced and untraced runs diverge; determinism holds per mode).
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        if trace:
+            self.telemetry.tracer.enabled = True
         self.network = Network(self.env, self.streams,
                                base_latency=0.05, jitter=0.2)
+        self.network.attach_telemetry(self.telemetry)
         self.core: ServiceCore = build_core(
             self.env, self.network, self.streams,
             n_schedulers=cfg.n_schedulers,
@@ -336,9 +359,17 @@ class ChaosWorld:
         )
 
 
-def run_chaos(profile: str, cfg: Optional[ChaosConfig] = None) -> ChaosReport:
-    """Build, attack, and run one world; return its recovery report."""
-    return ChaosWorld(profile, cfg).run()
+def run_chaos(
+    profile: str,
+    cfg: Optional[ChaosConfig] = None,
+    telemetry: Optional[Telemetry] = None,
+    trace: bool = False,
+) -> ChaosReport:
+    """Build, attack, and run one world; return its recovery report.
+
+    Pass a :class:`Telemetry` (or ``trace=True``) to collect the world's
+    metrics/spans — e.g. ``repro trace --scenario chaos``."""
+    return ChaosWorld(profile, cfg, telemetry=telemetry, trace=trace).run()
 
 
 def run_chaos_matrix(cfg: Optional[ChaosConfig] = None) -> dict[str, dict]:

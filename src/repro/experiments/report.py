@@ -25,6 +25,7 @@ __all__ = [
     "render_fig3b",
     "render_headlines",
     "render_grid_criteria",
+    "render_trace_summary",
 ]
 
 _BARS = " .:-=+*#%@"
@@ -131,4 +132,33 @@ def render_grid_criteria(results: SC98Results) -> str:
     infra_count = sum(
         1 for v in s.rate_by_infra.values() if float(np.nansum(v)) > 0)
     lines.append(f"  pervasive: {infra_count} infrastructures delivered cycles")
+    return "\n".join(lines)
+
+
+def render_trace_summary(telemetry) -> str:
+    """Aggregate span statistics for a traced run: per-name counts and
+    non-ok outcome tallies, plus the interesting counters. Deterministic
+    (simulated-time data only), so it can ride in diffed reports."""
+    tracer = telemetry.tracer
+    by_name: dict[str, int] = {}
+    outcomes: dict[str, int] = {}
+    for span in tracer.spans:
+        key = span.name.split(" ")[0]
+        by_name[key] = by_name.get(key, 0) + 1
+        out = span.outcome or "open"
+        if out not in ("ok", "open"):
+            outcomes[out] = outcomes.get(out, 0) + 1
+    lines = [f"Trace summary ({len(tracer.spans)} spans):"]
+    for key in sorted(by_name):
+        lines.append(f"  {key:<14} {by_name[key]:>7}")
+    if outcomes:
+        lines.append("  non-ok outcomes:")
+        for out in sorted(outcomes):
+            lines.append(f"    {out:<18} {outcomes[out]:>5}")
+    reliable = telemetry.metrics.counters_matching("reliable.")
+    faults = telemetry.metrics.counters_matching("fault.")
+    for section, values in (("reliable", reliable), ("faults", faults)):
+        if values:
+            lines.append(f"  {section}: " + ", ".join(
+                f"{k.split('.', 1)[1]}={v}" for k, v in values.items()))
     return "\n".join(lines)

@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.telemetry import Telemetry
 from ..infra.base import InfraAdapter
 from ..infra.condor import CondorPool
 from ..infra.globus import GlobusSites
@@ -130,10 +131,13 @@ class SC98Results:
 class SC98World:
     """A fully wired SC98 experiment ready to run."""
 
-    def __init__(self, config: SC98Config) -> None:
+    def __init__(self, config: SC98Config,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.config = config
         self.env = Environment()
         self.streams = RngStreams(seed=config.seed)
+        # Shared world registry/tracer (drivers inherit via the network).
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
         c = config
 
         # --- ambient stories -------------------------------------------------
@@ -173,6 +177,7 @@ class SC98World:
                 EventSchedule(congestion_events),
             ),
         )
+        self.network.attach_telemetry(self.telemetry)
 
         # --- the Figure-1 service topology ------------------------------------
         self.core: ServiceCore = build_core(

@@ -33,7 +33,13 @@ from ..core.gossip.state import StateRecord, StateStore
 from ..core.linguafranca.messages import Message
 from ..core.services.logging import LOG_APPEND
 from ..core.services.persistent import PST_DENIED, PST_STORE, PST_STORE_OK
-from ..core.services.scheduler import SCH_DIRECTIVE, SCH_HELLO, SCH_REPORT, SCH_WORK
+from ..core.services.scheduler import (
+    SCH_ACK,
+    SCH_DIRECTIVE,
+    SCH_HELLO,
+    SCH_REPORT,
+    SCH_WORK,
+)
 from .graphs import OpCounter
 from .heuristics import SearchSnapshot, make_search
 from .tasks import validate_unit
@@ -317,24 +323,31 @@ class RamseyClient(Component):
             return self.agent.on_message(message, now, self.contact)
         if message.mtype == SCH_WORK:
             self._last_directive = now
+            # Acknowledge the assignment unconditionally — including
+            # duplicates and mid-unit deliveries. The scheduler sends
+            # unit-carrying assignments reliably and requeues the unit if
+            # the ACK never arrives; a silent client would make it clone
+            # work the client is actually running.
+            ack = self._ack(message)
             if self.unit is not None and not self._unit_done:
                 # Already mid-unit (e.g. restored from a checkpoint, or a
                 # duplicate reply): keep the work in hand, don't discard it.
-                return []
-            return self._take_unit(message.body.get("unit"), now)
+                return ack
+            return ack + self._take_unit(message.body.get("unit"), now)
         if message.mtype == SCH_DIRECTIVE:
             self._last_directive = now
+            ack = self._ack(message)
             action = message.body.get("action")
             if action in ("new_work", "migrate"):
-                return self._take_unit(message.body.get("unit"), now)
+                return ack + self._take_unit(message.body.get("unit"), now)
             params = message.body.get("params")
             if isinstance(params, dict) and hasattr(self.engine, "apply_params"):
                 # Algorithm-aware control directive (§3.1.1): the scheduler
                 # tunes the running heuristic (e.g. tells a stalled
                 # annealer to reheat).
                 if self.engine.apply_params(params):
-                    return [LogLine(f"applied scheduler params {params}")]
-            return []
+                    return ack + [LogLine(f"applied scheduler params {params}")]
+            return ack
         if message.mtype == PST_STORE_OK:
             self.checkpoint_acks += 1
             return []
@@ -344,6 +357,14 @@ class RamseyClient(Component):
                 f"persistent store denied: {message.body.get('reason')}",
                 level="warning")]
         return []
+
+    def _ack(self, message: Message) -> list[Effect]:
+        """Reply ``SCH_ACK`` to a correlated (reliable) assignment."""
+        if message.req_id is None:
+            return []
+        return [Send(message.sender, message.reply(
+            SCH_ACK, sender=self.contact,
+            body={"unit_id": (message.body.get("unit") or {}).get("id")}))]
 
     def _take_unit(self, unit: Optional[dict], now: float) -> list[Effect]:
         if unit is None:

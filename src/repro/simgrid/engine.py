@@ -462,7 +462,8 @@ class AllOf(Condition):
 class Environment:
     """Execution environment: clock, event queue, and process management."""
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_free_timeouts")
+    __slots__ = ("_now", "_queue", "_seq", "_active_process", "_free_timeouts",
+                 "profiler")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -474,6 +475,11 @@ class Environment:
         #: queue, so the list never outgrows the peak number of timeouts
         #: that were ever simultaneously scheduled.
         self._free_timeouts: list[Timeout] = []
+        #: Optional :class:`repro.simgrid.profile.EngineProfiler`. ``None``
+        #: (the default) keeps run() on the inlined fast loops — the only
+        #: cost of the feature when disabled is this one attribute check at
+        #: run() entry plus one per driver-handled message.
+        self.profiler = None
 
     @property
     def now(self) -> float:
@@ -560,6 +566,8 @@ class Environment:
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run until the queue empties, time ``until`` passes, or the
         event ``until`` triggers (returning its value)."""
+        if self.profiler is not None:
+            return self._run_profiled(until)
         stop_at = None
         stop_event: Optional[Event] = None
         if isinstance(until, Event):
@@ -654,3 +662,68 @@ class Environment:
             except ValueError:
                 pass
             raise
+
+    def _run_profiled(self, until: Optional[float | Event] = None) -> Any:
+        """run() twin taken when a profiler is attached: same scheduling
+        semantics, but samples per-event-type counts and callback wall
+        time. Skips the Timeout-recycling micro-optimization — profiled
+        runs measure, fast runs race."""
+        from time import perf_counter
+
+        profiler = self.profiler
+        stop_at = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:  # already processed
+                return stop_event._value
+
+            def _stop(event: Event) -> None:
+                raise StopSimulation(event._value)
+
+            stop_event.callbacks.append(_stop)
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"until={stop_at} is in the past (now={self._now})"
+                )
+        queue = self._queue
+        sentinel_entry = None
+        if stop_at is not None:
+            sentinel_entry = (stop_at, _DEADLINE_TAG, _Deadline())
+            heappush(queue, sentinel_entry)
+        by_type = profiler.events_by_type
+        run_t0 = perf_counter()
+        try:
+            while queue:
+                self._now, _tag, event = heappop(queue)
+                callbacks = event.callbacks
+                if callbacks is None:
+                    if sentinel_entry is not None:
+                        sentinel_entry = None  # popped: nothing to withdraw
+                        return None  # the deadline sentinel ends the run
+                    continue  # stale sentinel from an aborted earlier run
+                event.callbacks = None
+                tname = type(event).__name__
+                by_type[tname] = by_type.get(tname, 0) + 1
+                profiler.events += 1
+                t0 = perf_counter()
+                for cb in callbacks:
+                    cb(event)
+                profiler.callback_time += perf_counter() - t0
+                if not event._ok and not event._defused:
+                    raise event._value
+        except StopSimulation as stop:
+            return stop.value
+        finally:
+            profiler.run_wall_time += perf_counter() - run_t0
+            if sentinel_entry is not None:
+                try:
+                    queue.remove(sentinel_entry)
+                    heapify(queue)
+                except ValueError:
+                    pass
+        if stop_event is not None and stop_event.callbacks is not None:
+            raise SimulationError("run() until-event was never triggered")
+        return None

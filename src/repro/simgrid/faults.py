@@ -145,6 +145,11 @@ class FaultPlan:
         self.log: list[tuple[float, str]] = []
         self._installed = False
         self._adapters: dict[str, "InfraAdapter"] = {}
+        #: World telemetry passed to :meth:`install`: every firing bumps a
+        #: ``fault.*`` counter (so chaos reports and metric scrapes agree)
+        #: and, when tracing, opens a root span that victim-side drop spans
+        #: point back to.
+        self.telemetry = None
 
     # -- construction (chainable) ------------------------------------------
     def add(self, injector: Injector) -> "FaultPlan":
@@ -196,12 +201,14 @@ class FaultPlan:
         env: Environment,
         network: Network,
         adapters: Iterable["InfraAdapter"] = (),
+        telemetry=None,
     ) -> None:
         """Arm every injector as a simulation process. Idempotent per
         plan instance (a plan installs once)."""
         if self._installed:
             raise RuntimeError("fault plan already installed")
         self._installed = True
+        self.telemetry = telemetry if telemetry is not None else network.telemetry
         adapter_by_name = {a.name: a for a in adapters}
         self._adapters = adapter_by_name
         for injector in self.injectors:
@@ -219,6 +226,22 @@ class FaultPlan:
     def _note(self, now: float, event: str) -> None:
         self.log.append((now, event))
 
+    def _fire(self, now: float, kind: str, detail: str):
+        """Mirror one injector firing onto the metrics registry and, when
+        tracing, emit a root fault span. Returns the span's context so the
+        caller can park it where victims will find it (host.down_ctx,
+        network.partition_ctx, ...)."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return None
+        telemetry.metrics.counter(f"fault.{kind}").inc()
+        tracer = telemetry.tracer
+        if not tracer.enabled:
+            return None
+        span = tracer.instant(f"fault {kind} {detail}", now,
+                              component="faults", outcome="fault")
+        return span.ctx
+
     def _run_crash(self, env: Environment, network: Network,
                    inj: HostCrash) -> Generator:
         yield env.timeout(inj.at)
@@ -226,14 +249,17 @@ class FaultPlan:
             host = network.host(inj.host)
         except KeyError:
             self.stats.skipped += 1
+            self._fire(env.now, "skipped", inj.host)
             self._note(env.now, f"skip crash {inj.host} (unknown host)")
             return
         host.go_down(inj.reason)
+        host.down_ctx = self._fire(env.now, "crashes", inj.host)
         self.stats.crashes += 1
         self._note(env.now, f"crash {inj.host}")
         if inj.reboot_after is not None:
             yield env.timeout(inj.reboot_after)
             host.go_up()
+            self._fire(env.now, "reboots", inj.host)
             self.stats.reboots += 1
             self._note(env.now, f"reboot {inj.host}")
             # The machine is back but its guest processes are not; if an
@@ -247,11 +273,15 @@ class FaultPlan:
                        inj: SitePartition) -> Generator:
         yield env.timeout(inj.at)
         network.set_partitions([list(g) for g in inj.groups])
+        network.partition_ctx = self._fire(
+            env.now, "partitions", "|".join(",".join(g) for g in inj.groups))
         self.stats.partitions += 1
         self._note(env.now, f"partition {inj.groups!r}")
         if inj.heal_after is not None:
             yield env.timeout(inj.heal_after)
             network.set_partitions([])
+            network.partition_ctx = None
+            self._fire(env.now, "heals", "partition")
             self.stats.heals += 1
             self._note(env.now, "heal partition")
 
@@ -264,11 +294,17 @@ class FaultPlan:
             self._note(env.now, f"skip outage {inj.infra} (unknown adapter)")
             return
         downed = adapter.go_dark(reason=f"fault:outage:{inj.infra}")
+        ctx = self._fire(env.now, "outages", inj.infra)
+        if ctx is not None:
+            for host in adapter.hosts:
+                if not host.up:
+                    host.down_ctx = ctx
         self.stats.outages += 1
         self._note(env.now, f"outage {inj.infra} ({downed} hosts)")
         if inj.restore_after is not None:
             yield env.timeout(inj.restore_after)
             restored = adapter.relight()
+            self._fire(env.now, "restores", inj.infra)
             self.stats.restores += 1
             self._note(env.now, f"restore {inj.infra} ({restored} hosts)")
 
@@ -277,9 +313,24 @@ class FaultPlan:
         yield env.timeout(inj.at)
         network.chaos = inj
         self.stats.chaos_windows += 1
+        span = None
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.metrics.counter("fault.chaos_windows").inc()
+            tracer = telemetry.tracer
+            if tracer.enabled:
+                # The chaos window is a *duration* span: every drop during
+                # it points back here via network.chaos_ctx.
+                span = tracer.begin("fault chaos_window", component="faults",
+                                    start=env.now)
+                network.chaos_ctx = span.ctx
         self._note(env.now, f"chaos on (drop={inj.drop} dup={inj.duplicate} "
                             f"delay={inj.delay})")
         yield env.timeout(inj.duration)
         if network.chaos is inj:
             network.chaos = None
+        if span is not None:
+            telemetry.tracer.finish(span, env.now, "fault")
+            if network.chaos_ctx == span.ctx:
+                network.chaos_ctx = None
         self._note(env.now, "chaos off")

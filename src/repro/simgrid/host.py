@@ -67,6 +67,11 @@ class Host:
         self.up_seconds = 0.0
         self._last_state_change = env.now
         self._started = False
+        #: Trace context of the fault-injector span that took this host
+        #: down (set by :class:`repro.simgrid.faults.FaultPlan`, cleared on
+        #: :meth:`go_up`); lets the network attribute drops at a dead host
+        #: to the injected fault. ``None`` for ordinary MTBF churn.
+        self.down_ctx: Optional[tuple[int, int]] = None
 
     # -- lifecycle -----------------------------------------------------------
     def start(self) -> None:
@@ -106,6 +111,7 @@ class Host:
         self._last_state_change = self.env.now
         self.up = True
         self.availability = 1.0
+        self.down_ctx = None
 
     @property
     def uptime_fraction(self) -> float:

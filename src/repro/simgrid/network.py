@@ -77,6 +77,9 @@ class Delivery:
     payload: bytes
     sent_at: float
     delivered_at: float
+    #: Sender's trace context, carried out-of-band so delivery-time drops
+    #: can be attributed to their cause without decoding the payload.
+    trace: Optional[tuple[int, int]] = None
 
 
 class Network:
@@ -113,6 +116,14 @@ class Network:
         #: keeps the send path on its zero-overhead fast path.
         self.chaos = None
         self.stats = NetworkStats()
+        #: Optional world telemetry (see :meth:`attach_telemetry`); the
+        #: fault plan also parks its active injector span contexts here so
+        #: drops can name the fault that caused them.
+        self.telemetry = None
+        self.chaos_ctx: Optional[tuple[int, int]] = None
+        self.partition_ctx: Optional[tuple[int, int]] = None
+        self._drop_counters: dict = {}
+        self._c_delivered = None
         # Congestion >= 1 multiplies latency and divides bandwidth.
         self._congestion = 1.0
         self._congestion_model = congestion_model or EventSchedule()
@@ -155,6 +166,43 @@ class Network:
     @property
     def congestion(self) -> float:
         return self._congestion
+
+    # -- observability -----------------------------------------------------
+    def attach_telemetry(self, telemetry) -> None:
+        """Wire the fabric into a world's metrics registry + tracer."""
+        self.telemetry = telemetry
+        self._drop_counters = {}
+        self._c_delivered = telemetry.metrics.counter("net.delivered")
+
+    def _note_drop(
+        self,
+        reason: str,
+        trace: Optional[tuple[int, int]],
+        cause: Optional[tuple[int, int]] = None,
+    ) -> None:
+        """Mirror a drop onto the metrics registry and, for traced
+        messages, emit a drop span naming the causing fault (if any)."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        counter = self._drop_counters.get(reason)
+        if counter is None:
+            counter = self._drop_counters[reason] = (
+                telemetry.metrics.counter(f"net.{reason}"))
+        counter.inc()
+        tracer = telemetry.tracer
+        if tracer.enabled and trace is not None:
+            args = None
+            if cause is not None:
+                args = {"fault_trace": cause[0], "fault_span": cause[1]}
+            tracer.instant(
+                f"drop {reason}",
+                self.env.now,
+                component="network",
+                parent=trace,
+                outcome="dropped-by-fault" if cause is not None else "dropped",
+                args=args,
+            )
 
     # -- partitions ----------------------------------------------------------
     def set_partitions(self, groups: Iterable[Iterable[str]]) -> None:
@@ -205,26 +253,32 @@ class Network:
         xfer = nbytes / (self.bandwidth / self._congestion)
         return latency + xfer
 
-    def send(self, src: Address, dst: Address, payload: bytes) -> None:
+    def send(self, src: Address, dst: Address, payload: bytes,
+             trace: Optional[tuple[int, int]] = None) -> None:
         """Fire-and-forget datagram send; loss is silent by design."""
         self.stats.sent += 1
         src_host = self._hosts.get(src.host)
         dst_host = self._hosts.get(dst.host)
         if src_host is None or not src_host.up:
             self.stats.dropped_down += 1
+            self._note_drop("dropped_down", trace,
+                            src_host.down_ctx if src_host is not None else None)
             return
         if dst_host is None:
             self.stats.dropped_unbound += 1
+            self._note_drop("dropped_unbound", trace)
             return
         if not self._same_partition(src_host.site, dst_host.site):
             self.stats.dropped_partition += 1
+            self._note_drop("dropped_partition", trace, self.partition_ctx)
             return
         if self.loss_rate > 0.0 and float(self._rng.random()) < self.loss_rate:
             self.stats.dropped_loss += 1
+            self._note_drop("dropped_loss", trace)
             return
         delay = self.delay(src.host, dst.host, len(payload))
         if self.chaos is not None:
-            self._send_chaotic(src, dst, payload, delay)
+            self._send_chaotic(src, dst, payload, delay, trace)
             return
         delivery = Delivery(
             src=src,
@@ -232,6 +286,7 @@ class Network:
             payload=payload,
             sent_at=self.env.now,
             delivered_at=self.env.now + delay,
+            trace=trace,
         )
         # Plain timeout + callback: cheaper than a process per message.
         timer = self.env.timeout(delay)
@@ -239,7 +294,8 @@ class Network:
         timer.callbacks.append(lambda _ev: self._deliver(delivery))
 
     def _send_chaotic(self, src: Address, dst: Address, payload: bytes,
-                      delay: float) -> None:
+                      delay: float,
+                      trace: Optional[tuple[int, int]] = None) -> None:
         """Slow path behind an active fault injector: the chaos hook maps
         one logical send to zero (drop), one, or several (duplicate)
         physical deliveries, each with an optional extra delay — extra
@@ -247,9 +303,13 @@ class Network:
         fates = self.chaos.fates(self._rng)
         if not fates:
             self.stats.dropped_fault += 1
+            self._note_drop("dropped_fault", trace, self.chaos_ctx)
             return
         if len(fates) > 1:
             self.stats.duplicated_fault += len(fates) - 1
+            if self.telemetry is not None:
+                self.telemetry.metrics.counter(
+                    "net.duplicated_fault").inc(len(fates) - 1)
         for extra in fates:
             if extra > 0.0:
                 self.stats.delayed_fault += 1
@@ -259,6 +319,7 @@ class Network:
                 payload=payload,
                 sent_at=self.env.now,
                 delivered_at=self.env.now + delay + extra,
+                trace=trace,
             )
             timer = self.env.timeout(delay + extra)
             assert timer.callbacks is not None
@@ -269,11 +330,16 @@ class Network:
         dst_host = self._hosts.get(delivery.dst.host)
         if dst_host is None or not dst_host.up:
             self.stats.dropped_down += 1
+            self._note_drop("dropped_down", delivery.trace,
+                            dst_host.down_ctx if dst_host is not None else None)
             return
         box = self._mailboxes.get(delivery.dst)
         if box is None:
             self.stats.dropped_unbound += 1
+            self._note_drop("dropped_unbound", delivery.trace)
             return
         self.stats.delivered += 1
         self.stats.bytes_delivered += len(delivery.payload)
+        if self._c_delivered is not None:
+            self._c_delivered.inc()
         box.put(delivery)

@@ -345,3 +345,79 @@ def test_scheduler_policy_can_be_disabled():
             msg(SCH_REPORT, body={"unit_id": "u0", "rate": 1.0,
                                   "progress": {"best_energy": 9}}), float(i))
         assert "params" not in sends_of(effects)[0].message.body
+
+
+def test_log_query_zero_and_negative_limit_return_nothing():
+    """limit<=0 must clamp to "no records" — the old post-append bound
+    check returned one record for limit=0."""
+    srv = bound(LoggingServer("log"))
+    for t in (1.0, 2.0):
+        srv.on_message(msg("LOG_APPEND",
+                           body={"records": [{"k": "perf", "d": {"t": t}}]}), t)
+    for limit in (0, -1, -100):
+        effects = srv.on_message(msg("LOG_QUERY", body={"limit": limit}), 9.0)
+        assert sends_of(effects)[0].message.body["records"] == []
+    # And a positive limit still works.
+    effects = srv.on_message(msg("LOG_QUERY", body={"limit": 2}), 9.0)
+    assert len(sends_of(effects)[0].message.body["records"]) == 2
+
+
+# ------------------------------------------------- scheduler reliable sends
+
+
+def test_unit_assignments_are_reliable_sends():
+    sched, work = make_scheduler()
+    (send,) = sends_of(sched.on_message(msg(SCH_HELLO), 1.0))
+    assert send.retry is not None
+    assert send.label == "assign:cli/1"
+    # A unit-less directive stays fire-and-forget.
+    sched.clients["cli/1"].unit = None
+    work._queue.clear()
+    (send,) = sends_of(sched.on_message(
+        msg(SCH_REPORT, body={"rate": 1.0, "unit_id": None}), 2.0))
+    assert send.message.mtype == SCH_DIRECTIVE
+    assert send.retry is None
+
+
+def test_assign_retry_none_restores_fire_and_forget():
+    sched, work = make_scheduler(assign_retry=None)
+    (send,) = sends_of(sched.on_message(msg(SCH_HELLO), 1.0))
+    assert send.message.body["unit"] is not None
+    assert send.retry is None
+    assert send.label is None
+
+
+def test_ack_updates_last_seen():
+    from repro.core.services.scheduler import SCH_ACK
+
+    sched, work = make_scheduler()
+    sched.on_message(msg(SCH_HELLO), 1.0)
+    effects = sched.on_message(msg(SCH_ACK, body={"unit_id": "u0"}), 5.0)
+    assert effects == []
+    assert sched.clients["cli/1"].last_seen == 5.0
+
+
+def test_give_up_requeues_unit_immediately():
+    sched, work = make_scheduler()
+    (send,) = sends_of(sched.on_message(msg(SCH_HELLO), 1.0))
+    assert sched.clients["cli/1"].unit["id"] == "u0"
+    sched.on_send_failed(send, 60.0)
+    assert sched.clients["cli/1"].unit is None
+    assert sched.stats.units_requeued == 1
+    # The lost unit comes back out first (priority requeue).
+    assert work.next_unit()["id"] == "u0"
+
+
+def test_give_up_after_client_moved_on_does_not_clone_work():
+    """A late give-up for a unit the client already traded in must not
+    requeue it: the client would run u0's twin while someone else gets
+    the original."""
+    sched, work = make_scheduler()
+    (send,) = sends_of(sched.on_message(msg(SCH_HELLO), 1.0))
+    # The client finished u0 and got u1 before the give-up fired.
+    sched.on_message(msg(SCH_REPORT, body={
+        "rate": 5.0, "unit_id": "u0", "done": True}), 30.0)
+    assert sched.clients["cli/1"].unit["id"] == "u1"
+    sched.on_send_failed(send, 60.0)
+    assert sched.clients["cli/1"].unit["id"] == "u1"  # untouched
+    assert sched.stats.units_requeued == 0

@@ -172,3 +172,41 @@ def test_client_death_reaps_and_requeues():
     g.env.run(until=400)
     assert g.sched.stats.reaps >= 1
     assert g.sched.active_clients() == ["cli1/cli"]
+
+
+# ------------------------------------------------- assignment acknowledgment
+
+
+def test_client_acks_correlated_assignments_even_when_mid_unit():
+    """Reliable assignments carry a req_id; the client must SCH_ACK every
+    one — including duplicates while mid-unit — or the scheduler's retry
+    ladder gives up and requeues work the client actually holds."""
+    from repro.core.component import NullRuntime, Send
+    from repro.core.linguafranca.messages import Message
+    from repro.core.services.scheduler import SCH_ACK, SCH_WORK
+
+    client = RamseyClient("cli", ["sch0/sched"], ModelEngine(), seed=1)
+    client.bind_runtime(NullRuntime(contact="cli/c"))
+    unit = {"id": "u1", "k": 5, "n": 3, "seed": 1, "ops_budget": 1e6,
+            "heuristic": "tabu"}
+    first = Message(mtype=SCH_WORK, sender="sch0/sched",
+                    body={"unit": unit}, req_id=11)
+    effects = client.on_message(first, 1.0)
+    acks = [e for e in effects if isinstance(e, Send)
+            and e.message.mtype == SCH_ACK]
+    assert len(acks) == 1
+    assert acks[0].message.reply_to == 11
+    assert client.unit["id"] == "u1"
+    # A duplicate delivery (retransmit raced the first ACK) is ACKed
+    # again and the in-hand unit is kept.
+    dup = Message(mtype=SCH_WORK, sender="sch0/sched",
+                  body={"unit": unit}, req_id=12)
+    effects = client.on_message(dup, 2.0)
+    acks = [e for e in effects if isinstance(e, Send)
+            and e.message.mtype == SCH_ACK]
+    assert len(acks) == 1 and acks[0].message.reply_to == 12
+    assert client.unit["id"] == "u1"
+    # Uncorrelated (fire-and-forget) assignments are not ACKed.
+    plain = Message(mtype=SCH_WORK, sender="sch0/sched", body={"unit": None})
+    assert not [e for e in client.on_message(plain, 3.0)
+                if isinstance(e, Send)]
