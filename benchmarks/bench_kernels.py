@@ -21,6 +21,7 @@ from workloads import (
     N_RECOUNTS,
     N_TABU_STEPS,
     run_clique_recount,
+    run_codec_decode,
     run_codec_roundtrip,
     run_metrics_ingest,
     run_tabu_search,
@@ -90,3 +91,17 @@ def test_codec_roundtrip_throughput(benchmark, artifact_dir):
     ]
     save_artifact(artifact_dir, "codec_throughput.txt", "\n".join(lines))
     _maybe_enforce_baseline("codec_roundtrip", msgs_per_sec)
+
+
+def test_codec_decode_throughput(benchmark, artifact_dir):
+    benchmark.pedantic(run_codec_decode, args=(N_CODEC_MESSAGES,),
+                       rounds=ROUNDS, iterations=1, warmup_rounds=1)
+    msgs_per_sec = N_CODEC_MESSAGES / benchmark.stats["median"]
+    lines = [
+        "Lingua-franca decode-only (zero-copy deframe + parse):",
+        f"  {msgs_per_sec:,.0f} messages/s median "
+        f"({N_CODEC_MESSAGES:,} messages x {ROUNDS} rounds)",
+    ]
+    save_artifact(artifact_dir, "codec_decode_throughput.txt",
+                  "\n".join(lines))
+    _maybe_enforce_baseline("codec_decode", msgs_per_sec)

@@ -1,0 +1,105 @@
+"""The compute plane must be free when unused (perf-opt tentpole gate).
+
+The inline lane is the default substrate: no pool, no shm, no lane
+object anywhere near the hot loops. This gate proves the refactor that
+made kernels *offloadable* (TabuSearch round decomposition, the engine's
+drain-hook dispatch, the RealEngine lane branch) did not tax the serial
+paths everyone else runs.
+
+Under ``REPRO_PERF_STRICT=1`` the bench checks the perf-baseline commit
+— the most recent commit, excluding the working HEAD itself, that
+refreshed ``BENCH_engine.json`` — out into a temporary git worktree and
+alternates timed rounds between the two checkouts in one process (the
+same interleaving ``perf_snapshot.py --before-tree`` uses; separate
+processes cannot resolve a 2% tolerance on a noisy machine). HEAD is
+excluded because a perf PR refreshes the BENCH files in the same commit
+it changes the code, which would otherwise make the gate compare the new
+tree against itself. Skipped when strict mode is off or the baseline
+commit is unreachable (shallow clone).
+"""
+
+import os
+import pathlib
+import subprocess
+import tempfile
+
+import pytest
+
+import perf_snapshot
+import workloads
+from conftest import save_artifact
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+STRICT = os.environ.get("REPRO_PERF_STRICT") == "1"
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "3"))
+N_EVENTS = int(os.environ.get("REPRO_BENCH_EVENTS",
+                              workloads.N_TIMEOUT_EVENTS))
+N_STEPS = int(os.environ.get("REPRO_BENCH_TABU_STEPS",
+                             workloads.N_TABU_STEPS))
+
+#: Maximum allowed regression of the lane-capable tree's serial paths
+#: against the pre-compute-plane baseline, measured interleaved.
+INLINE_OVERHEAD_TOLERANCE = 0.02
+
+GATED_WORKLOADS = {
+    "timeout_storm": ("events/s", lambda: workloads.run_timeout_storm(N_EVENTS)),
+    "tabu_search": ("moves/s", lambda: workloads.run_tabu_search(N_STEPS)),
+}
+
+
+def _git(*argv: str) -> str:
+    return subprocess.check_output(("git", "-C", str(REPO_ROOT)) + argv,
+                                   text=True).strip()
+
+
+def _baseline_commit() -> str:
+    """The most recent non-HEAD commit that refreshed the perf baseline."""
+    head = _git("rev-parse", "HEAD")
+    shas = _git("log", "--format=%H", "--", "BENCH_engine.json").splitlines()
+    for sha in shas:
+        if sha != head:
+            return sha
+    raise RuntimeError("no perf-baseline commit before HEAD")
+
+
+def _interleaved_medians(fn, baseline_src: str, rounds: int):
+    baseline_rates, current_rates = [], []
+    for _ in range(rounds):
+        baseline_rates.append(
+            perf_snapshot._one_interleaved_round(baseline_src, fn))
+        current_rates.append(perf_snapshot._one_interleaved_round(None, fn))
+    baseline_rates.sort()
+    current_rates.sort()
+    return (baseline_rates[len(baseline_rates) // 2],
+            current_rates[len(current_rates) // 2])
+
+
+def test_inline_lane_within_2pct_of_baseline(artifact_dir):
+    if not STRICT:
+        pytest.skip("interleaved baseline gate only runs under "
+                    "REPRO_PERF_STRICT=1")
+    try:
+        sha = _baseline_commit()
+        worktree = tempfile.mkdtemp(prefix="repro-lane-baseline-")
+        _git("worktree", "add", "--detach", worktree, sha)
+    except (subprocess.CalledProcessError, RuntimeError) as exc:
+        pytest.skip(f"baseline tree unavailable (shallow clone?): {exc}")
+    baseline_src = str(pathlib.Path(worktree) / "src")
+    lines = [f"Inline-lane (serial-path) overhead vs pre-compute-plane "
+             f"tree {sha[:12]} (interleaved, {ROUNDS} rounds):"]
+    failures = []
+    try:
+        for name, (unit, fn) in GATED_WORKLOADS.items():
+            base, current = _interleaved_medians(fn, baseline_src, ROUNDS)
+            ratio = current / base
+            lines.append(f"  {name:<16} baseline {base:12,.0f} {unit:<10} "
+                         f"current {current:12,.0f}  ({ratio:.3f}x)")
+            if ratio < 1.0 - INLINE_OVERHEAD_TOLERANCE:
+                failures.append(f"{name}: {current:,.0f} {unit} is "
+                                f"{(1 - ratio) * 100:.1f}% below the "
+                                f"baseline tree's {base:,.0f}")
+    finally:
+        subprocess.run(["git", "-C", str(REPO_ROOT), "worktree", "remove",
+                        "--force", worktree], check=False)
+    save_artifact(artifact_dir, "lane_overhead.txt", "\n".join(lines))
+    assert not failures, "; ".join(failures)

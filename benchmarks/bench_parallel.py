@@ -1,0 +1,101 @@
+"""Refresh the repo-root ``BENCH_parallel.json`` compute-plane curve.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+    PYTHONPATH=src python benchmarks/bench_parallel.py --quick
+
+Runs the tabu step-batch workload (K_43, the R(5,5) search target)
+through the compute plane at 0/1/2/4 pool workers — 0 is the inline
+lane, the serial substrate every simulation run uses by default — and
+records aggregate kernel throughput (moves/s), speedup vs inline, and
+the per-worker-count parity hash. The hash digests the complete final
+search states (colorings, energies, tabu lists, RNG positions), so equal
+hashes mean the pool produced *bit-identical* search trajectories, not
+just similar quality.
+
+Speedup composition: pool workers run the vectorized numpy batch kernels
+while the inline lane runs the pure-Python reference path, so the curve
+reflects vectorization x available cores. On a single-core host (CI)
+the curve is flat across worker counts but still far above inline;
+``host_cpus`` is recorded so readers can interpret the curve.
+
+The gate (``--check``) asserts the acceptance floor: >= 2.5x aggregate
+throughput at 4 workers vs the inline lane, with parity hashes matching
+serial at every worker count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+SRC = HERE.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+PARALLEL_JSON = HERE.parent / "BENCH_parallel.json"
+
+#: Acceptance floor: aggregate moves/s at 4 workers vs the inline lane.
+SPEEDUP_FLOOR = 2.5
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=str, default="0,1,2,4",
+                        help="comma-separated pool sizes (0 = inline lane)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workload, 1 round (CI smoke)")
+    parser.add_argument("--rounds", type=int, default=2,
+                        help="best-of rounds per worker count")
+    parser.add_argument("--check", action="store_true",
+                        help=f"fail unless 4-worker speedup >= "
+                             f"{SPEEDUP_FLOOR}x and parity holds")
+    parser.add_argument("--out", type=str, default=str(PARALLEL_JSON))
+    args = parser.parse_args(argv)
+
+    from repro.parallel.scaling import run_scaling
+
+    worker_counts = tuple(int(w) for w in args.workers.split(","))
+    if args.quick:
+        report = run_scaling(worker_counts=worker_counts, searches=2,
+                             k=30, n=5, candidates=24, steps_per_batch=10,
+                             batches=2, rounds=1)
+    else:
+        report = run_scaling(worker_counts=worker_counts, searches=4,
+                             k=43, n=5, candidates=64, steps_per_batch=25,
+                             batches=4, rounds=max(args.rounds, 1))
+
+    print(f"{'workers':>8} {'moves/s':>12} {'speedup':>8} "
+          f"{'parity':>18} {'fallbacks':>9}")
+    for row in report["rows"]:
+        print(f"{row['workers']:>8} {row['moves_per_s']:>12,.0f} "
+              f"{row['speedup_vs_inline']:>7.2f}x "
+              f"{row['parity_hash']:>18} {row['fallbacks']:>9}")
+    print(f"parity: {'OK' if report['parity_ok'] else 'MISMATCH'} "
+          f"(host cpus: {report['host_cpus']})")
+
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {out_path.name}")
+
+    if not report["parity_ok"]:
+        print("FAIL: pool and serial search states diverged", file=sys.stderr)
+        return 1
+    if args.check and not args.quick:
+        by_workers = {row["workers"]: row for row in report["rows"]}
+        top = by_workers.get(max(by_workers))
+        if top["speedup_vs_inline"] < SPEEDUP_FLOOR:
+            print(f"FAIL: {top['workers']}-worker speedup "
+                  f"{top['speedup_vs_inline']:.2f}x is below the "
+                  f"{SPEEDUP_FLOOR}x floor", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,6 +48,8 @@ WORKLOADS = {
                        workloads.N_INGEST_RECORDS, "kernels"),
     "codec_roundtrip": (workloads.run_codec_roundtrip, "messages/s",
                         workloads.N_CODEC_MESSAGES, "kernels"),
+    "codec_decode": (workloads.run_codec_decode, "messages/s",
+                     workloads.N_CODEC_MESSAGES, "kernels"),
 }
 
 
@@ -85,6 +87,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--rounds", type=int, default=5)
     parser.add_argument("--quick", action="store_true",
                         help="3 rounds instead of 5 (CI smoke / sanity)")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="allow overwriting a committed 'before' "
+                             "baseline with a new one (required when "
+                             "--before-tree re-measures the origin)")
     args = parser.parse_args(argv)
     rounds = 3 if args.quick else args.rounds
     if args.before_tree and not (
@@ -135,6 +141,15 @@ def main(argv: list[str] | None = None) -> int:
             shown += f"  [{after['median'] / before['median']:.2f}x vs before]"
         print(f"{name:18s} {shown}")
 
+    for which, path in (("engine", perfjson.ENGINE_JSON),
+                        ("kernels", perfjson.KERNELS_JSON)):
+        conflicts = perfjson.baseline_conflicts(path, out[which])
+        if conflicts and not args.rebaseline:
+            parser.error(
+                f"{path.name}: refusing to overwrite the committed "
+                f"'before' baseline for {', '.join(conflicts)}; the "
+                "before block anchors the whole perf trajectory. Rerun "
+                "with --rebaseline to accept the new baseline.")
     perfjson.write(perfjson.ENGINE_JSON, out["engine"])
     perfjson.write(perfjson.KERNELS_JSON, out["kernels"])
     print(f"wrote {perfjson.ENGINE_JSON.name}, {perfjson.KERNELS_JSON.name}")

@@ -81,6 +81,31 @@ def write(path: pathlib.Path, workloads: dict) -> None:
     path.write_text(json.dumps(payload, indent=1) + "\n", encoding="utf-8")
 
 
+def baseline_conflicts(path: pathlib.Path, workloads: dict) -> list[str]:
+    """Workload names whose to-be-written ``before`` baseline differs from
+    the committed one.
+
+    The ``before`` block is the origin of the perf trajectory; rewriting
+    it (e.g. an accidental ``--before-tree`` against the wrong checkout)
+    silently re-anchors every speedup the file reports.
+    ``perf_snapshot.py`` refuses to write a changed baseline unless
+    ``--rebaseline`` is passed. New workloads and absent files never
+    conflict."""
+    committed = load(path)
+    if committed is None:
+        return []
+    conflicts = []
+    for name, spec in workloads.items():
+        old = committed["workloads"].get(name, {}).get("before")
+        new = spec.get("before")
+        if old is None or new is None:
+            continue
+        if (old.get("median"), old.get("best")) != (
+                new.get("median"), new.get("best")):
+            conflicts.append(name)
+    return sorted(conflicts)
+
+
 def committed_after_median(path: pathlib.Path, workload: str) -> Optional[float]:
     """The committed baseline median for ``workload``, if recorded."""
     data = load(path)

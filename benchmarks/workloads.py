@@ -185,3 +185,28 @@ def run_codec_roundtrip(n: int = N_CODEC_MESSAGES) -> int:
                       body={"seq": 42, "load": 0.5})
         Message.decode(msg.encode())
     return n
+
+
+def run_codec_decode(n: int = N_CODEC_MESSAGES) -> int:
+    """Decode-only of a pre-encoded stream — isolates the zero-copy
+    deframe+parse path (single-packet and TCP-style stream decoder)."""
+    from repro.core.linguafranca.messages import Message
+    from repro.core.linguafranca.packets import PacketDecoder
+
+    wire = Message(mtype="SCHED_POLL", sender="h1/sched",
+                   body={"queue": "ramsey", "depth": 17}).encode()
+    half = n // 2
+    for _ in range(half):
+        Message.decode(wire)
+    decoder = PacketDecoder()
+    next_record = getattr(decoder, "next_record", None)
+    if next_record is not None:
+        for _ in range(n - half):
+            decoder.feed(wire)
+            next_record(Message.from_parts)
+    else:  # pre-zero-copy trees: copy out, then parse
+        for _ in range(n - half):
+            decoder.feed(wire)
+            mtype, payload = decoder.next_packet()
+            Message.from_parts(mtype, payload)
+    return n

@@ -30,6 +30,10 @@ The surface groups into five layers:
 * **Observability** — :class:`Telemetry` (metrics registry + causal
   tracer), the :class:`EngineProfiler`, and the Chrome-trace/metrics
   exporters (see DESIGN.md §9 and ``repro trace``).
+* **Compute plane** — :class:`ComputeLane` implementations
+  (:class:`InlineLane` / :class:`PoolLane` via :func:`make_lane`) that
+  execute heuristic kernel tasks inline or on a worker pool with
+  bit-identical results (see DESIGN.md §10 and ``repro bench``).
 """
 
 from __future__ import annotations
@@ -97,6 +101,21 @@ from .simgrid.faults import (
     InfraOutage,
     MessageChaos,
     SitePartition,
+)
+
+# -- compute plane ----------------------------------------------------------
+from .parallel import (
+    ComputeLane,
+    EvalRound,
+    EvalResult,
+    InlineLane,
+    PoolLane,
+    Recount,
+    RecountResult,
+    StepBatch,
+    StepBatchResult,
+    make_lane,
+    run_task,
 )
 
 # -- application: Ramsey search --------------------------------------------
@@ -201,6 +220,18 @@ __all__ = [
     "InfraOutage",
     "MessageChaos",
     "SitePartition",
+    # compute plane
+    "ComputeLane",
+    "EvalRound",
+    "EvalResult",
+    "InlineLane",
+    "PoolLane",
+    "Recount",
+    "RecountResult",
+    "StepBatch",
+    "StepBatchResult",
+    "make_lane",
+    "run_task",
     # Ramsey application
     "RAMSEY_BEST",
     "Coloring",

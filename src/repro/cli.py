@@ -4,6 +4,7 @@ Commands
 --------
 ``sc98``    run the SC98 scenario and print/export the paper's figures
 ``ramsey``  run a counter-example search locally (real kernels)
+``bench``   compute-plane scaling benchmark (``--parallel``)
 ``pet``     run the distributed PET reconstruction demo
 ``trace``   run a scenario with causal tracing on; export Chrome trace
 ``metrics`` run a scenario and print/export its metrics snapshot
@@ -32,12 +33,26 @@ def _cmd_sc98(args: argparse.Namespace) -> int:
     )
     from .experiments.export import write_results
 
-    cfg = SC98Config(scale=args.scale, seed=args.seed)
+    cfg = SC98Config(
+        scale=args.scale,
+        seed=args.seed,
+        duration=args.duration,
+        k=args.k,
+        n=args.n,
+        engine=args.engine,
+        compute_pool=args.compute_pool,
+        max_steps_per_advance=args.max_steps_per_advance,
+    )
     world = build_sc98(cfg)
-    print(f"running SC98 scenario (scale {args.scale}, seed {args.seed}) ...")
+    lane_desc = ""
+    if cfg.engine == "real":
+        lane_desc = (f", engine real, "
+                     f"{'pool=' + str(cfg.compute_pool) if cfg.compute_pool else 'inline lane'}")
+    print(f"running SC98 scenario (scale {args.scale}, seed {args.seed}"
+          f"{lane_desc}) ...")
     t0 = time.time()
     results = world.run()
-    print(f"simulated {cfg.duration / 3600:.0f} h in {time.time() - t0:.1f} s\n")
+    print(f"simulated {cfg.duration / 3600:.1f} h in {time.time() - t0:.1f} s\n")
     print(render_headlines(results))
     if args.figures:
         print()
@@ -80,6 +95,46 @@ def _cmd_ramsey(args: argparse.Namespace) -> int:
     print("no counter-example within the step budget "
           f"(best energy {snap.best_energy})")
     return 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+
+    if not args.parallel:
+        print("nothing to do: pass --parallel for the compute-plane "
+              "scaling benchmark")
+        return 2
+    from .parallel.scaling import run_scaling
+
+    worker_counts = tuple(int(w) for w in args.workers.split(","))
+    print(f"scaling tabu kernel batches over pool sizes {worker_counts} "
+          f"(K_{args.k}, n={args.n}, {args.searches} searches, "
+          f"{args.candidates} candidates) ...")
+    report = run_scaling(
+        worker_counts=worker_counts,
+        searches=args.searches,
+        k=args.k,
+        n=args.n,
+        candidates=args.candidates,
+        steps_per_batch=args.steps_per_batch,
+        batches=args.batches,
+        seed=args.seed,
+        rounds=args.rounds,
+    )
+    print(f"{'workers':>8} {'moves/s':>12} {'speedup':>8} "
+          f"{'parity':>18} {'fallbacks':>9}")
+    for row in report["rows"]:
+        print(f"{row['workers']:>8} {row['moves_per_s']:>12,.0f} "
+              f"{row['speedup_vs_inline']:>7.2f}x "
+              f"{row['parity_hash']:>18} {row['fallbacks']:>9}")
+    print(f"parity: {'OK' if report['parity_ok'] else 'MISMATCH'} "
+          f"(host cpus: {report['host_cpus']})")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote: {args.out}")
+    return 0 if report["parity_ok"] else 1
 
 
 def _cmd_pet(args: argparse.Namespace) -> int:
@@ -238,11 +293,42 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sc98", help="run the SC98 scenario")
     p.add_argument("--scale", type=float, default=0.25)
     p.add_argument("--seed", type=int, default=1998)
+    p.add_argument("--duration", type=float, default=12 * 3600.0,
+                   help="simulated seconds (default: the paper's 12 h)")
+    p.add_argument("--k", type=int, default=43,
+                   help="Ramsey search target K_k (default 43, the R(5,5) run)")
+    p.add_argument("--n", type=int, default=5,
+                   help="forbidden monochromatic clique size")
+    p.add_argument("--engine", choices=["model", "real"], default="model",
+                   help="client compute engine: cost-model or real kernels")
+    p.add_argument("--compute-pool", type=int, default=0, metavar="N",
+                   help="offload real-engine kernels to N pool workers "
+                        "(0 = inline lane; results are bit-identical)")
+    p.add_argument("--max-steps-per-advance", type=int, default=2000,
+                   help="real-engine step cap per advance (smoke runs)")
     p.add_argument("--out", type=str, default=None,
                    help="directory for CSV/JSON exports")
     p.add_argument("--figures", action="store_true",
                    help="print the full figure tables")
     p.set_defaults(func=_cmd_sc98)
+
+    p = sub.add_parser("bench", help="run micro/scaling benchmarks")
+    p.add_argument("--parallel", action="store_true",
+                   help="run the compute-plane scaling benchmark")
+    p.add_argument("--workers", type=str, default="0,1,2,4",
+                   help="comma-separated pool sizes (0 = inline lane)")
+    p.add_argument("--searches", type=int, default=4)
+    p.add_argument("--k", type=int, default=43)
+    p.add_argument("--n", type=int, default=5)
+    p.add_argument("--candidates", type=int, default=64)
+    p.add_argument("--steps-per-batch", type=int, default=25)
+    p.add_argument("--batches", type=int, default=4)
+    p.add_argument("--rounds", type=int, default=2,
+                   help="best-of rounds per worker count")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", type=str, default=None,
+                   help="write the scaling report JSON here")
+    p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("ramsey", help="run a local counter-example search")
     p.add_argument("--k", type=int, default=10)

@@ -19,7 +19,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from .packets import PacketError, decode_packet, encode_packet
+from .packets import PacketError, decode_packet_view, encode_packet
 
 __all__ = ["Message", "MessageError", "TypeRegistry", "fresh_req_id"]
 
@@ -99,15 +99,23 @@ class Message:
 
     @classmethod
     def decode(cls, data: bytes) -> "Message":
-        """Parse a single framed packet into a Message."""
-        mtype, payload = decode_packet(data)
+        """Parse a single framed packet into a Message.
+
+        Zero-copy: the payload is parsed through a memoryview into
+        ``data`` (:func:`decode_packet_view`), never materialized as an
+        intermediate ``bytes`` object."""
+        mtype, payload = decode_packet_view(data)
         return cls.from_parts(mtype, payload)
 
     @classmethod
-    def from_parts(cls, mtype: str, payload: bytes) -> "Message":
-        """Build a Message from an already-deframed (mtype, payload)."""
+    def from_parts(cls, mtype: str, payload) -> "Message":
+        """Build a Message from an already-deframed (mtype, payload).
+
+        ``payload`` may be ``bytes``, ``bytearray``, or a ``memoryview``
+        (the zero-copy decode paths pass views); it is consumed before
+        this returns, never retained."""
         try:
-            record = json.loads(payload.decode("utf-8"))
+            record = json.loads(str(payload, "utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise MessageError(f"bad message payload: {exc}") from exc
         if not isinstance(record, dict) or "s" not in record or "b" not in record:

@@ -39,6 +39,7 @@ __all__ = [
     "PacketError",
     "encode_packet",
     "decode_packet",
+    "decode_packet_view",
     "PacketDecoder",
 ]
 
@@ -70,13 +71,18 @@ def encode_packet(mtype: str, payload: bytes) -> bytes:
     return b"".join((head, tbytes, payload, TRAILER.pack(crc & 0xFFFFFFFF)))
 
 
-def decode_packet(data: bytes) -> tuple[str, bytes]:
-    """Decode exactly one packet; raises PacketError on any mismatch.
+def decode_packet_view(data: bytes) -> tuple[str, memoryview]:
+    """Decode exactly one packet without copying the payload.
 
     Single-pass: validates and slices ``data`` directly instead of
     round-tripping it through a :class:`PacketDecoder` buffer (the stream
     decoder exists for the TCP transport, where record boundaries do not
     align with ``recv`` boundaries — here the frame is already exact).
+
+    The returned payload is a :class:`memoryview` into ``data``; it stays
+    valid for as long as ``data`` does. Callers that parse the payload
+    immediately (:meth:`Message.decode`) never materialize a payload copy;
+    callers that need to keep the bytes use :func:`decode_packet`.
     """
     if len(data) < HEADER.size:
         raise PacketError("truncated packet")
@@ -96,14 +102,27 @@ def decode_packet(data: bytes) -> tuple[str, bytes]:
         raise PacketError(f"{len(data) - total} trailing bytes after packet")
     body_end = total - TRAILER.size
     (crc,) = TRAILER.unpack_from(data, body_end)
-    actual = zlib.crc32(memoryview(data)[:body_end]) & 0xFFFFFFFF
+    view = memoryview(data)
+    actual = zlib.crc32(view[:body_end]) & 0xFFFFFFFF
     if crc != actual:
         raise PacketError(f"crc mismatch (got {crc:#x}, want {actual:#x})")
     try:
-        mtype = data[HEADER.size : HEADER.size + tlen].decode("utf-8")
+        mtype = str(view[HEADER.size : HEADER.size + tlen], "utf-8")
     except UnicodeDecodeError as exc:
         raise PacketError("message type is not valid UTF-8") from exc
-    return mtype, bytes(data[HEADER.size + tlen : body_end])
+    return mtype, view[HEADER.size + tlen : body_end]
+
+
+def decode_packet(data: bytes) -> tuple[str, bytes]:
+    """Decode exactly one packet; raises PacketError on any mismatch.
+
+    Like :func:`decode_packet_view` but returns an owned payload copy."""
+    mtype, payload = decode_packet_view(data)
+    return mtype, bytes(payload)
+
+
+def _owned_record(mtype: str, payload: memoryview) -> tuple[str, bytes]:
+    return mtype, bytes(payload)
 
 
 class PacketDecoder:
@@ -123,9 +142,9 @@ class PacketDecoder:
     def feed(self, data: bytes) -> None:
         self._buf.extend(data)
 
-    def next_packet(self) -> Optional[tuple[str, bytes]]:
-        """Return the next complete (mtype, payload), or None if more data
-        is needed. Raises PacketError if the stream is corrupt."""
+    def _frame(self) -> Optional[tuple[int, int]]:
+        """Validate the header of the buffered frame; (tlen, total) when a
+        complete frame is buffered, None when more data is needed."""
         buf = self._buf
         if len(buf) < HEADER.size:
             return None
@@ -141,24 +160,58 @@ class PacketDecoder:
         total = HEADER.size + tlen + plen + TRAILER.size
         if len(buf) < total:
             return None
+        return tlen, total
+
+    def next_record(self, build):
+        """Parse the next complete packet in place: call
+        ``build(mtype, payload_view)`` on a zero-copy view of the payload
+        and return its result, or None if more data is needed.
+
+        ``build`` must not retain the view — it only spans the frame's
+        slot in the stream buffer. The frame is consumed even when
+        ``build`` raises (a malformed *record* must not wedge the stream
+        the way a malformed *frame* does), so consumers can count the
+        error and keep reading. PacketError (corrupt frame) leaves the
+        buffer untouched: the only safe recovery is dropping the stream.
+        """
+        frame = self._frame()
+        if frame is None:
+            return None
+        tlen, total = frame
+        buf = self._buf
         body_end = total - TRAILER.size
         (crc,) = TRAILER.unpack_from(buf, body_end)
-        # The memoryview must be released before `del buf[:total]` resizes
-        # the bytearray, hence the with-block; it avoids copying the body
-        # just to checksum it (and the slice-then-bytes double copies).
-        with memoryview(buf) as view:
-            actual = zlib.crc32(view[:body_end]) & 0xFFFFFFFF
-            if crc != actual:
-                raise PacketError(
-                    f"crc mismatch (got {crc:#x}, want {actual:#x})"
-                )
-            try:
-                mtype = str(view[HEADER.size : HEADER.size + tlen], "utf-8")
-            except UnicodeDecodeError as exc:
-                raise PacketError("message type is not valid UTF-8") from exc
-            payload = bytes(view[HEADER.size + tlen : body_end])
-        del buf[:total]
-        return mtype, payload
+        consume = False
+        payload = None
+        try:
+            # Every view must be released before `del buf[:total]` resizes
+            # the bytearray: the with-block covers the base view, and the
+            # payload slice is released explicitly — when ``build`` raises,
+            # the exception's traceback pins build's frame (and with it the
+            # slice), so refcounting alone won't drop the buffer export.
+            with memoryview(buf) as view:
+                actual = zlib.crc32(view[:body_end]) & 0xFFFFFFFF
+                if crc != actual:
+                    raise PacketError(
+                        f"crc mismatch (got {crc:#x}, want {actual:#x})"
+                    )
+                try:
+                    mtype = str(view[HEADER.size : HEADER.size + tlen], "utf-8")
+                except UnicodeDecodeError as exc:
+                    raise PacketError("message type is not valid UTF-8") from exc
+                payload = view[HEADER.size + tlen : body_end]
+                consume = True
+                return build(mtype, payload)
+        finally:
+            if payload is not None:
+                payload.release()
+            if consume:
+                del buf[:total]
+
+    def next_packet(self) -> Optional[tuple[str, bytes]]:
+        """Return the next complete (mtype, payload), or None if more data
+        is needed. Raises PacketError if the stream is corrupt."""
+        return self.next_record(_owned_record)
 
     def packets(self) -> Iterator[tuple[str, bytes]]:
         """Yield all currently complete packets."""

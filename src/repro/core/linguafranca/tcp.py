@@ -108,23 +108,29 @@ class TcpServer:
                 return handled
             if data:
                 conn.decoder.feed(data)
-                try:
-                    for mtype, payload in conn.decoder.packets():
-                        handled += self._dispatch(conn, mtype, payload)
-                except PacketError:
-                    # Corrupt stream: the only safe recovery is to drop it.
-                    self.decode_errors += 1
-                    self._drop(conn)
-                    return handled
+                while True:
+                    try:
+                        # Zero-copy: the record is parsed straight out of
+                        # the stream buffer, no per-packet payload bytes.
+                        message = conn.decoder.next_record(Message.from_parts)
+                    except MessageError:
+                        # Malformed record in a well-framed packet: count
+                        # it, keep the connection.
+                        self.decode_errors += 1
+                        continue
+                    except PacketError:
+                        # Corrupt stream: the only safe recovery is to
+                        # drop it.
+                        self.decode_errors += 1
+                        self._drop(conn)
+                        return handled
+                    if message is None:
+                        break
+                    handled += self._dispatch(conn, message)
         self._flush(conn)
         return handled
 
-    def _dispatch(self, conn: _Connection, mtype: str, payload: bytes) -> int:
-        try:
-            message = Message.from_parts(mtype, payload)
-        except MessageError:
-            self.decode_errors += 1
-            return 0
+    def _dispatch(self, conn: _Connection, message: Message) -> int:
         self.messages_handled += 1
         reply = self.handler(message)
         if reply is not None:
@@ -213,8 +219,10 @@ class TcpClient:
                     return None
                 decoder.feed(data)
                 try:
-                    for mtype, payload in decoder.packets():
-                        reply = Message.from_parts(mtype, payload)
+                    while True:
+                        reply = decoder.next_record(Message.from_parts)
+                        if reply is None:
+                            break
                         if reply.reply_to == message.req_id:
                             return reply
                 except (PacketError, MessageError) as exc:

@@ -51,6 +51,13 @@ class _SimRuntime:
             self._rng = self._d.streams.get(f"component:{self._d.endpoint.contact}")
         return float(self._rng.random())
 
+    def compute_lane(self):
+        """The driver's compute lane (``None`` unless a world attached
+        one): where components may offload kernel tasks. Lane results
+        are bit-identical to inline execution, so using it never changes
+        simulation outcomes — only wall-clock speed."""
+        return self._d.compute_lane
+
 
 class SimDriver:
     """Runs one component on one host."""
@@ -94,6 +101,9 @@ class SimDriver:
         if telemetry is None:
             telemetry = network.telemetry
         self.telemetry = telemetry if telemetry is not None else Telemetry()
+        # Optional compute lane (repro.parallel): worlds attach one with
+        # attach_compute_lane; None keeps kernel work inline and free.
+        self.compute_lane = None
         # Ambient trace context captured at SetTimer time, consumed when
         # the timer fires; only populated while tracing is enabled.
         self._timer_ctx: dict[str, Optional[tuple[int, int]]] = {}
@@ -109,6 +119,11 @@ class SimDriver:
         """Spawn the driver loop as a guest process on the host."""
         self.process = self.host.spawn(self._run(), name=f"drv:{self.address.port}")
         return self.process
+
+    def attach_compute_lane(self, lane) -> None:
+        """Offer a compute lane to this driver's component (reachable
+        through ``runtime.compute_lane()``)."""
+        self.compute_lane = lane
 
     @property
     def running(self) -> bool:

@@ -72,6 +72,15 @@ class SC98Config:
     report_period: float = 150.0
     work_period: float = 150.0
     judging: bool = True
+    #: Client compute engine: "model" burns simulated cycles (SC98-scale
+    #: runs), "real" executes the op-counted search kernels.
+    engine: str = "model"
+    #: Compute-lane workers for the real engine (0 = inline lane, the
+    #: default substrate). Kernel results are bit-identical either way,
+    #: so this knob changes wall-clock speed only — never outcomes.
+    compute_pool: int = 0
+    #: Step cap per real-engine advance (lowered for smoke runs).
+    max_steps_per_advance: int = 2000
     #: Ablation A1: forecast-driven vs static service time-outs.
     dynamic_timeouts: bool = True
     #: Ablation A2: place schedulers inside the Condor pool.
@@ -195,10 +204,30 @@ class SC98World:
         for gossip in self.core.gossips:
             gossip.dynamic_timeouts = c.dynamic_timeouts
 
+        # --- the compute plane ------------------------------------------------
+        # Real-engine clients offload tabu step batches to this lane;
+        # `compute_pool` workers execute the vectorized kernels on real
+        # OS processes. Outcomes are bit-identical to serial: simulated
+        # time is charged from exact op counts, never wall time.
+        self.compute_lane = None
+        engine_factory = None
+        if c.engine == "real":
+            from ..parallel import make_lane
+            from ..ramsey.client import RealEngine
+
+            self.compute_lane = make_lane(
+                c.compute_pool, clock=lambda: self.env.now)
+
+            def engine_factory() -> RealEngine:
+                return RealEngine(
+                    max_steps_per_advance=c.max_steps_per_advance,
+                    lane=self.compute_lane)
+
         factory = model_client_factory(
             self.core,
             work_period=c.work_period,
             report_period=c.report_period,
+            engine_factory=engine_factory,
         )
 
         # --- the seven infrastructures ---------------------------------------
@@ -278,8 +307,21 @@ class SC98World:
         if getattr(self, "_condor_sched_pending", False):
             self._deploy_condor_schedulers()
         self.sampler.start_sampling()
-        self.env.run(until=self.config.duration)
+        if self.compute_lane is not None and self.compute_lane.workers > 0:
+            # Harvest pool completions (and refresh queue-depth gauges)
+            # at every event boundary while the world runs.
+            self.env.drain_hook = self.compute_lane.drain
+        try:
+            self.env.run(until=self.config.duration)
+        finally:
+            self.env.drain_hook = None
+            self.close()
         return self.results()
+
+    def close(self) -> None:
+        """Release the compute lane (worker processes, shared memory)."""
+        if self.compute_lane is not None:
+            self.compute_lane.close()
 
     def _deploy_condor_schedulers(self) -> None:
         from ..core.services.scheduler import SchedulerServer

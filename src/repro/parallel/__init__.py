@@ -1,0 +1,38 @@
+"""The compute plane: kernel offload to real OS processes (§6 scaling).
+
+``kernels`` defines the task slices and their bit-identical reference /
+vectorized executors; ``shm`` passes colorings through shared memory;
+``pool`` runs a persistent forked worker pool with crash fallback;
+``lanes`` is the :class:`ComputeLane` seam the simulation plugs into;
+``scaling`` is the throughput/parity harness behind
+``benchmarks/bench_parallel.py``.
+"""
+
+from .kernels import (
+    EvalResult,
+    EvalRound,
+    Recount,
+    RecountResult,
+    StepBatch,
+    StepBatchResult,
+    run_task,
+)
+from .lanes import ComputeLane, InlineLane, PoolLane, make_lane
+from .pool import KernelPool
+from .shm import ShmArena
+
+__all__ = [
+    "ComputeLane",
+    "InlineLane",
+    "PoolLane",
+    "make_lane",
+    "KernelPool",
+    "ShmArena",
+    "EvalRound",
+    "EvalResult",
+    "Recount",
+    "RecountResult",
+    "StepBatch",
+    "StepBatchResult",
+    "run_task",
+]

@@ -1,0 +1,307 @@
+"""Persistent worker pool executing kernel tasks on real OS processes.
+
+Transport: one duplex pipe per worker (no feeder threads, no queue
+locks), drained with ``multiprocessing.connection.wait`` so the parent
+can poll, block, and detect dead workers (EOF) through one mechanism.
+Workers are forked, so they inherit the shared-memory arena mapping and
+the loaded kernel code — a task message is just ``(ticket, task)`` with
+the coloring rows replaced by an arena slot index when they fit.
+
+Crash containment: a worker that dies mid-task takes nothing with it —
+the parent keeps every in-flight task and re-executes it inline through
+the *reference* kernels, which are bit-identical to the vectorized ones
+the worker would have run. Fallbacks are counted, never silent.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+from multiprocessing import connection, get_context
+from typing import Optional
+
+from .kernels import EvalRound, Recount, StepBatch, StepBatchResult, run_task
+from .shm import ROW_WORDS, ShmArena
+
+__all__ = ["KernelPool", "CRASH_TASK"]
+
+#: Test hook: a worker receiving this task hard-exits without replying,
+#: simulating a segfault/OOM-kill for the crash-fallback path.
+CRASH_TASK = "__crash__"
+
+#: Row indices inside one arena slot.
+_ROW_RED = 0
+_ROW_BEST = 1
+
+#: Marker shipped in place of mask lists that live in an arena slot.
+_IN_SLOT = "__shm__"
+
+
+# -- arena packing ----------------------------------------------------------
+def _pack(task, arena: Optional[ShmArena], slot: Optional[int]):
+    """Move the task's mask rows into ``slot``; returns the wire task.
+
+    With no arena/slot the task ships whole (inline-payload fallback).
+    """
+    if arena is None or slot is None:
+        return task
+    if isinstance(task, (EvalRound, Recount)):
+        if task.k >= ROW_WORDS:
+            return task
+        arena.write_row(slot, _ROW_RED, task.red)
+        return replace(task, red=_IN_SLOT)
+    if isinstance(task, StepBatch):
+        state = task.state
+        if state["k"] >= ROW_WORDS:
+            return task
+        arena.write_row(slot, _ROW_RED, state["red"])
+        arena.write_row(slot, _ROW_BEST, state["best_red"])
+        trimmed = dict(state)
+        trimmed["red"] = trimmed["best_red"] = _IN_SLOT
+        return replace(task, state=trimmed)
+    return task
+
+
+def _unpack_task(task, arena: ShmArena, slot: Optional[int]):
+    """Worker side: rehydrate mask rows from the arena slot."""
+    if slot is None:
+        return task
+    # NB: marker tests use isinstance, not identity — the string is
+    # re-created by pickling on its way through the pipe.
+    if isinstance(task, (EvalRound, Recount)) and isinstance(task.red, str):
+        return replace(task, red=arena.row(slot, _ROW_RED)[: task.k])
+    if isinstance(task, StepBatch) and isinstance(task.state["red"], str):
+        k = task.state["k"]
+        state = dict(task.state)
+        state["red"] = arena.read_row(slot, _ROW_RED, k)
+        state["best_red"] = arena.read_row(slot, _ROW_BEST, k)
+        return replace(task, state=state)
+    return task
+
+
+def _pack_result(result, arena: ShmArena, slot: Optional[int]):
+    """Worker side: write result rows back into the slot it came in."""
+    if slot is None or not isinstance(result, StepBatchResult):
+        return result
+    state = dict(result.state)
+    arena.write_row(slot, _ROW_RED, state["red"])
+    arena.write_row(slot, _ROW_BEST, state["best_red"])
+    state["red"] = state["best_red"] = _IN_SLOT
+    return replace(result, state=state)
+
+
+def _unpack_result(result, arena: Optional[ShmArena], slot: Optional[int]):
+    """Parent side: rehydrate result rows before releasing the slot."""
+    if (
+        slot is None or arena is None
+        or not isinstance(result, StepBatchResult)
+        or not isinstance(result.state["red"], str)
+    ):
+        return result
+    k = result.state["k"]
+    state = dict(result.state)
+    state["red"] = arena.read_row(slot, _ROW_RED, k)
+    state["best_red"] = arena.read_row(slot, _ROW_BEST, k)
+    return replace(result, state=state)
+
+
+# -- worker loop ------------------------------------------------------------
+def _worker_main(conn, arena: ShmArena) -> None:
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        ticket, task, slot = msg
+        if task == CRASH_TASK:
+            os._exit(1)
+        try:
+            task = _unpack_task(task, arena, slot)
+            result = _pack_result(run_task(task, vectorized=True), arena, slot)
+            conn.send((ticket, True, result))
+        except BaseException as exc:
+            try:
+                conn.send((ticket, False, repr(exc)))
+            except Exception:
+                break
+    conn.close()
+
+
+class KernelPool:
+    """N forked workers, a shared arena, and crash-safe task tracking."""
+
+    def __init__(self, workers: int, arena_slots: Optional[int] = None) -> None:
+        if workers <= 0:
+            raise ValueError("pool needs at least one worker")
+        ctx = get_context("fork")
+        self.workers = workers
+        self.arena = ShmArena(arena_slots or 4 * workers + 4)
+        self.fallbacks = 0
+        self._next_ticket = 0
+        self._conns: list = []
+        self._procs: list = []
+        self._alive: list[bool] = []
+        #: Per-worker in-flight tasks: ticket -> (original task, slot).
+        self._pending: list[dict] = []
+        self._done: list[tuple] = []
+        self._closed = False
+        for _ in range(workers):
+            parent_end, child_end = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main, args=(child_end, self.arena), daemon=True)
+            proc.start()
+            child_end.close()
+            self._conns.append(parent_end)
+            self._procs.append(proc)
+            self._alive.append(True)
+            self._pending.append({})
+
+    # -- submission --------------------------------------------------------
+    def pending_counts(self) -> list[int]:
+        return [len(p) for p in self._pending]
+
+    def submit(self, task) -> int:
+        """Queue a task on the least-loaded live worker; returns a ticket.
+
+        With no live workers the task runs inline immediately (reference
+        kernels) and its result is buffered for the next ``collect``.
+        """
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        wid = self._pick_worker()
+        if wid is None:
+            self._fallback(ticket, task)
+            return ticket
+        slot = None if task == CRASH_TASK else self.arena.acquire()
+        wire_task = _pack(task, self.arena, slot)
+        if wire_task is task and slot is not None:
+            # Didn't fit the arena (k too wide): inline payload instead.
+            self.arena.release(slot)
+            slot = None
+        try:
+            self._conns[wid].send((ticket, wire_task, slot))
+        except (BrokenPipeError, OSError):
+            if slot is not None:
+                self.arena.release(slot)
+            self._reap(wid)
+            self._fallback(ticket, task)
+            return ticket
+        self._pending[wid][ticket] = (task, slot)
+        return ticket
+
+    def _pick_worker(self) -> Optional[int]:
+        best = None
+        for wid, alive in enumerate(self._alive):
+            if not alive:
+                continue
+            if best is None or len(self._pending[wid]) < len(self._pending[best]):
+                best = wid
+        return best
+
+    def _fallback(self, ticket: int, task) -> None:
+        """Re-execute (or first-execute) a task inline, bit-identically."""
+        self.fallbacks += 1
+        if task == CRASH_TASK:
+            self._done.append((ticket, None))
+            return
+        self._done.append((ticket, run_task(task, vectorized=False)))
+
+    def _reap(self, wid: int) -> None:
+        """A worker died: fall back every task it still held."""
+        self._alive[wid] = False
+        try:
+            self._conns[wid].close()
+        except OSError:
+            pass
+        held = self._pending[wid]
+        self._pending[wid] = {}
+        for ticket, (task, slot) in sorted(held.items()):
+            if slot is not None:
+                self.arena.release(slot)
+            self._fallback(ticket, task)
+
+    # -- collection --------------------------------------------------------
+    def collect(self, block: bool = False) -> list[tuple]:
+        """Harvest finished tasks as ``(ticket, result)`` pairs.
+
+        ``block=True`` waits until at least one completion is available
+        (buffered fallbacks count). Results arrive in completion order.
+        """
+        while True:
+            self._drain(timeout=0.05 if block else 0)
+            if self._done or not block:
+                done, self._done = self._done, []
+                return done
+            if not any(self._pending):
+                return []  # nothing in flight anywhere
+
+    def _drain(self, timeout: Optional[float]) -> None:
+        live = [self._conns[w] for w, ok in enumerate(self._alive) if ok]
+        if not live:
+            return
+        ready = connection.wait(live, timeout=timeout)
+        for conn in ready:
+            wid = self._conns.index(conn)
+            try:
+                ticket, ok, payload = conn.recv()
+            except (EOFError, OSError):
+                self._reap(wid)
+                continue
+            task, slot = self._pending[wid].pop(ticket)
+            if ok:
+                result = _unpack_result(payload, self.arena, slot)
+                if slot is not None:
+                    self.arena.release(slot)
+                self._done.append((ticket, result))
+            else:
+                if slot is not None:
+                    self.arena.release(slot)
+                self._fallback(ticket, task)
+
+    def run(self, task):
+        """Submit one task and wait for its result; completions for other
+        tickets are buffered for the next ``collect``."""
+        ticket = self.submit(task)
+        while True:
+            batch = self.collect(block=True)
+            mine = None
+            keep = []
+            for done_ticket, result in batch:
+                if done_ticket == ticket:
+                    mine = (result,)
+                else:
+                    keep.append((done_ticket, result))
+            self._done = keep + self._done
+            if mine is not None:
+                return mine[0]
+
+    # -- teardown ----------------------------------------------------------
+    def close(self) -> None:
+        """Stop workers and unlink the arena (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for wid, conn in enumerate(self._conns):
+            if self._alive[wid]:
+                try:
+                    conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=1.0)
+        self.arena.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,98 @@
+"""Shared-memory slots for passing colorings to pool workers.
+
+One ``multiprocessing.shared_memory`` segment, carved into fixed-size
+slots of uint64 words. The parent acquires a slot per in-flight task,
+writes the adjacency rows into it, and ships only the slot index over
+the pipe; workers (forked, so they inherit the mapping — no attach or
+re-pickle) read the rows through numpy views and write result rows
+back into the same slot. A slot is owned by exactly one in-flight task,
+so no locking is needed.
+
+Masks wider than 64 bits (k > 63) don't fit a word row; callers fall
+back to inline pickled payloads for those — the arena is a fast path,
+never a requirement.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["ShmArena", "ROW_WORDS"]
+
+#: One adjacency row: k <= 63 masks plus headroom, in uint64 words.
+ROW_WORDS = 64
+
+
+class ShmArena:
+    """Slot allocator over one shared-memory segment."""
+
+    def __init__(self, slots: int, rows_per_slot: int = 2) -> None:
+        if slots <= 0:
+            raise ValueError("arena needs at least one slot")
+        self.slots = slots
+        self.rows_per_slot = rows_per_slot
+        self._slot_words = rows_per_slot * ROW_WORDS
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=slots * self._slot_words * 8)
+        self._words = np.ndarray(
+            (slots * self._slot_words,), dtype=np.uint64, buffer=self._shm.buf)
+        self._free = list(range(slots - 1, -1, -1))
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def free_slots(self) -> int:
+        return len(self._free)
+
+    # -- slot lifecycle ----------------------------------------------------
+    def acquire(self) -> Optional[int]:
+        """Claim a slot, or ``None`` when the arena is full (callers then
+        fall back to inline payloads — never block on a slot)."""
+        if not self._free:
+            return None
+        return self._free.pop()
+
+    def release(self, slot: int) -> None:
+        self._free.append(slot)
+
+    # -- row access --------------------------------------------------------
+    def row(self, slot: int, row: int) -> np.ndarray:
+        """Zero-copy uint64 view of one row of a slot."""
+        base = slot * self._slot_words + row * ROW_WORDS
+        return self._words[base : base + ROW_WORDS]
+
+    def write_row(self, slot: int, row: int, masks) -> None:
+        view = self.row(slot, row)
+        if isinstance(masks, np.ndarray):
+            view[: len(masks)] = masks
+        else:
+            view[: len(masks)] = [int(m) for m in masks]
+
+    def read_row(self, slot: int, row: int, k: int) -> list[int]:
+        """Row as plain python ints (for rebuilding colorings)."""
+        return [int(x) for x in self.row(slot, row)[:k]]
+
+    # -- teardown ----------------------------------------------------------
+    def close(self) -> None:
+        """Release the mapping and unlink the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._words = None
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass

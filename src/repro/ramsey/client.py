@@ -41,7 +41,7 @@ from ..core.services.scheduler import (
     SCH_WORK,
 )
 from .graphs import OpCounter
-from .heuristics import SearchSnapshot, make_search
+from .heuristics import SearchSnapshot, TabuSearch, make_search
 from .tasks import validate_unit
 
 __all__ = [
@@ -103,10 +103,18 @@ class RealEngine:
     Used by the runnable examples and the Java/throughput benchmarks; too
     slow (by design — it does the real math) for 300-host 12-hour
     simulations.
+
+    With a compute ``lane`` each tabu advance is offloaded as one
+    :class:`repro.parallel.StepBatch` — the search state migrates to a
+    pool worker, steps there through the vectorized kernels, and comes
+    back bit-identical to having stepped inline (the batch loop checks
+    the same ops/steps/found boundaries between steps that the inline
+    loop does). Non-tabu heuristics always step inline.
     """
 
-    def __init__(self, max_steps_per_advance: int = 2000) -> None:
+    def __init__(self, max_steps_per_advance: int = 2000, lane=None) -> None:
         self.max_steps_per_advance = max_steps_per_advance
+        self.lane = lane
         self.search = None
         self.unit: Optional[dict] = None
         self.ops = OpCounter()
@@ -130,14 +138,24 @@ class RealEngine:
     def advance(self, ops_budget: float) -> EngineStatus:
         assert self.search is not None and self.unit is not None
         start_ops = self.ops.ops
-        steps = 0
-        while (
-            self.ops.ops - start_ops < ops_budget
-            and steps < self.max_steps_per_advance
-            and not self.search.found
-        ):
-            self.search.step()
-            steps += 1
+        if self.lane is not None and isinstance(self.search, TabuSearch):
+            from ..parallel import StepBatch
+
+            outcome = self.lane.run(StepBatch(
+                self.search.export_state(),
+                max_steps=self.max_steps_per_advance,
+                ops_budget=ops_budget))
+            self.search = TabuSearch.from_state(outcome.state, ops=self.ops)
+            self.ops.add(outcome.ops)
+        else:
+            steps = 0
+            while (
+                self.ops.ops - start_ops < ops_budget
+                and steps < self.max_steps_per_advance
+                and not self.search.found
+            ):
+                self.search.step()
+                steps += 1
         done_ops = self.ops.ops - start_ops
         found = None
         if self.search.found and not self._reported_found:

@@ -206,8 +206,86 @@ class Coloring:
         return f"<Coloring K_{self.k} red={reds}/{total}>"
 
 
+#: Bit positions 0..63 as uint64, for unpacking mask words into vertex
+#: indices (the vectorized kernels' expansion step).
+_BIT_SHIFTS = np.arange(64, dtype=np.uint64)
+
+#: Below this k the pure-Python recursion beats the vectorized kernel
+#: (numpy call overhead dominates tiny masks); above it the level
+#: expansion wins. Either path returns identical counts and op meters.
+_NP_MIN_K = 24
+
+
+def _expand_bits(sets: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Unpack every set bit of each mask word in ``sets``.
+
+    Returns ``(parent, vertex)`` index arrays: one entry per set bit, in
+    (parent, ascending-bit) order — the same visit order as the python
+    kernels' lowest-bit-first loops, which is what keeps the vectorized
+    counts byte-comparable level by level.
+    """
+    bits = ((sets[:, None] >> _BIT_SHIFTS[:k]) & np.uint64(1)).astype(bool)
+    return np.nonzero(bits)
+
+
+def _above_masks(k: int) -> np.ndarray:
+    """``above[v]`` = mask of vertices strictly greater than v (uint64)."""
+    full = (1 << k) - 1
+    return np.array([full & ~((1 << (v + 1)) - 1) for v in range(k)],
+                    dtype=np.uint64)
+
+
+def _count_cliques_np(masks: np.ndarray, k: int, n: int) -> tuple[int, int]:
+    """Vectorized n-clique count over uint64 neighbor masks.
+
+    Returns ``(count, counted)`` where ``counted`` is exactly the op
+    meter the recursive kernel would have charged: the meter depends only
+    on how many candidate bits each level visits — the number of cliques
+    of each smaller order — and the level expansion computes those sizes
+    as a side effect. Requires ``n >= 2`` and ``k <= 63`` (masks must fit
+    one machine word); callers gate on that and fall back to the
+    recursive kernel otherwise.
+    """
+    above = _above_masks(k)
+    counted = 2 * k * k
+    sets = masks & above  # depth-1 candidate sets, one per vertex
+    if n == 2:
+        counted += k * k
+        return int(np.bitwise_count(sets).sum()), counted
+    depth = 1
+    while depth < n - 2:  # interior levels: 2k per visited bit
+        parent, w = _expand_bits(sets, k)
+        counted += 2 * k * len(w)
+        sets = sets[parent] & masks[w] & above[w]
+        depth += 1
+    # depth == n - 2: flattened leaf level, 3k per bit + one popcount
+    parent, w = _expand_bits(sets, k)
+    counted += 3 * k * len(w)
+    leaves = sets[parent] & masks[w] & above[w]
+    return int(np.bitwise_count(leaves).sum()), counted
+
+
 def _count_cliques(masks: list[int], k: int, n: int, ops: Optional[OpCounter]) -> int:
-    """Count n-cliques in the graph given by neighbor bitmasks."""
+    """Count n-cliques in the graph given by neighbor bitmasks.
+
+    Dispatches to the vectorized kernel when the masks fit a machine word
+    and the graph is big enough for numpy to pay off; the recursive
+    kernel below is the metering reference (tests assert both agree on
+    counts *and* ops).
+    """
+    if _NP_MIN_K <= k <= 63 and n >= 2:
+        total, counted = _count_cliques_np(
+            np.array(masks, dtype=np.uint64), k, n)
+        if ops is not None:
+            ops.add(counted)
+        return total
+    return _count_cliques_py(masks, k, n, ops)
+
+
+def _count_cliques_py(
+    masks: list[int], k: int, n: int, ops: Optional[OpCounter]
+) -> int:
+    """Reference n-clique count (recursive, per-bit metering)."""
     if n == 1:
         return k
     if n < 1:

@@ -41,6 +41,17 @@ __all__ = ["TabuSearch", "Annealing", "MinConflicts", "SearchSnapshot",
            "make_search"]
 
 
+def _coloring_from_red(k: int, red: list[int]) -> Coloring:
+    """Rebuild a Coloring from trusted red masks without the O(k^2)
+    symmetry revalidation (state transfer moves live, known-good masks)."""
+    c = Coloring.__new__(Coloring)
+    c.k = k
+    c.red = [int(m) for m in red]
+    full = (1 << k) - 1
+    c.blue = [full & ~c.red[v] & ~(1 << v) for v in range(k)]
+    return c
+
+
 @dataclass
 class SearchSnapshot:
     """Serializable search progress (work-unit migration / checkpointing)."""
@@ -241,6 +252,119 @@ class TabuSearch(_EdgeFlipSearch):
             self._perturb()
             self._tabu.clear()
             self._stall = 0
+
+    # -- round decomposition (compute-plane offload) -----------------------
+    #
+    # ``step()`` above is the reference implementation and stays the inline
+    # path. ``prepare_round()`` + ``apply_round()`` split one step at the
+    # kernel boundary so the candidate evaluation — the expensive middle —
+    # can run on a :class:`repro.parallel` compute lane. The split is
+    # bit-exact: the RNG draws do not depend on any evaluation result, so
+    # drawing every candidate up front replays the same stream, and the
+    # tabu/aspiration filter is captured as per-candidate flags plus the
+    # aspiration margin and re-applied in draw order.
+
+    def prepare_round(self) -> dict:
+        """Advance to the next step and describe its evaluation round.
+
+        Returns a kernel-ready round description; the caller evaluates it
+        (inline or on a pool worker) and feeds the outcome to
+        :meth:`apply_round`. Interleaving ``prepare_round``/``apply_round``
+        with plain :meth:`step` calls is safe — state advances identically.
+        """
+        self.steps += 1
+        edges: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        for _ in range(self.candidates):
+            edge = self._random_edge()
+            if edge in seen:
+                continue
+            seen.add(edge)
+            edges.append(edge)
+        return {
+            "k": self.k,
+            "n": self.n,
+            "red": self.coloring.red,
+            "edges": edges,
+            "tabu": [self._tabu.get(e, -1) >= self.steps for e in edges],
+            "aspiration_below": self.best_energy - self.energy,
+        }
+
+    def apply_round(
+        self,
+        best_move: Optional[tuple[int, int]],
+        best_delta: int,
+        ops_done: int = 0,
+    ) -> None:
+        """Apply the outcome of an evaluation round prepared by
+        :meth:`prepare_round` (the back half of :meth:`step`)."""
+        if ops_done:
+            self.ops.add(ops_done)
+        if best_move is None:
+            self._stall += 1
+        else:
+            best_move = (int(best_move[0]), int(best_move[1]))
+            self._apply_flip(*best_move, best_delta)
+            self._tabu[best_move] = self.steps + self.tenure
+            self._stall = 0 if best_delta < 0 else self._stall + 1
+        if self._stall >= self.stall_limit:
+            self._perturb()
+            self._tabu.clear()
+            self._stall = 0
+
+    # -- exact state transfer (worker-resident step batches) ---------------
+    def export_state(self) -> dict:
+        """Full-fidelity state for migrating the search to another process.
+
+        Unlike :class:`SearchSnapshot` (a wire checkpoint whose restore
+        re-counts energies, charging extra ops), this captures *everything*
+        — tabu list, stall counter, RNG stream position — so a search can
+        hop processes and continue bit-identically to never having moved.
+        The op counter is deliberately excluded: the host process owns it
+        and accounts returned ``ops_done`` itself.
+        """
+        return {
+            "k": self.k,
+            "n": self.n,
+            "candidates": self.candidates,
+            "tenure": self.tenure,
+            "stall_limit": self.stall_limit,
+            "red": list(self.coloring.red),
+            "best_red": list(self.best_coloring.red),
+            "energy": self.energy,
+            "best_energy": self.best_energy,
+            "steps": self.steps,
+            "restarts": self.restarts,
+            "tabu": list(self._tabu.items()),
+            "stall": self._stall,
+            "rng_state": self.rng.bit_generator.state,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, ops: Optional[OpCounter] = None
+    ) -> "TabuSearch":
+        """Reconstruct a search exported by :meth:`export_state`."""
+        rng = np.random.default_rng()
+        rng.bit_generator.state = state["rng_state"]
+        search = cls.__new__(cls)
+        search.k = int(state["k"])
+        search.n = int(state["n"])
+        search.rng = rng
+        search.ops = ops if ops is not None else OpCounter()
+        search.coloring = _coloring_from_red(search.k, state["red"])
+        search.best_coloring = _coloring_from_red(search.k, state["best_red"])
+        search.energy = int(state["energy"])
+        search.best_energy = int(state["best_energy"])
+        search.steps = int(state["steps"])
+        search.restarts = int(state["restarts"])
+        search.candidates = int(state["candidates"])
+        search.tenure = int(state["tenure"])
+        search.stall_limit = int(state["stall_limit"])
+        search._tabu = {(int(u), int(v)): int(t)
+                        for (u, v), t in state["tabu"]}
+        search._stall = int(state["stall"])
+        return search
 
 
 class Annealing(_EdgeFlipSearch):

@@ -44,12 +44,52 @@ T_ROUND = "par:round"
 
 
 class ParallelEvaluator(Component):
-    """Evaluates candidate edge flips on the current coloring."""
+    """Evaluates candidate edge flips on the current coloring.
 
-    def __init__(self, name: str) -> None:
+    With a compute lane the evaluation round runs as an
+    :class:`repro.parallel.EvalRound` kernel task — synchronously by
+    default, or (``defer=True``) submitted at message delivery and
+    harvested on a zero-delay timer, which lets every evaluator hit by
+    the same barrier round get its task in flight before the first
+    result is consumed. Either way the reply carries the same bytes the
+    inline loop produces: kernels are bit-identical and op-metered.
+    """
+
+    #: Timer-key prefix for deferred lane completions.
+    T_TASK = "par:task:"
+
+    def __init__(self, name: str, lane=None, defer: bool = False) -> None:
         super().__init__(name)
         self.ops = OpCounter()
         self.rounds_served = 0
+        self.lane = lane
+        self.defer = bool(defer) and lane is not None
+        self._deferred: dict[int, tuple] = {}  # ticket -> (sender, round)
+
+    def _evaluate_inline(
+        self, coloring: Coloring, edges: list, n: int
+    ) -> tuple[Optional[tuple[int, int]], int]:
+        best_edge: Optional[tuple[int, int]] = None
+        best_delta = 0
+        for u, v in edges:
+            before = count_mono_cliques_with_edge(coloring, u, v, n, self.ops)
+            coloring.flip(u, v)
+            after = count_mono_cliques_with_edge(coloring, u, v, n, self.ops)
+            coloring.flip(u, v)
+            delta = after - before
+            if best_edge is None or delta < best_delta:
+                best_edge, best_delta = (u, v), delta
+        return best_edge, best_delta
+
+    def _reply(self, sender: str, round_no, best_edge, best_delta) -> list[Effect]:
+        reply_body = {
+            "round": round_no,
+            "edge": list(best_edge) if best_edge else None,
+            "delta": best_delta,
+            "ops": self.ops.reset(),
+        }
+        return [Send(sender, Message(
+            mtype=PAR_BEST, sender=self.contact, body=reply_body))]
 
     def on_message(self, message: Message, now: float) -> list[Effect]:
         if message.mtype != PAR_EVAL:
@@ -63,24 +103,36 @@ class ParallelEvaluator(Component):
         except (KeyError, TypeError, ValueError):
             return []
         self.rounds_served += 1
-        best_edge: Optional[tuple[int, int]] = None
-        best_delta = 0
-        for u, v in edges:
-            before = count_mono_cliques_with_edge(coloring, u, v, n, self.ops)
-            coloring.flip(u, v)
-            after = count_mono_cliques_with_edge(coloring, u, v, n, self.ops)
-            coloring.flip(u, v)
-            delta = after - before
-            if best_edge is None or delta < best_delta:
-                best_edge, best_delta = (u, v), delta
-        reply_body = {
-            "round": body.get("round"),
-            "edge": list(best_edge) if best_edge else None,
-            "delta": best_delta,
-            "ops": self.ops.reset(),
-        }
-        return [Send(message.sender, Message(
-            mtype=PAR_BEST, sender=self.contact, body=reply_body))]
+        if self.lane is None:
+            best_edge, best_delta = self._evaluate_inline(coloring, edges, n)
+            return self._reply(message.sender, body.get("round"),
+                               best_edge, best_delta)
+        from ..parallel import EvalRound
+
+        task = EvalRound(k, n, coloring.red, edges)
+        if self.defer:
+            ticket = self.lane.submit(task)
+            self._deferred[ticket] = (message.sender, body.get("round"))
+            return [SetTimer(f"{self.T_TASK}{ticket}", 0.0)]
+        outcome = self.lane.run(task)
+        self.ops.add(outcome.ops)
+        return self._reply(message.sender, body.get("round"),
+                           outcome.best_move, outcome.best_delta)
+
+    def on_timer(self, key: str, now: float) -> list[Effect]:
+        if not key.startswith(self.T_TASK):
+            return []
+        ticket = int(key[len(self.T_TASK):])
+        pending = self._deferred.pop(ticket, None)
+        if pending is None:
+            return []
+        sender, round_no = pending
+        outcome = self.lane.result(ticket)
+        if outcome is None:  # skipped/crashed past all fallbacks
+            return []
+        self.ops.add(outcome.ops)
+        return self._reply(sender, round_no, outcome.best_move,
+                           outcome.best_delta)
 
 
 class ParallelTabuCoordinator(Component):

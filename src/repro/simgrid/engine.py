@@ -463,7 +463,7 @@ class Environment:
     """Execution environment: clock, event queue, and process management."""
 
     __slots__ = ("_now", "_queue", "_seq", "_active_process", "_free_timeouts",
-                 "profiler")
+                 "profiler", "drain_hook")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -480,6 +480,12 @@ class Environment:
         #: cost of the feature when disabled is this one attribute check at
         #: run() entry plus one per driver-handled message.
         self.profiler = None
+        #: Optional zero-arg callable invoked between events (after each
+        #: event's callbacks). Used by the compute plane to drain pool
+        #: completions and refresh queue-depth gauges without the lane
+        #: owning the run loop. ``None`` (the default) keeps run() on the
+        #: inlined fast loops — one attribute check at run() entry.
+        self.drain_hook = None
 
     @property
     def now(self) -> float:
@@ -568,6 +574,8 @@ class Environment:
         event ``until`` triggers (returning its value)."""
         if self.profiler is not None:
             return self._run_profiled(until)
+        if self.drain_hook is not None:
+            return self._run_draining(until)
         stop_at = None
         stop_event: Optional[Event] = None
         if isinstance(until, Event):
@@ -718,6 +726,63 @@ class Environment:
             return stop.value
         finally:
             profiler.run_wall_time += perf_counter() - run_t0
+            if sentinel_entry is not None:
+                try:
+                    queue.remove(sentinel_entry)
+                    heapify(queue)
+                except ValueError:
+                    pass
+        if stop_event is not None and stop_event.callbacks is not None:
+            raise SimulationError("run() until-event was never triggered")
+        return None
+
+    def _run_draining(self, until: Optional[float | Event] = None) -> Any:
+        """run() twin taken when a drain hook is attached: identical
+        scheduling semantics, with the hook called between events so an
+        external completion source (the compute plane's worker pool) is
+        harvested at every event boundary. Skips the Timeout-recycling
+        micro-optimization — the hook may retain event references."""
+        hook = self.drain_hook
+        stop_at = None
+        stop_event: Optional[Event] = None
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:  # already processed
+                return stop_event._value
+
+            def _stop(event: Event) -> None:
+                raise StopSimulation(event._value)
+
+            stop_event.callbacks.append(_stop)
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"until={stop_at} is in the past (now={self._now})"
+                )
+        queue = self._queue
+        sentinel_entry = None
+        if stop_at is not None:
+            sentinel_entry = (stop_at, _DEADLINE_TAG, _Deadline())
+            heappush(queue, sentinel_entry)
+        try:
+            while queue:
+                self._now, _tag, event = heappop(queue)
+                callbacks = event.callbacks
+                if callbacks is None:
+                    if sentinel_entry is not None:
+                        sentinel_entry = None  # popped: nothing to withdraw
+                        return None  # the deadline sentinel ends the run
+                    continue  # stale sentinel from an aborted earlier run
+                event.callbacks = None
+                for cb in callbacks:
+                    cb(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                hook()
+        except StopSimulation as stop:
+            return stop.value
+        finally:
             if sentinel_entry is not None:
                 try:
                     queue.remove(sentinel_entry)

@@ -69,6 +69,23 @@ def test_decode_rejects_non_json():
         Message.from_parts("X", b"\xff\xfe not json")
 
 
+def test_from_parts_accepts_memoryview_payload():
+    original = Message(mtype="REPORT", sender="a/b", body={"x": 1},
+                       req_id=7)
+    wire = original.encode()
+    via_bytes = Message.decode(wire)
+    import json
+
+    record = json.dumps({"s": "a/b", "b": {"x": 1}, "q": 7}).encode()
+    via_view = Message.from_parts("REPORT", memoryview(record))
+    assert via_bytes == via_view == original
+
+
+def test_from_parts_rejects_bad_utf8_in_view():
+    with pytest.raises(MessageError):
+        Message.from_parts("X", memoryview(b"\xff\xfe not json"))
+
+
 def test_registry_validates():
     reg = TypeRegistry()
 

@@ -11,6 +11,7 @@ from repro.core.linguafranca.packets import (
     PacketDecoder,
     PacketError,
     decode_packet,
+    decode_packet_view,
     encode_packet,
 )
 
@@ -74,6 +75,64 @@ def test_trailing_garbage_rejected_by_decode_packet():
     data = encode_packet("T", b"p") + b"junk"
     with pytest.raises(PacketError, match="trailing"):
         decode_packet(data)
+
+
+def test_decode_packet_view_is_zero_copy():
+    data = encode_packet("REPORT", b"hello world")
+    mtype, payload = decode_packet_view(data)
+    assert mtype == "REPORT"
+    assert isinstance(payload, memoryview)
+    assert bytes(payload) == b"hello world"
+    assert payload.obj is data  # a view into the frame, not a copy
+
+
+def test_decode_packet_view_rejects_corruption():
+    data = bytearray(encode_packet("T", b"payload"))
+    data[-6] ^= 0xFF
+    with pytest.raises(PacketError, match="crc"):
+        decode_packet_view(bytes(data))
+
+
+def test_next_record_parses_in_place():
+    decoder = PacketDecoder()
+    decoder.feed(encode_packet("A", b"first"))
+    decoder.feed(encode_packet("B", b"second"))
+    seen = []
+    while True:
+        rec = decoder.next_record(lambda t, p: (t, bytes(p), type(p)))
+        if rec is None:
+            break
+        seen.append(rec)
+    assert [(t, p) for t, p, _ in seen] == [("A", b"first"), ("B", b"second")]
+    assert all(kind is memoryview for _, _, kind in seen)
+    assert decoder.pending_bytes == 0
+
+
+def test_next_record_consumes_frame_when_build_raises():
+    decoder = PacketDecoder()
+    decoder.feed(encode_packet("BAD", b"x"))
+    decoder.feed(encode_packet("OK", b"y"))
+
+    def explode(mtype, payload):
+        if mtype == "BAD":
+            raise ValueError("malformed record")
+        return mtype, bytes(payload)
+
+    with pytest.raises(ValueError):
+        decoder.next_record(explode)
+    # The bad frame is gone; the stream keeps working.
+    assert decoder.next_record(explode) == ("OK", b"y")
+    assert decoder.pending_bytes == 0
+
+
+def test_next_record_leaves_buffer_on_corrupt_frame():
+    data = bytearray(encode_packet("T", b"p"))
+    data[-2] ^= 0xFF  # break the crc
+    decoder = PacketDecoder()
+    decoder.feed(bytes(data))
+    with pytest.raises(PacketError, match="crc"):
+        decoder.next_record(lambda t, p: (t, bytes(p)))
+    assert decoder.pending_bytes == len(data)
 
 
 def test_decoder_handles_split_delivery():

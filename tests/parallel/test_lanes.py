@@ -1,0 +1,170 @@
+"""Lanes, pool transport, shared memory, crash recovery.
+
+These tests exercise the machinery around the kernels: ticket routing,
+the shm arena's slot lifecycle, worker-crash fallback, and the
+lane-private telemetry that keeps world metrics byte-identical between
+serial and pooled runs.
+"""
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    EvalRound,
+    InlineLane,
+    PoolLane,
+    Recount,
+    StepBatch,
+    make_lane,
+    run_task,
+)
+from repro.parallel.pool import CRASH_TASK, KernelPool
+from repro.parallel.shm import ROW_WORDS, ShmArena
+from repro.ramsey.graphs import Coloring, OpCounter
+from repro.ramsey.heuristics import TabuSearch
+
+
+def _eval_task(k=20, n=4, seed=0, edges=8):
+    rng = np.random.default_rng(seed)
+    coloring = Coloring.random(k, rng)
+    pairs = sorted({(min(u, v), max(u, v)) for u, v in
+                    ((int(rng.integers(k)), int(rng.integers(k)))
+                     for _ in range(edges * 3)) if u != v})[:edges]
+    return EvalRound(k, n, list(coloring.red), pairs)
+
+
+def test_make_lane_selects_implementation():
+    inline = make_lane(0)
+    assert isinstance(inline, InlineLane)
+    assert inline.workers == 0
+    pooled = make_lane(2)
+    try:
+        assert isinstance(pooled, PoolLane)
+        assert pooled.workers == 2
+    finally:
+        pooled.close()
+    inline.close()
+
+
+def test_inline_lane_matches_direct_run():
+    lane = make_lane(0)
+    task = _eval_task()
+    direct = run_task(task, vectorized=False)
+    via_lane = lane.run(task)
+    assert (via_lane.best_move, via_lane.best_delta, via_lane.ops) == (
+        direct.best_move, direct.best_delta, direct.ops)
+
+
+def test_pool_lane_results_bit_identical_to_inline():
+    tasks = [_eval_task(seed=s) for s in range(6)]
+    tasks.append(Recount(20, 4, tasks[0].red))
+    inline = make_lane(0)
+    pool = make_lane(2)
+    try:
+        for task in tasks:
+            a = inline.run(task)
+            b = pool.run(task)
+            assert a == b
+        assert pool.fallbacks == 0
+    finally:
+        pool.close()
+        inline.close()
+
+
+def test_result_routes_interleaved_tickets():
+    lane = make_lane(2)
+    try:
+        t1 = lane.submit(_eval_task(seed=1))
+        t2 = lane.submit(_eval_task(seed=2))
+        # Ask for them in reverse submit order: the lane must buffer the
+        # non-matching completion instead of dropping or misrouting it.
+        r2 = lane.result(t2)
+        r1 = lane.result(t1)
+        assert r1 == run_task(_eval_task(seed=1), vectorized=False)
+        assert r2 == run_task(_eval_task(seed=2), vectorized=False)
+    finally:
+        lane.close()
+
+
+def test_worker_crash_falls_back_inline():
+    lane = make_lane(2)
+    try:
+        tasks = {lane.submit(_eval_task(seed=s)): _eval_task(seed=s)
+                 for s in range(5)}
+        crash_ticket = lane.submit(CRASH_TASK)
+        for ticket, task in tasks.items():
+            outcome = lane.result(ticket)
+            assert outcome == run_task(task, vectorized=False)
+        assert lane.result(crash_ticket) is None
+        assert lane.fallbacks >= 1
+        counters = lane.metrics.snapshot()["counters"]
+        assert counters.get("parallel.fallback", 0) >= 1
+    finally:
+        lane.close()
+
+
+def test_large_k_uses_inline_payload():
+    # k beyond the shm row width must still round-trip (pickled payload).
+    task = _eval_task(k=ROW_WORDS + 6, n=4, seed=3)
+    lane = make_lane(1)
+    try:
+        outcome = lane.run(task)
+        assert outcome == run_task(task, vectorized=False)
+        assert lane.fallbacks == 0
+    finally:
+        lane.close()
+
+
+def test_step_batch_through_pool_writes_state_back():
+    search = TabuSearch(30, 5, np.random.default_rng(4),
+                        ops=OpCounter(), candidates=8)
+    task = StepBatch(search.export_state(), max_steps=15)
+    ref = run_task(task, vectorized=False)
+    lane = make_lane(1)
+    try:
+        via_pool = lane.run(task)
+        assert via_pool.state == ref.state
+        assert via_pool.ops == ref.ops
+        assert via_pool.steps == ref.steps
+    finally:
+        lane.close()
+
+
+def test_arena_slot_lifecycle():
+    arena = ShmArena(slots=2)
+    try:
+        s1 = arena.acquire()
+        s2 = arena.acquire()
+        assert arena.acquire() is None  # full: callers fall back inline
+        arena.write_row(s1, 0, [3, 5, 7])
+        assert arena.read_row(s1, 0, 3) == [3, 5, 7]
+        arena.release(s2)
+        assert arena.acquire() == s2
+    finally:
+        arena.close()
+
+
+def test_shm_released_across_repeated_worlds():
+    before = set(glob.glob("/dev/shm/*"))
+    for _ in range(4):
+        lane = make_lane(2)
+        lane.run(_eval_task())
+        lane.close()
+        lane.close()  # double-close must be safe
+    leaked = set(glob.glob("/dev/shm/*")) - before
+    assert not leaked, f"leaked shm segments: {leaked}"
+
+
+def test_lane_telemetry_records_submit_complete():
+    lane = make_lane(1, trace=True)
+    try:
+        lane.run(_eval_task())
+        snap = lane.metrics.snapshot()["counters"]
+        assert snap["parallel.submitted"] == 1
+        assert snap["parallel.completed"] == 1
+        spans = [s for s in lane.tracer.spans if s.name == "parallel.task"]
+        assert len(spans) == 1
+    finally:
+        lane.close()

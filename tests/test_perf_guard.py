@@ -1,0 +1,87 @@
+"""The perf-snapshot baseline guard: ``before`` blocks are load-bearing.
+
+``BENCH_*.json`` reports every speedup relative to its committed
+``before`` baseline; an accidental ``--before-tree`` against the wrong
+checkout would silently re-anchor the whole trajectory. The snapshot
+tool must refuse to overwrite a committed baseline unless
+``--rebaseline`` is passed explicitly.
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+BENCHMARKS = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+if str(BENCHMARKS) not in sys.path:
+    sys.path.insert(0, str(BENCHMARKS))
+
+import perf_snapshot  # noqa: E402
+import perfjson  # noqa: E402
+
+SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+
+
+def _committed(path, median=123.0):
+    perfjson.write(path, {
+        "toy": {
+            "unit": "items/s", "work_items": 1000, "rounds": 3,
+            "before": {"best": median, "median": median, "source": "seed"},
+            "after": {"best": median * 2, "median": median * 2},
+        },
+    })
+
+
+def test_baseline_conflicts_detects_changed_before(tmp_path):
+    path = tmp_path / "BENCH_engine.json"
+    _committed(path)
+    unchanged = {"toy": {"before": {"best": 123.0, "median": 123.0}}}
+    assert perfjson.baseline_conflicts(path, unchanged) == []
+    changed = {"toy": {"before": {"best": 999.0, "median": 999.0}}}
+    assert perfjson.baseline_conflicts(path, changed) == ["toy"]
+
+
+def test_baseline_conflicts_ignores_new_workloads_and_missing_files(tmp_path):
+    path = tmp_path / "BENCH_engine.json"
+    fresh = {"new": {"before": {"best": 1.0, "median": 1.0}}}
+    assert perfjson.baseline_conflicts(path, fresh) == []  # no file yet
+    _committed(path)
+    assert perfjson.baseline_conflicts(path, fresh) == []  # new workload
+    no_before = {"toy": {"after": {"best": 2.0, "median": 2.0}}}
+    assert perfjson.baseline_conflicts(path, no_before) == []
+
+
+@pytest.fixture
+def snapshot_sandbox(tmp_path, monkeypatch):
+    engine = tmp_path / "BENCH_engine.json"
+    kernels = tmp_path / "BENCH_kernels.json"
+    monkeypatch.setattr(perfjson, "ENGINE_JSON", engine)
+    monkeypatch.setattr(perfjson, "KERNELS_JSON", kernels)
+    monkeypatch.setattr(perf_snapshot, "WORKLOADS", {
+        "toy": (lambda: 1000, "items/s", 1000, "engine"),
+    })
+    _committed(engine)
+    return engine
+
+
+def test_snapshot_refuses_to_rewrite_committed_baseline(snapshot_sandbox):
+    # --before-tree re-measures the origin: the fresh 'before' median
+    # cannot equal the committed 123.0, so the write must be refused.
+    with pytest.raises(SystemExit) as exc:
+        perf_snapshot.main(["--before-tree", SRC, "--rounds", "1"])
+    assert exc.value.code == 2
+    committed = perfjson.load(snapshot_sandbox)
+    assert committed["workloads"]["toy"]["before"]["median"] == 123.0
+
+
+def test_snapshot_rebaseline_accepts_new_baseline(snapshot_sandbox):
+    assert perf_snapshot.main(
+        ["--before-tree", SRC, "--rounds", "1", "--rebaseline"]) == 0
+    rewritten = perfjson.load(snapshot_sandbox)
+    assert rewritten["workloads"]["toy"]["before"]["median"] != 123.0
+
+
+def test_snapshot_without_before_tree_preserves_baseline(snapshot_sandbox):
+    assert perf_snapshot.main(["--rounds", "1"]) == 0
+    kept = perfjson.load(snapshot_sandbox)
+    assert kept["workloads"]["toy"]["before"]["median"] == 123.0
