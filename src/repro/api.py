@@ -34,6 +34,10 @@ The surface groups into five layers:
   (:class:`InlineLane` / :class:`PoolLane` via :func:`make_lane`) that
   execute heuristic kernel tasks inline or on a worker pool with
   bit-identical results (see DESIGN.md §10 and ``repro bench``).
+* **Live deployment plane** — the same components as real OS processes
+  on localhost: :func:`sc98_topology` → :func:`run_live` stands up a
+  supervised world and returns a merged :class:`LiveReport` (see
+  DESIGN.md §11 and ``repro live``).
 """
 
 from __future__ import annotations
@@ -158,6 +162,21 @@ from .experiments.observe import (
     run_observe,
 )
 
+# -- live deployment plane ---------------------------------------------------
+from .live import (
+    Collector,
+    LiveReport,
+    Manifest,
+    NodeSpec,
+    RestartPolicy,
+    Supervisor,
+    Topology,
+    build_manifest,
+    check_invariants,
+    run_live,
+    sc98_topology,
+)
+
 __all__ = [
     # components and effects
     "CancelTimer",
@@ -267,4 +286,16 @@ __all__ = [
     "ObserveWorld",
     "requeue_chains",
     "run_observe",
+    # live deployment plane
+    "Collector",
+    "LiveReport",
+    "Manifest",
+    "NodeSpec",
+    "RestartPolicy",
+    "Supervisor",
+    "Topology",
+    "build_manifest",
+    "check_invariants",
+    "run_live",
+    "sc98_topology",
 ]

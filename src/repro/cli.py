@@ -8,7 +8,10 @@ Commands
 ``pet``     run the distributed PET reconstruction demo
 ``trace``   run a scenario with causal tracing on; export Chrome trace
 ``metrics`` run a scenario and print/export its metrics snapshot
+``live``    run the world as real OS processes on localhost
 ``info``    print version and system inventory
+
+(``live-node`` is internal: the supervisor spawns one per world node.)
 """
 
 from __future__ import annotations
@@ -265,6 +268,48 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_live(args: argparse.Namespace) -> int:
+    from .experiments.report import render_live_summary
+    from .live import run_live, sc98_topology
+
+    topology = sc98_topology(
+        clients=args.clients,
+        gossips=args.gossips,
+        schedulers=args.schedulers,
+        persistents=args.persistents,
+        loggers=args.loggers,
+        k=args.k,
+        n=args.n,
+        speed=args.speed,
+        seed=args.seed,
+    )
+    kill_at = args.kill_at if args.kill_at and args.kill_at > 0 else None
+    print(f"standing up {len(topology.nodes)} node processes on localhost "
+          f"for {args.duration:.0f}s wall "
+          f"{'(chaos: kill at t=%.1fs)' % kill_at if kill_at else ''}...")
+    report = run_live(
+        topology,
+        duration=args.duration,
+        kill_at=kill_at,
+        kill_node=args.kill_node,
+        out=args.out,
+        progress=lambda text: print(f"  {text}"),
+    )
+    print()
+    print(render_live_summary(report.to_dict()))
+    if report.artifacts:
+        print("\nwrote: " + ", ".join(
+            report.artifacts[k] for k in sorted(report.artifacts)))
+    return 0 if report.ok else 1
+
+
+def _cmd_live_node(args: argparse.Namespace) -> int:
+    from .live import run_node
+
+    return run_node(args.manifest, args.node, deadline=args.deadline,
+                    incarnation=args.incarnation)
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
 
@@ -280,9 +325,17 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.ramsey", "the Ramsey Number Search application"),
         ("repro.apps", "PET reconstruction + G-Net data mining"),
         ("repro.experiments", "SC98 scenario + figure regeneration"),
+        ("repro.live", "live deployment plane: real processes on localhost"),
     ]
     for module, blurb in inventory:
         print(f"  {module:<28} {blurb}")
+    from .live.topology import ROLES
+
+    print("\nlive-plane entrypoints:")
+    print(f"  {'repro live':<28} stand up, supervise, and report a world")
+    print(f"  {'repro live-node':<28} one node process "
+          "(spawned by the supervisor)")
+    print("  node roles: " + ", ".join(ROLES))
     return 0
 
 
@@ -354,6 +407,40 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("metrics", help="run a scenario; print metrics snapshot")
     _observed_arguments(p)
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser("live",
+                       help="run the world as real processes on localhost")
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--gossips", type=int, default=2)
+    p.add_argument("--schedulers", type=int, default=1)
+    p.add_argument("--persistents", type=int, default=1)
+    p.add_argument("--loggers", type=int, default=1)
+    p.add_argument("--duration", type=float, default=12.0,
+                   help="wall seconds to run the world")
+    p.add_argument("--k", type=int, default=8,
+                   help="Ramsey target K_k (small: live runs measure the "
+                        "deployment plane, not the search)")
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--speed", type=float, default=300_000.0,
+                   help="per-client compute budget, ops per wall second")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--kill-at", type=float, default=0.0, metavar="T",
+                   help="chaos: SIGKILL a node T seconds in (0 = off)")
+    p.add_argument("--kill-node", type=str, default=None,
+                   help="which node --kill-at kills (default: first client)")
+    p.add_argument("--out", type=str, default=None,
+                   help="directory for manifest, node logs, merged "
+                        "report/metrics/trace JSON")
+    p.set_defaults(func=_cmd_live)
+
+    p = sub.add_parser("live-node",
+                       help="internal: run one live node (supervisor-spawned)")
+    p.add_argument("--manifest", type=str, required=True)
+    p.add_argument("--node", type=str, required=True)
+    p.add_argument("--deadline", type=float, required=True,
+                   help="wall seconds before the node stops itself")
+    p.add_argument("--incarnation", type=int, default=0)
+    p.set_defaults(func=_cmd_live_node)
 
     p = sub.add_parser("info", help="version and inventory")
     p.set_defaults(func=_cmd_info)

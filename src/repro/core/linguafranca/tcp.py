@@ -16,6 +16,7 @@ request/response with a deadline.
 
 from __future__ import annotations
 
+import select
 import selectors
 import socket
 import time
@@ -173,11 +174,26 @@ class TcpServer:
 
 
 class TcpClient:
-    """Blocking lingua-franca client. One connection per call, by design:
-    the paper's components assume no connection state survives failures."""
+    """Blocking lingua-franca client.
 
-    def __init__(self, sender: str = "client") -> None:
+    Fire-and-forget sends (:meth:`send`) keep one cached connection per
+    peer and reuse it across calls — chatty live nodes (heartbeats,
+    reports, gossip polls) would otherwise pay a connect handshake per
+    message. Reuse is *transparent*: a cached connection that has gone
+    stale (the peer restarted, the socket was reset) is dropped and
+    reopened once, and only a failure on the fresh connection surfaces
+    as :class:`TransportError`. Components still assume no connection
+    state survives failures — the cache is a driver-level optimization,
+    never a protocol guarantee. ``request`` keeps the original
+    one-connection-per-call behavior because it awaits the reply on the
+    same socket.
+    """
+
+    def __init__(self, sender: str = "client", reuse: bool = True) -> None:
         self.sender = sender
+        self.reuse = reuse
+        self._conns: dict[tuple[str, int], socket.socket] = {}
+        self.reconnects = 0
 
     def _connect(self, host: str, port: int, timeout: float) -> socket.socket:
         try:
@@ -185,12 +201,66 @@ class TcpClient:
         except OSError as exc:
             raise TransportError(f"connect to {host}:{port} failed: {exc}") from exc
 
+    def _cached(self, key: tuple[str, int]) -> Optional[socket.socket]:
+        """The live cached connection for ``key``, dropping it if the
+        peer has already closed its end (readable-at-idle means EOF/RST
+        here: servers never write on a fire-and-forget connection)."""
+        sock = self._conns.get(key)
+        if sock is None:
+            return None
+        try:
+            ready, _, _ = select.select([sock], [], [], 0)
+            if ready and not sock.recv(4096):
+                raise OSError("peer closed")
+        except OSError:
+            self._drop(key)
+            self.reconnects += 1
+            return None
+        return sock
+
+    def _drop(self, key: tuple[str, int]) -> None:
+        sock = self._conns.pop(key, None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
     def send(self, host: str, port: int, message: Message, timeout: float = 5.0) -> None:
-        """Fire-and-forget delivery."""
+        """Fire-and-forget delivery (cached connection, see class docs)."""
         if not message.sender:
             message.sender = self.sender
-        with self._connect(host, port, timeout) as sock:
-            sock.sendall(message.encode())
+        data = message.encode()
+        if not self.reuse:
+            with self._connect(host, port, timeout) as sock:
+                sock.sendall(data)
+            return
+        key = (host, int(port))
+        sock = self._cached(key)
+        if sock is not None:
+            try:
+                sock.settimeout(timeout)
+                sock.sendall(data)
+                return
+            except OSError:
+                # Stale connection: reconnect transparently below.
+                self._drop(key)
+                self.reconnects += 1
+        sock = self._connect(host, port, timeout)
+        try:
+            sock.sendall(data)
+        except OSError as exc:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise TransportError(f"send to {host}:{port} failed: {exc}") from exc
+        self._conns[key] = sock
+
+    def close(self) -> None:
+        """Close every cached connection."""
+        for key in list(self._conns):
+            self._drop(key)
 
     def request(
         self, host: str, port: int, message: Message, timeout: float = 5.0

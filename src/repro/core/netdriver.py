@@ -18,9 +18,10 @@ that drop connections without notice.
 from __future__ import annotations
 
 import random
+import signal
 import time
 import warnings
-from typing import Optional
+from typing import Callable, Optional
 
 from .component import CancelTimer, Component, Effect, LogLine, Send, SetTimer, Stop
 from .forecasting.benchmarking import event_tag
@@ -46,7 +47,10 @@ class _NetRuntime:
         return self._d.contact.split(":")[0]
 
     def speed(self) -> float:
-        return 0.0  # real mode: compute engines meter themselves
+        # Real mode has no simulated host to meter a client against; the
+        # driver-level budget (ops/second of wall time, default 0) lets
+        # self-metering engines size their compute slices.
+        return self._d.speed
 
     def random(self) -> float:
         return self._d._rng.random()
@@ -65,6 +69,7 @@ class NetDriver:
         timeout_policy: Optional[TimeoutPolicy] = None,
         send_timeout: Optional[float] = None,
         telemetry: Optional[Telemetry] = None,
+        speed: float = 0.0,
     ) -> None:
         if send_timeout is not None:
             warnings.warn(
@@ -92,6 +97,19 @@ class NetDriver:
         self.send_errors = 0
         self.handler_errors = 0
         self._started = False
+        self.speed = float(speed)
+        #: Set (from a signal handler or another thread) to ask the loop
+        #: to stop at the next reactor turn; drained by :meth:`step`.
+        self._stop_requested: Optional[str] = None
+        #: Invoked once per reactor turn (telemetry shippers, supervisors
+        #: piggybacking on the loop) — the wall-clock twin of the sim
+        #: engine's ``drain_hook``.
+        self.tick_hook: Optional[Callable[[], None]] = None
+        #: Invoked (in order) during :meth:`shutdown` after timers are
+        #: cancelled, before sockets close: flush pending telemetry/log
+        #: lines here.
+        self.drain_hooks: list[Callable[[], None]] = []
+        self._shutdown_done = False
         # Same observability surface as SimDriver: a shared world handle
         # or a private tracing-off default. Span timestamps here are wall
         # seconds since driver start (there is no simulated clock).
@@ -282,10 +300,31 @@ class NetDriver:
         self.component.bind_runtime(_NetRuntime(self))
         self._apply(self.component.on_start(self.now()))
 
+    def request_stop(self, reason: str = "stop") -> None:
+        """Ask the reactor loop to stop at its next turn.
+
+        Safe to call from a signal handler or another thread: it only
+        sets a flag, which :meth:`step` drains on the loop's own thread.
+        """
+        if self._stop_requested is None:
+            self._stop_requested = reason
+
+    def install_signal_handlers(self, *signals_: int) -> None:
+        """Route SIGTERM/SIGINT (or the given signals) to
+        :meth:`request_stop`, so a supervisor's drain turns into a
+        graceful stop instead of an abrupt exit (main thread only)."""
+        for sig in signals_ or (signal.SIGTERM, signal.SIGINT):
+            signal.signal(sig, lambda signum, frame: self.request_stop(
+                f"signal:{signal.Signals(signum).name}"))
+
     def step(self, max_wait: float = 0.05) -> None:
         """One reactor turn: poll sockets until the next timer deadline."""
         if not self._started:
             self.start()
+        if self._stop_requested is not None and not self._stopped:
+            self._stopped = True
+            self.stop_reason = self._stop_requested
+            return
         deadline = min(self._timers.values()) if self._timers else None
         if self.tracker is not None:
             retry_deadline = self.tracker.next_deadline()
@@ -298,15 +337,44 @@ class NetDriver:
             wait = min(max(deadline - self.now(), 0.0), max_wait)
         self.server.step(wait)
         self._fire_due_timers()
+        if self.tick_hook is not None:
+            self.tick_hook()
 
     def run(self, duration: float) -> str:
         """Pump the reactor for ``duration`` wall seconds (or until the
-        component stops itself); returns the stop reason."""
+        component stops itself / :meth:`request_stop` fires); returns the
+        stop reason."""
         end = self.now() + duration
         while not self._stopped and self.now() < end:
             self.step()
         self.component.on_stop(self.now(), self.stop_reason or "duration")
         return self.stop_reason or "duration"
 
+    def shutdown(self) -> str:
+        """Graceful drain (idempotent): cancel every pending timer and
+        reliable send, run the registered :attr:`drain_hooks` so pending
+        log lines/telemetry flush, then close the server socket and any
+        cached outbound connections. Returns the stop reason."""
+        reason = self.stop_reason or self._stop_requested or "shutdown"
+        if self._shutdown_done:
+            return reason
+        self._shutdown_done = True
+        self._stopped = True
+        self.stop_reason = reason
+        self._timers.clear()
+        self._timer_ctx.clear()
+        if self.tracker is not None:
+            # Outstanding reliable sends die with the process; their
+            # give-up recovery is the restarted component's problem.
+            self.tracker = None
+        for hook in self.drain_hooks:
+            try:
+                hook()
+            except Exception:  # noqa: BLE001 — drain must not mask drain
+                pass
+        self.close()
+        return reason
+
     def close(self) -> None:
         self.server.close()
+        self.client.close()

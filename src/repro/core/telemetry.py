@@ -45,6 +45,7 @@ __all__ = [
     "Tracer",
     "Telemetry",
     "export_chrome_trace",
+    "merge_snapshots",
     "render_timeline",
 ]
 
@@ -245,6 +246,26 @@ class Span:
             d["args"] = self.args
         return d
 
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        """Rebuild a span from its :meth:`to_dict` form (the shape live
+        nodes ship to the supervisor's collector)."""
+        span = cls(
+            trace_id=int(d["trace_id"]),
+            span_id=int(d["span_id"]),
+            parent_id=None if d.get("parent_id") is None else int(d["parent_id"]),
+            name=str(d["name"]),
+            component=str(d.get("component", "")),
+            start=float(d["start"]),
+            mtype=str(d.get("mtype", "")),
+        )
+        span.end = None if d.get("end") is None else float(d["end"])
+        span.outcome = d.get("outcome")
+        args = d.get("args")
+        if isinstance(args, dict):
+            span.args.update(args)
+        return span
+
     def __repr__(self) -> str:
         return (f"<Span {self.span_id} {self.name!r} trace={self.trace_id} "
                 f"parent={self.parent_id} outcome={self.outcome}>")
@@ -260,12 +281,17 @@ class Tracer:
     emitted by the handler (sends, timers, requeues) parent to it.
     """
 
-    def __init__(self, enabled: bool = False) -> None:
+    def __init__(self, enabled: bool = False, id_base: int = 0) -> None:
         self.enabled = enabled
         self.spans: list[Span] = []
         self.current: Optional[Span] = None
-        self._next_trace = 0
-        self._next_span = 0
+        #: Id offset for distributed worlds: trace contexts travel between
+        #: processes in message headers, so each live node gets a disjoint
+        #: id block (``node_index * block``) and merged traces stay
+        #: collision-free. Zero for single-process worlds.
+        self.id_base = int(id_base)
+        self._next_trace = self.id_base
+        self._next_span = self.id_base
 
     # -- span construction -------------------------------------------------
     def begin(
@@ -345,9 +371,9 @@ class Tracer:
 class Telemetry:
     """One world's observability handle: metrics + tracer."""
 
-    def __init__(self, trace: bool = False) -> None:
+    def __init__(self, trace: bool = False, id_base: int = 0) -> None:
         self.metrics = MetricsRegistry()
-        self.tracer = Tracer(enabled=trace)
+        self.tracer = Tracer(enabled=trace, id_base=id_base)
 
     def event(
         self,
@@ -368,6 +394,49 @@ class Telemetry:
 
     def snapshot(self) -> dict:
         return self.metrics.snapshot()
+
+
+# -- merging (live plane) ------------------------------------------------------
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Merge per-node metrics snapshots into one snapshot-shaped dict.
+
+    Counters and histogram buckets add; gauges are last-write-wins in
+    list order (the caller orders nodes deterministically). The result
+    has exactly the :meth:`MetricsRegistry.snapshot` shape, so the
+    existing exporters and report scrapers work on merged live worlds
+    unchanged.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, dict] = {}
+    for snap in snapshots:
+        if not isinstance(snap, dict):
+            continue
+        for key, value in snap.get("counters", {}).items():
+            counters[key] = counters.get(key, 0) + int(value)
+        for key, value in snap.get("gauges", {}).items():
+            gauges[key] = float(value)
+        for key, h in snap.get("histograms", {}).items():
+            merged = histograms.get(key)
+            if merged is None or merged["bounds"] != list(h["bounds"]):
+                # First sighting (or incompatible bounds: keep the newest).
+                histograms[key] = {
+                    "bounds": list(h["bounds"]),
+                    "counts": list(h["counts"]),
+                    "count": int(h["count"]),
+                    "total": float(h["total"]),
+                }
+                continue
+            merged["counts"] = [a + b for a, b in zip(merged["counts"], h["counts"])]
+            merged["count"] += int(h["count"])
+            merged["total"] = round(merged["total"] + float(h["total"]), 9)
+    return {
+        "counters": {k: counters[k] for k in sorted(counters)},
+        "gauges": {k: gauges[k] for k in sorted(gauges)},
+        "histograms": {k: histograms[k] for k in sorted(histograms)},
+    }
 
 
 # -- exporters ---------------------------------------------------------------

@@ -26,6 +26,7 @@ __all__ = [
     "render_headlines",
     "render_grid_criteria",
     "render_trace_summary",
+    "render_live_summary",
 ]
 
 _BARS = " .:-=+*#%@"
@@ -161,4 +162,46 @@ def render_trace_summary(telemetry) -> str:
         if values:
             lines.append(f"  {section}: " + ", ".join(
                 f"{k.split('.', 1)[1]}={v}" for k, v in values.items()))
+    return "\n".join(lines)
+
+
+def render_live_summary(report: dict) -> str:
+    """Human-readable summary of a live-plane run (`repro live`).
+
+    Takes the :meth:`repro.live.LiveReport.to_dict` document: per-node
+    supervision and telemetry accounting, chaos/recovery evidence, the
+    counter-example verification tally, and the invariant verdict.
+    """
+    nodes = report.get("nodes", {})
+    lines = [f"Live world summary ({len(nodes)} nodes, "
+             f"{report.get('duration', 0):.0f}s wall):"]
+    lines.append(f"  {'node':<10} {'role':<10} {'state':<8} "
+                 f"{'reports':>7} {'restarts':>8}  stop")
+    for name in sorted(nodes):
+        node = nodes[name]
+        lines.append(
+            f"  {name:<10} {node.get('role', '?'):<10} "
+            f"{node.get('state', '?'):<8} {node.get('reports', 0):>7} "
+            f"{node.get('restarts', 0):>8}  {node.get('stop_reason') or '-'}")
+    for chaos in report.get("chaos", []):
+        lines.append(f"  chaos: killed {chaos['node']} "
+                     f"(pid {chaos['pid']}) at t={chaos['t']:.1f}s")
+    sched = [n for n in nodes.values() if n.get("role") == "scheduler"]
+    if sched:
+        assigned = sum(n.get("stats", {}).get("units_assigned", 0) for n in sched)
+        completed = sum(n.get("stats", {}).get("units_completed", 0) for n in sched)
+        requeued = sum(n.get("stats", {}).get("units_requeued", 0) for n in sched)
+        reaps = sum(n.get("stats", {}).get("reaps", 0) for n in sched)
+        lines.append(f"  work: {assigned} assigned, {completed} completed, "
+                     f"{requeued} requeued, {reaps} reap(s)")
+    examples = report.get("counter_examples", [])
+    verified = sum(1 for e in examples if e.get("verified"))
+    lines.append(f"  counter-examples in persistent state: {len(examples)} "
+                 f"({verified} verified)")
+    violations = report.get("violations", [])
+    if violations:
+        lines.append("  INVARIANT VIOLATIONS:")
+        lines.extend(f"    - {v}" for v in violations)
+    else:
+        lines.append("  invariants: all hold")
     return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""The live deployment plane: the EveryWare world as real OS processes.
+
+The paper's headline result was not a simulation — EveryWare ran the
+Ramsey Number Search *live* at SC98 across seven infrastructures
+(§3–4). This package is the subsystem that stands up, supervises, and
+observes a complete EveryWare world on real sockets:
+
+* :mod:`.topology` — declarative world specs (:class:`NodeSpec`,
+  :class:`Topology`, :func:`sc98_topology`) and the bootstrap/discovery
+  **manifest** every node reads at startup;
+* :mod:`.ports` — localhost port allocation for the manifest;
+* :mod:`.node` — the ``repro live-node`` entrypoint: build the node's
+  sans-IO component from the manifest, run it under
+  :class:`~repro.core.netdriver.NetDriver`, ship telemetry;
+* :mod:`.collector` — the wire protocol nodes use to ship wall-clock
+  telemetry snapshots and log lines, and the supervisor-side state that
+  merges them into the same Chrome-trace/metrics/report formats the
+  simulation already emits;
+* :mod:`.supervisor` — process spawning, forecast-driven health checks,
+  restart policies with backoff, chaos kills, graceful drain;
+* :mod:`.harness` — ``run_live``: topology in, merged report out.
+
+The sim-vs-live contract: components are byte-for-byte the same code
+that runs under :class:`~repro.core.simdriver.SimDriver`; only the
+driver, the clock, and the addressing (``host:port`` instead of
+``host/port``) change. See DESIGN.md §11.
+"""
+
+from .collector import Collector, NodeRecord
+from .harness import LiveReport, check_invariants, run_live
+from .node import build_component, run_node
+from .ports import PortAllocator
+from .supervisor import RestartPolicy, Supervisor
+from .topology import (
+    Manifest,
+    NodeSpec,
+    Topology,
+    build_manifest,
+    sc98_topology,
+)
+
+__all__ = [
+    "Collector",
+    "NodeRecord",
+    "LiveReport",
+    "check_invariants",
+    "run_live",
+    "build_component",
+    "run_node",
+    "PortAllocator",
+    "RestartPolicy",
+    "Supervisor",
+    "Manifest",
+    "NodeSpec",
+    "Topology",
+    "build_manifest",
+    "sc98_topology",
+]

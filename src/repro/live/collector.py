@@ -1,0 +1,245 @@
+"""The supervisor-side telemetry collector for live worlds.
+
+Every live node ships wall-clock observability to the supervisor over
+the same lingua franca the application speaks:
+
+* ``COL_HELLO`` — once per process incarnation: node name, pid,
+  incarnation number, and the node's wall-clock epoch (``time.time()``
+  at driver start), which the collector uses to place that node's span
+  timestamps on its own timeline;
+* ``COL_REPORT`` — periodic (and once more during graceful drain):
+  a sequence number, the node's full metrics snapshot, the spans opened
+  since the previous ship, buffered log lines, and role-specific stats.
+
+The :class:`Collector` merges these into the same artifact formats the
+simulation already emits — a metrics snapshot (:func:`merge_snapshots`
+shape), a :class:`~repro.core.telemetry.Tracer` whose spans live on one
+common timeline (so :func:`~repro.core.telemetry.export_chrome_trace`
+works unchanged), and a time-ordered log.
+
+Report interarrival gaps are fed to the forecasting machinery per node —
+:meth:`silent_nodes` is the paper's forecast-driven liveness test (§2.2)
+applied to the deployment plane: a node is suspect when its silence
+exceeds the *forecast* gap by a safety multiplier, not a hardcoded
+constant.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.forecasting.benchmarking import ForecastRegistry, event_tag
+from ..core.linguafranca.messages import Message
+from ..core.linguafranca.tcp import TcpServer
+from ..core.telemetry import Span, Tracer, merge_snapshots
+
+__all__ = ["COL_HELLO", "COL_REPORT", "Collector", "NodeRecord"]
+
+COL_HELLO = "COL_HELLO"
+COL_REPORT = "COL_REPORT"
+
+#: Stream name for per-node report interarrival forecasting.
+HEARTBEAT = "COL_REPORT"
+
+
+@dataclass
+class NodeRecord:
+    """Everything the collector knows about one live node."""
+
+    name: str
+    contact: str = ""
+    pid: int = 0
+    incarnation: int = 0
+    #: Node wall epoch (``time.time()`` at driver start) per the latest
+    #: incarnation; span timestamps ship relative to it.
+    epoch: float = 0.0
+    hellos: int = 0
+    reports: int = 0
+    last_seq: int = -1
+    #: Collector-clock time of the last report (for liveness).
+    last_report: Optional[float] = None
+    #: Latest full metrics snapshot (cumulative on the node side).
+    metrics: dict = field(default_factory=dict)
+    #: Last snapshot seen per incarnation: a restart resets the node's
+    #: counters, so earlier lives must be merged in, not overwritten —
+    #: their sends were already counted by every peer that received them.
+    metrics_history: dict = field(default_factory=dict)
+    #: Accumulated spans, already shifted onto the collector timeline.
+    spans: list[Span] = field(default_factory=list)
+    #: Accumulated log lines: dicts ``{"t", "component", "level", "text"}``
+    #: with ``t`` on the collector timeline.
+    logs: list[dict] = field(default_factory=list)
+    #: Role-specific stats from the latest report.
+    stats: dict = field(default_factory=dict)
+    stop_reason: Optional[str] = None
+    final_reports: int = 0
+    duplicate_reports: int = 0
+
+
+class Collector:
+    """Merges per-node telemetry shipments into world-level artifacts."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.server = TcpServer(host, port, self._handle)
+        self.nodes: dict[str, NodeRecord] = {}
+        self.forecasts = ForecastRegistry()
+        #: Wall epoch of the collector itself: the merged timeline's zero.
+        self.epoch = time.time()
+        self._t0 = time.monotonic()
+        self.bad_messages = 0
+
+    @property
+    def contact(self) -> str:
+        return self.server.contact
+
+    def now(self) -> float:
+        """Seconds since the collector started (the merged timeline)."""
+        return time.monotonic() - self._t0
+
+    def step(self, timeout: float = 0.05) -> int:
+        """Pump the collector's reactor once."""
+        return self.server.step(timeout)
+
+    def close(self) -> None:
+        self.server.close()
+
+    # -- ingestion ------------------------------------------------------------
+    def _record(self, name: str) -> NodeRecord:
+        rec = self.nodes.get(name)
+        if rec is None:
+            rec = self.nodes[name] = NodeRecord(name=name)
+        return rec
+
+    def _handle(self, message: Message) -> Optional[Message]:
+        body = message.body
+        name = body.get("node")
+        if not isinstance(name, str) or not name:
+            self.bad_messages += 1
+            return None
+        if message.mtype == COL_HELLO:
+            rec = self._record(name)
+            rec.hellos += 1
+            rec.contact = message.sender
+            rec.pid = int(body.get("pid", 0))
+            rec.incarnation = int(body.get("incarnation", 0))
+            rec.epoch = float(body.get("epoch", time.time()))
+            # A fresh incarnation restarts the node-side sequence space.
+            rec.last_seq = -1
+            rec.stop_reason = None
+            return None
+        if message.mtype == COL_REPORT:
+            self._ingest_report(self._record(name), body)
+            return None
+        self.bad_messages += 1
+        return None
+
+    def _ingest_report(self, rec: NodeRecord, body: dict) -> None:
+        seq = int(body.get("seq", 0))
+        if seq <= rec.last_seq:
+            rec.duplicate_reports += 1
+            return
+        rec.last_seq = seq
+        rec.reports += 1
+        now = self.now()
+        if rec.last_report is not None:
+            # Forecast-driven liveness: learn this node's shipping cadence.
+            self.forecasts.record(event_tag(rec.name, HEARTBEAT),
+                                  now - rec.last_report)
+        rec.last_report = now
+        metrics = body.get("metrics")
+        if isinstance(metrics, dict):
+            rec.metrics = metrics
+            rec.metrics_history[int(body.get("incarnation", rec.incarnation))] = metrics
+        stats = body.get("stats")
+        if isinstance(stats, dict):
+            rec.stats = stats
+        # Spans/logs ship with node-relative timestamps; place them on
+        # the collector timeline via the node's wall epoch.
+        shift = rec.epoch - self.epoch
+        for d in body.get("spans", ()):
+            try:
+                span = Span.from_dict(d)
+            except (KeyError, TypeError, ValueError):
+                self.bad_messages += 1
+                continue
+            span.start += shift
+            if span.end is not None:
+                span.end += shift
+            rec.spans.append(span)
+        for line in body.get("logs", ()):
+            if not isinstance(line, dict):
+                continue
+            rec.logs.append({
+                "t": float(line.get("t", 0.0)) + shift,
+                "node": rec.name,
+                "component": str(line.get("component", rec.name)),
+                "level": str(line.get("level", "info")),
+                "text": str(line.get("text", "")),
+            })
+        if body.get("final"):
+            rec.final_reports += 1
+            rec.stop_reason = str(body.get("stop_reason", "") or "") or None
+
+    # -- liveness ------------------------------------------------------------
+    def silent_nodes(
+        self,
+        multiplier: float = 6.0,
+        default: float = 5.0,
+        floor: float = 1.0,
+        ceiling: float = 30.0,
+    ) -> list[str]:
+        """Nodes whose silence exceeds the forecast report gap.
+
+        The deadline per node is ``forecast(gap) * multiplier`` clamped
+        to ``[floor, ceiling]`` (``default`` before any history) — the
+        same dynamic time-out discovery the services use, applied to the
+        deployment plane. Nodes that already shipped a final report are
+        not suspect: they stopped on purpose.
+        """
+        now = self.now()
+        suspects = []
+        for name in sorted(self.nodes):
+            rec = self.nodes[name]
+            if rec.last_report is None or rec.final_reports:
+                continue
+            deadline = self.forecasts.timeout(
+                event_tag(name, HEARTBEAT), multiplier=multiplier,
+                default=default, floor=floor, ceiling=ceiling)
+            if now - rec.last_report > deadline:
+                suspects.append(name)
+        return suspects
+
+    # -- merged artifacts -----------------------------------------------------
+    def node_order(self) -> list[str]:
+        return sorted(self.nodes)
+
+    def merged_metrics(self) -> dict:
+        """Every incarnation of every node merged into one snapshot
+        (:func:`merge_snapshots` semantics: counters add, so a restarted
+        node contributes each of its lives exactly once)."""
+        snapshots = []
+        for name in self.node_order():
+            rec = self.nodes[name]
+            history = rec.metrics_history or {0: rec.metrics}
+            snapshots.extend(history[i] for i in sorted(history))
+        return merge_snapshots(snapshots)
+
+    def merged_tracer(self) -> Tracer:
+        """One tracer holding every node's spans on the common timeline
+        (start-time ordered), ready for the existing exporters."""
+        tracer = Tracer(enabled=False)
+        spans: list[Span] = []
+        for name in self.node_order():
+            spans.extend(self.nodes[name].spans)
+        spans.sort(key=lambda s: (s.start, s.trace_id, s.span_id))
+        tracer.spans = spans
+        return tracer
+
+    def merged_logs(self) -> list[dict]:
+        lines: list[dict] = []
+        for name in self.node_order():
+            lines.extend(self.nodes[name].logs)
+        lines.sort(key=lambda d: d["t"])
+        return lines

@@ -1,0 +1,363 @@
+"""``repro live``: topology in, supervised world out, merged report back.
+
+:func:`run_live` is the deployment plane's experiment harness — the live
+twin of :func:`repro.experiments.sc98.run_sc98`:
+
+1. allocate ports, write the bootstrap manifest, start the collector;
+2. spawn every node as a real OS process under the :class:`Supervisor`;
+3. pump the collector + supervision loop until the deadline (optionally
+   SIGKILLing one node mid-run — the chaos knob — to demonstrate
+   restart-with-backoff plus scheduler-side work requeue on real
+   sockets);
+4. while the world is still up, probe the persistent state service over
+   the wire and run every stored counter-example through
+   :func:`repro.ramsey.verify.verify_counter_example_object`;
+5. drain gracefully (SIGTERM → final telemetry flush → SIGKILL
+   stragglers) and assemble a :class:`LiveReport` — merged Chrome trace,
+   merged metrics snapshot, merged logs, per-node supervision history,
+   and the invariant checklist (:func:`check_invariants`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core.linguafranca.messages import Message, fresh_req_id
+from ..core.linguafranca.tcp import TcpClient, TcpServer, TransportError
+from ..core.services.persistent import PST_FETCH, PST_KEYS, PST_LIST, PST_VALUE
+from ..core.telemetry import write_trace_json
+from ..ramsey.verify import ValidationError, verify_counter_example_object
+from .collector import Collector
+from .ports import PortAllocator
+from .supervisor import RestartPolicy, Supervisor
+from .topology import Manifest, Topology, build_manifest
+
+__all__ = ["Probe", "LiveReport", "check_invariants", "run_live"]
+
+#: Stored counter-examples fetched per persistent node when probing.
+MAX_PROBED_KEYS = 64
+
+
+class Probe:
+    """A one-shot lingua-franca endpoint for querying a live world.
+
+    NetDriver replies travel as fresh connections to ``message.sender``
+    (datagram-style), so a plain request socket never sees them — the
+    probe brings its own listening server and correlates replies by
+    ``req_id``, exactly like a real EveryWare peer.
+    """
+
+    def __init__(self, host: str = "127.0.0.1") -> None:
+        self.server = TcpServer(host, 0, self._handle)
+        self.client = TcpClient(sender=self.server.contact)
+        self._replies: list[Message] = []
+
+    @property
+    def contact(self) -> str:
+        return self.server.contact
+
+    def _handle(self, message: Message) -> Optional[Message]:
+        self._replies.append(message)
+        return None
+
+    def request(self, contact: str, mtype: str, body: dict,
+                timeout: float = 5.0) -> Optional[Message]:
+        """Send a request to ``contact`` and wait for its correlated
+        reply; None on timeout or unreachable peer."""
+        host, _, port = contact.rpartition(":")
+        req_id = fresh_req_id()
+        try:
+            self.client.send(host, int(port), Message(
+                mtype=mtype, sender=self.contact, body=body,
+                req_id=req_id), timeout=2.0)
+        except (TransportError, OSError, ValueError):
+            return None
+        end = time.monotonic() + timeout
+        while time.monotonic() < end:
+            self.server.step(0.05)
+            for message in self._replies:
+                if message.reply_to == req_id:
+                    self._replies.remove(message)
+                    return message
+        return None
+
+    def close(self) -> None:
+        self.server.close()
+        self.client.close()
+
+
+@dataclass
+class LiveReport:
+    """Everything a live run produced, in one JSON-safe document."""
+
+    duration: float
+    topology: dict
+    #: Per-node merge of collector state and supervision history.
+    nodes: dict[str, dict]
+    #: Stored counter-examples probed from persistent state
+    #: (``{"key", "k", "n", "verified"}``).
+    counter_examples: list[dict]
+    verify_failures: list[str]
+    #: Chaos events injected (``{"t", "node", "pid"}``).
+    chaos: list[dict]
+    #: Merged metrics snapshot (:func:`merge_snapshots` shape).
+    metrics: dict
+    collector: dict
+    violations: list[str] = field(default_factory=list)
+    artifacts: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "duration": self.duration,
+            "topology": self.topology,
+            "nodes": self.nodes,
+            "counter_examples": self.counter_examples,
+            "verify_failures": self.verify_failures,
+            "chaos": self.chaos,
+            "metrics": self.metrics,
+            "collector": self.collector,
+            "violations": self.violations,
+            "artifacts": self.artifacts,
+            "ok": self.ok,
+        }
+
+
+def _counter_total(metrics: dict, prefix: str) -> int:
+    return sum(value for key, value in metrics.get("counters", {}).items()
+               if key == prefix or key.startswith(prefix + "{"))
+
+
+def check_invariants(report: LiveReport) -> list[str]:
+    """The live world's cross-node consistency checklist.
+
+    Wall-clock runs are nondeterministic, so the CI gate is invariants,
+    not byte-diffs: every stored counter-example must verify, no store
+    may have been denied, message/assignment accounting must be sane,
+    every node must have reported, and an injected kill must leave
+    visible recovery evidence (a restart plus a reap or requeue).
+    """
+    violations: list[str] = []
+    for failure in report.verify_failures:
+        violations.append(f"counter-example failed verification: {failure}")
+    sent = _counter_total(report.metrics, "msg.sent")
+    recv = _counter_total(report.metrics, "msg.recv")
+    # An abruptly-killed incarnation takes its unshipped send counts
+    # with it (its peers already counted the receives), so the strict
+    # direction only binds when every process died a clean death.
+    unclean = bool(report.chaos) or any(
+        node.get("restarts", 0) for node in report.nodes.values())
+    if recv > sent and not unclean:
+        violations.append(f"received more messages than were sent "
+                          f"({recv} > {sent})")
+    for name, node in sorted(report.nodes.items()):
+        role = node.get("role")
+        stats = node.get("stats", {})
+        if not node.get("reports"):
+            violations.append(f"{name}: never shipped a telemetry report")
+        if role == "scheduler":
+            if stats.get("units_completed", 0) > stats.get("units_assigned", 0):
+                violations.append(
+                    f"{name}: completed {stats['units_completed']} units "
+                    f"but only assigned {stats['units_assigned']}")
+        if role == "persistent" and stats.get("denials", 0):
+            violations.append(
+                f"{name}: denied {stats['denials']} store(s) — a client "
+                f"shipped a corrupt counter-example")
+    if report.chaos:
+        restarted = [c["node"] for c in report.chaos
+                     if report.nodes.get(c["node"], {}).get("restarts", 0) >= 1]
+        if not restarted:
+            violations.append("a node was killed but never restarted")
+        recovery = sum(
+            node.get("stats", {}).get("units_requeued", 0)
+            + node.get("stats", {}).get("reaps", 0)
+            for node in report.nodes.values()
+            if node.get("role") == "scheduler")
+        if recovery == 0:
+            violations.append("a client was killed but no scheduler ever "
+                              "reaped or requeued its work")
+    return violations
+
+
+def _probe_counter_examples(
+    probe: Probe, manifest: Manifest
+) -> tuple[list[dict], list[str]]:
+    """LIST+FETCH every ``ramsey/`` key on every persistent node and
+    verify the stored objects; returns (records, failure strings)."""
+    found: list[dict] = []
+    failures: list[str] = []
+    for contact in manifest.contacts_for("persistent"):
+        listing = probe.request(contact, PST_LIST, {"prefix": "ramsey/"})
+        if listing is None or listing.mtype != PST_KEYS:
+            failures.append(f"{contact}: persistent LIST went unanswered")
+            continue
+        keys = [k for k in listing.body.get("keys", []) if isinstance(k, str)]
+        for key in keys[:MAX_PROBED_KEYS]:
+            reply = probe.request(contact, PST_FETCH, {"key": key})
+            if reply is None or reply.mtype != PST_VALUE:
+                failures.append(f"{key}: fetch went unanswered")
+                continue
+            obj = reply.body.get("object", {})
+            record = {"key": key, "k": obj.get("k"), "n": obj.get("n"),
+                      "verified": False}
+            try:
+                verify_counter_example_object(obj)
+                record["verified"] = True
+            except ValidationError as exc:
+                failures.append(f"{key}: {exc}")
+            found.append(record)
+    return found, failures
+
+
+def run_live(
+    topology: Topology,
+    duration: float = 12.0,
+    kill_at: Optional[float] = None,
+    kill_node: Optional[str] = None,
+    out: Optional[str] = None,
+    restart: Optional[RestartPolicy] = None,
+    host: str = "127.0.0.1",
+    progress: Optional[Callable[[str], None]] = None,
+) -> LiveReport:
+    """Stand up ``topology`` as real processes, run it to ``duration``
+    wall seconds, and return the merged :class:`LiveReport`.
+
+    ``kill_at`` (seconds into the run) SIGKILLs ``kill_node`` — default:
+    the first client — to demonstrate supervisor restart plus scheduler
+    requeue on real sockets. With ``out``, the manifest, per-node stdout
+    logs, merged ``report.json``/``metrics.json``/``trace.json``, and
+    the merged world log land in that directory.
+    """
+    def say(text: str) -> None:
+        if progress is not None:
+            progress(text)
+
+    tmp = None
+    if out is not None:
+        os.makedirs(out, exist_ok=True)
+        run_dir = out
+    else:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-live-")
+        run_dir = tmp.name
+    manifest_path = os.path.join(run_dir, "manifest.json")
+
+    collector = Collector(host=host)
+    allocator = PortAllocator(host)
+    try:
+        manifest = build_manifest(topology, collector.contact,
+                                  host=host, allocator=allocator)
+        manifest.write(manifest_path)
+        supervisor = Supervisor(
+            manifest, manifest_path, deadline=duration,
+            collector=collector, restart=restart,
+            log_dir=os.path.join(run_dir, "node-logs"))
+        say(f"world of {len(topology.nodes)} nodes; manifest {manifest_path}")
+        allocator.release()
+        supervisor.spawn_all()
+
+        if kill_node is None:
+            clients = topology.by_role("client")
+            kill_node = clients[0].name if clients else None
+        chaos: list[dict] = []
+        killed = False
+        health_at = 1.0
+        while supervisor.now() < duration:
+            collector.step(0.02)
+            supervisor.poll()
+            now = supervisor.now()
+            if now >= health_at:
+                supervisor.check_health()
+                health_at = now + 1.0
+            if (kill_at is not None and not killed and now >= kill_at
+                    and kill_node is not None):
+                pid = supervisor.kill(kill_node)
+                killed = True
+                if pid is not None:
+                    chaos.append({"t": round(now, 3), "node": kill_node,
+                                  "pid": pid})
+                    say(f"chaos: killed {kill_node} (pid {pid}) "
+                        f"at t={now:.1f}s")
+
+        # Probe while the services are still alive, then drain.
+        probe = Probe(host)
+        try:
+            counter_examples, verify_failures = _probe_counter_examples(
+                probe, manifest)
+        finally:
+            probe.close()
+        say(f"probed {len(counter_examples)} stored counter-example(s); "
+            "draining")
+        supervisor.drain(pump=lambda: collector.step(0.02))
+        # One final pump so last reports queued during drain all land.
+        for _ in range(10):
+            collector.step(0.01)
+
+        nodes: dict[str, dict] = {}
+        statuses = supervisor.statuses()
+        for spec in topology.nodes:
+            rec = collector.nodes.get(spec.name)
+            nodes[spec.name] = {
+                "role": spec.role,
+                "contact": manifest.contact(spec.name),
+                "hellos": rec.hellos if rec else 0,
+                "reports": rec.reports if rec else 0,
+                "stop_reason": rec.stop_reason if rec else None,
+                "stats": dict(rec.stats) if rec else {},
+                **statuses.get(spec.name, {}),
+            }
+        report = LiveReport(
+            duration=duration,
+            topology=topology.to_dict(),
+            nodes=nodes,
+            counter_examples=counter_examples,
+            verify_failures=verify_failures,
+            chaos=chaos,
+            metrics=collector.merged_metrics(),
+            collector={
+                "contact": collector.contact,
+                "bad_messages": collector.bad_messages,
+                "reports": sum(r.reports for r in collector.nodes.values()),
+                "duplicate_reports": sum(
+                    r.duplicate_reports for r in collector.nodes.values()),
+                "final_reports": sum(
+                    r.final_reports for r in collector.nodes.values()),
+            },
+        )
+        report.violations = check_invariants(report)
+
+        if out is not None:
+            trace_path = write_trace_json(
+                collector.merged_tracer(), os.path.join(out, "trace.json"))
+            metrics_path = os.path.join(out, "metrics.json")
+            with open(metrics_path, "w", encoding="utf-8") as fh:
+                json.dump(report.metrics, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            log_path = os.path.join(out, "log.txt")
+            with open(log_path, "w", encoding="utf-8") as fh:
+                for line in collector.merged_logs():
+                    fh.write(f"{line['t']:10.3f} {line['node']:>8} "
+                             f"[{line['level']}] {line['text']}\n")
+            report.artifacts = {
+                "manifest": manifest_path, "trace": trace_path,
+                "metrics": metrics_path, "log": log_path,
+            }
+            report_path = os.path.join(out, "report.json")
+            with open(report_path, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            report.artifacts["report"] = report_path
+        return report
+    finally:
+        allocator.release()
+        collector.close()
+        if tmp is not None:
+            tmp.cleanup()

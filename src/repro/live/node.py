@@ -1,0 +1,296 @@
+"""The ``repro live-node`` entrypoint: one world process.
+
+A node process is the thinnest possible wrapper around the sans-IO
+programming model: read the manifest, build this node's :class:`Component`
+exactly as the simulation's scenario builder would (same classes, same
+wiring — only the contact strings are ``host:port`` now), run it under
+:class:`~repro.core.netdriver.NetDriver` on the preallocated port, and
+piggyback a telemetry shipper on the driver's reactor loop. SIGTERM from
+the supervisor turns into a graceful drain: the reactor stops at the next
+turn, drain hooks flush one final ``COL_REPORT``, and the sockets close.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict
+from typing import Optional
+
+from ..core.component import Component
+from ..core.gossip.state import ComparatorRegistry
+from ..core.gossip.server import GossipServer
+from ..core.linguafranca.messages import Message
+from ..core.linguafranca.tcp import TransportError
+from ..core.netdriver import NetDriver
+from ..core.services.logging import LoggingServer
+from ..core.services.persistent import (
+    DirectoryBackend,
+    PersistentStateServer,
+)
+from ..core.services.scheduler import QueueWorkSource, SchedulerServer
+from ..core.telemetry import Telemetry
+from ..ramsey.client import RAMSEY_BEST, RamseyClient, RealEngine, ramsey_comparator
+from ..ramsey.tasks import unit_generator
+from ..ramsey.verify import counter_example_validator
+from .collector import COL_HELLO, COL_REPORT
+from .topology import Manifest
+
+__all__ = ["build_component", "run_node", "node_stats"]
+
+#: Tracer id block per (node index, incarnation): keeps span/trace ids
+#: disjoint across every process the world ever runs, so merged traces
+#: are collision-free.
+ID_BLOCK = 1_000_000
+#: Incarnations per node index inside the id space.
+MAX_INCARNATIONS = 64
+
+
+def _rotated(items: list[str], idx: int) -> list[str]:
+    if not items:
+        return []
+    shift = idx % len(items)
+    return items[shift:] + items[:shift]
+
+
+def build_component(manifest: Manifest, name: str) -> Component:
+    """Build the sans-IO component for node ``name`` from the manifest.
+
+    The same classes the simulation deploys (`scenario.build_core` /
+    `model_client_factory`), wired with live ``host:port`` contacts.
+    """
+    topo = manifest.topology
+    spec = topo.named(name)
+    idx = topo.index_of(name)
+    opts = spec.options
+    if spec.role == "gossip":
+        comparators = ComparatorRegistry()
+        comparators.register(RAMSEY_BEST, ramsey_comparator)
+        return GossipServer(
+            name,
+            well_known=manifest.contacts_for("gossip"),
+            comparators=comparators,
+            poll_period=topo.gossip_poll_period,
+            sync_period=topo.gossip_sync_period,
+        )
+    if spec.role == "scheduler":
+        sched_rank = [s.name for s in topo.by_role("scheduler")].index(name)
+        work = QueueWorkSource(generator=unit_generator(
+            int(opts.get("k", topo.k)), topo.n,
+            base_seed=topo.seed + 1000 * (sched_rank + 1),
+            ops_budget=topo.unit_ops_budget))
+        # Reap checks every report period: with wall-clock restarts the
+        # reap-the-dead-client deadline races the supervisor's restart
+        # backoff, and a coarse reap tick would let the restarted
+        # client's hello win and silently resume the orphaned unit.
+        return SchedulerServer(
+            name, work,
+            report_period=topo.report_period,
+            reap_period=topo.report_period,
+            dead_factor=float(opts.get("dead_factor", 4.0)),
+        )
+    if spec.role == "persistent":
+        backend = None
+        backend_dir = opts.get("backend_dir")
+        if backend_dir:
+            backend = DirectoryBackend(str(backend_dir))
+        pst = PersistentStateServer(name, backend=backend)
+        pst.add_validator(counter_example_validator)
+        return pst
+    if spec.role == "logger":
+        return LoggingServer(name)
+    if spec.role == "client":
+        return RamseyClient(
+            name=name,
+            schedulers=_rotated(manifest.contacts_for("scheduler"), idx),
+            engine=RealEngine(
+                max_steps_per_advance=int(opts.get("max_steps_per_advance", 2000))),
+            infra=str(opts.get("infra", "live")),
+            loggers=_rotated(manifest.contacts_for("logger"), idx)[:1],
+            persistent=(manifest.contacts_for("persistent") or [None])[0],
+            gossip_well_known=manifest.contacts_for("gossip"),
+            work_period=topo.work_period,
+            report_period=topo.report_period,
+            hello_retry=topo.hello_retry,
+            seed=topo.seed + idx,
+        )
+    raise ValueError(f"unknown node role {spec.role!r}")
+
+
+def node_stats(component: Component) -> dict:
+    """Role-specific stats shipped in each ``COL_REPORT`` (JSON-safe)."""
+    if isinstance(component, SchedulerServer):
+        stats = asdict(component.stats)
+        stats["active_clients"] = len(component.clients)
+        try:
+            stats["queue_depth"] = len(component.work)  # type: ignore[arg-type]
+        except TypeError:
+            pass
+        return stats
+    if isinstance(component, PersistentStateServer):
+        stats = asdict(component.stats)
+        stats["keys"] = component.backend.keys()
+        return stats
+    if isinstance(component, LoggingServer):
+        return {"records": len(component.records)}
+    if isinstance(component, GossipServer):
+        stats = asdict(component.stats)
+        stats["registered"] = len(component.registry)
+        if component.clique is not None:
+            stats["clique_size"] = len(component.pool_members())
+        return stats
+    if isinstance(component, RamseyClient):
+        return {
+            "counter_examples_found": component.counter_examples_found,
+            "checkpoint_acks": component.checkpoint_acks,
+            "checkpoint_denials": component.checkpoint_denials,
+            "checkpoint_give_ups": component.checkpoint_give_ups,
+            "unit_id": component.unit.get("id") if component.unit else None,
+        }
+    return {}
+
+
+class _Shipper:
+    """Ships telemetry snapshots/spans/logs to the collector, riding the
+    driver's reactor loop (tick hook) and drain path (drain hook)."""
+
+    def __init__(self, driver: NetDriver, manifest: Manifest, name: str,
+                 incarnation: int, ship_period: float) -> None:
+        self.driver = driver
+        self.name = name
+        self.incarnation = incarnation
+        self.ship_period = ship_period
+        host, _, port = manifest.collector.rpartition(":")
+        self._col = (host, int(port)) if host and port else None
+        #: Wall clock matching the driver's t=0 (set just after driver
+        #: construction, so span timestamps map onto wall time).
+        self.epoch = time.time() - driver.now()
+        self.seq = 0
+        self.sent = 0
+        self.errors = 0
+        self._cursor = 0  # first tracer span not yet considered
+        self._pending: list = []  # spans seen but still open at last ship
+        self._logs: list[dict] = []
+        self._last_ship = driver.now()
+
+    # -- driver hooks --------------------------------------------------------
+    def log_sink(self, now: float, component: str, level: str, text: str) -> None:
+        self._logs.append({"t": now, "component": component,
+                           "level": level, "text": text})
+
+    def tick(self) -> None:
+        if self.driver.now() - self._last_ship >= self.ship_period:
+            self.ship()
+
+    def drain(self) -> None:
+        self.ship(final=True)
+
+    # -- shipping ------------------------------------------------------------
+    def hello(self) -> None:
+        self._send(COL_HELLO, {
+            "node": self.name,
+            "pid": os.getpid(),
+            "incarnation": self.incarnation,
+            "epoch": self.epoch,
+        })
+
+    def _take_spans(self, final: bool) -> list[dict]:
+        spans = self.driver.telemetry.tracer.spans
+        fresh, self._cursor = spans[self._cursor:], len(spans)
+        candidates = self._pending + fresh
+        if final:
+            self._pending = []
+            return [s.to_dict() for s in candidates]
+        # Open spans wait: `finish` mutates in place, so a span shipped
+        # early would be frozen open in the merged trace.
+        out, still_open = [], []
+        for span in candidates:
+            (out if span.end is not None else still_open).append(span)
+        self._pending = still_open
+        return [s.to_dict() for s in out]
+
+    def ship(self, final: bool = False) -> None:
+        self._last_ship = self.driver.now()
+        self.seq += 1
+        logs, self._logs = self._logs, []
+        body = {
+            "node": self.name,
+            "seq": self.seq,
+            "incarnation": self.incarnation,
+            "metrics": self.driver.telemetry.snapshot(),
+            "spans": self._take_spans(final),
+            "logs": logs,
+            "stats": node_stats(self.driver.component),
+            "driver": {
+                "send_errors": self.driver.send_errors,
+                "handler_errors": self.driver.handler_errors,
+                "reconnects": self.driver.client.reconnects,
+            },
+        }
+        if final:
+            body["final"] = True
+            body["stop_reason"] = self.driver.stop_reason or ""
+        self._send(COL_REPORT, body)
+
+    def _send(self, mtype: str, body: dict) -> None:
+        if self._col is None:
+            return
+        try:
+            self.driver.client.send(
+                self._col[0], self._col[1],
+                Message(mtype=mtype, sender=self.driver.contact, body=body),
+                timeout=2.0)
+            self.sent += 1
+        except (TransportError, OSError):
+            # The collector being away must never take a node down.
+            self.errors += 1
+
+
+def _bind_driver(component: Component, host: str, port: int,
+                 telemetry: Telemetry, speed: float,
+                 attempts: int = 20, delay: float = 0.1) -> NetDriver:
+    """Bind the node's preallocated port, riding out the window where a
+    crashed predecessor's socket is still being torn down."""
+    last: Optional[OSError] = None
+    for _ in range(attempts):
+        try:
+            return NetDriver(component, host=host, port=port,
+                             telemetry=telemetry, speed=speed)
+        except OSError as exc:
+            last = exc
+            time.sleep(delay)
+    raise last if last is not None else OSError("bind failed")
+
+
+def run_node(
+    manifest_path: str,
+    name: str,
+    deadline: float,
+    incarnation: int = 0,
+) -> int:
+    """Run one node to its deadline (or until told to stop); returns an
+    exit code. This is what ``repro live-node`` calls."""
+    manifest = Manifest.load(manifest_path)
+    topo = manifest.topology
+    spec = topo.named(name)
+    idx = topo.index_of(name)
+    host, _, port = manifest.contact(name).rpartition(":")
+    telemetry = Telemetry(
+        trace=topo.trace,
+        id_base=((idx + 1) * MAX_INCARNATIONS
+                 + incarnation % MAX_INCARNATIONS) * ID_BLOCK)
+    component = build_component(manifest, name)
+    speed = topo.speed if spec.role == "client" else 0.0
+    driver = _bind_driver(component, host, int(port), telemetry, speed)
+    shipper = _Shipper(driver, manifest, name, incarnation,
+                       topo.ship_period)
+    driver.log_sink = shipper.log_sink
+    driver.tick_hook = shipper.tick
+    driver.drain_hooks.append(shipper.drain)
+    driver.install_signal_handlers()
+    shipper.hello()
+    try:
+        driver.run(deadline)
+    finally:
+        driver.shutdown()
+    return 0

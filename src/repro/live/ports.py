@@ -1,0 +1,55 @@
+"""Localhost port allocation for the bootstrap manifest.
+
+The supervisor must know every node's contact address *before* any node
+process exists (clients need scheduler/gossip contacts at construction
+time, gossips need the full well-known pool). So ports are allocated up
+front: one listening socket per node is bound to port 0, the kernel's
+choice is recorded, and the sockets are held open until the whole batch
+is allocated — holding them is what keeps the kernel from handing the
+same port out twice within one allocation round. They are released just
+before the node processes spawn; :class:`~..core.linguafranca.tcp.TcpServer`
+binds with ``SO_REUSEADDR``, so the immediate rebind is safe.
+"""
+
+from __future__ import annotations
+
+import socket
+
+__all__ = ["PortAllocator"]
+
+
+class PortAllocator:
+    """Reserve distinct localhost ports; release them on demand."""
+
+    def __init__(self, host: str = "127.0.0.1") -> None:
+        self.host = host
+        self._held: list[socket.socket] = []
+        self.allocated: list[int] = []
+
+    def allocate(self, n: int = 1) -> list[int]:
+        """Reserve ``n`` fresh ports (held open until :meth:`release`)."""
+        ports = []
+        for _ in range(n):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((self.host, 0))
+            port = sock.getsockname()[1]
+            self._held.append(sock)
+            ports.append(port)
+            self.allocated.append(port)
+        return ports
+
+    def release(self) -> None:
+        """Close the held sockets so node processes can bind the ports."""
+        for sock in self._held:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._held.clear()
+
+    def __enter__(self) -> "PortAllocator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()

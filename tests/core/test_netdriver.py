@@ -203,3 +203,72 @@ def test_netdriver_explicit_policy_wins_silently():
         assert driver.timeout_policy.timeout_for() == 3.0
     finally:
         driver.close()
+
+
+# -- graceful shutdown (live-plane satellite) --------------------------------
+
+
+class IdleComponent(Component):
+    """No timers, no sends: shutdown-path scaffolding."""
+
+
+def test_request_stop_breaks_run_loop():
+    driver = NetDriver(IdleComponent("idle"))
+    try:
+        driver.request_stop("external")
+        driver.request_stop("late")  # first reason wins
+        reason = driver.run(5.0)
+        assert reason == "external"
+        assert driver.stop_reason == "external"
+    finally:
+        driver.shutdown()
+
+
+def test_shutdown_runs_drain_hooks_once_and_survives_raising_hooks():
+    driver = NetDriver(IdleComponent("idle"))
+    calls = []
+    driver.drain_hooks.append(lambda: calls.append("first"))
+    driver.drain_hooks.append(lambda: (_ for _ in ()).throw(RuntimeError("boom")))
+    driver.drain_hooks.append(lambda: calls.append("last"))
+    driver.start()
+    reason = driver.shutdown()
+    assert calls == ["first", "last"]
+    assert driver.shutdown() == reason  # idempotent, hooks not re-run
+    assert calls == ["first", "last"]
+
+
+def test_shutdown_cancels_timers_and_closes_sockets():
+    driver = NetDriver(TickerComponent())
+    driver.start()
+    assert driver._timers
+    driver.shutdown()
+    assert not driver._timers
+    with pytest.raises(Exception):
+        driver.server.step(0.01)  # server socket is gone
+
+
+def test_sigterm_translates_to_graceful_stop():
+    import os
+    import signal
+
+    driver = NetDriver(IdleComponent("idle"))
+    previous = signal.getsignal(signal.SIGTERM)
+    try:
+        driver.install_signal_handlers(signal.SIGTERM)
+        os.kill(os.getpid(), signal.SIGTERM)
+        reason = driver.run(5.0)
+        assert reason == "signal:SIGTERM"
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        driver.shutdown()
+
+
+def test_tick_hook_rides_the_reactor_loop():
+    driver = NetDriver(IdleComponent("idle"))
+    ticks = []
+    driver.tick_hook = lambda: ticks.append(driver.now())
+    try:
+        driver.run(0.12)
+        assert ticks, "tick hook never ran"
+    finally:
+        driver.shutdown()

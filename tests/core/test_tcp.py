@@ -118,3 +118,86 @@ def test_server_survives_garbage_connection():
         reply = TcpClient().request(host, port, Message(mtype="PING", sender=""))
         assert reply.mtype == "PONG"
     assert server.decode_errors >= 1
+
+
+# -- connection reuse (live-plane satellite) ---------------------------------
+
+
+class AcceptCounter:
+    """Wrap a server's accept path to count inbound connections."""
+
+    def __init__(self, server):
+        self.count = 0
+        self._orig = server._accept
+
+        def counting():
+            self.count += 1
+            self._orig()
+
+        server._accept = counting
+
+
+def _drain(server, want, got, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while len(got) < want and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert len(got) == want
+
+
+def test_send_reuses_one_connection_per_peer():
+    got = []
+    server = TcpServer("127.0.0.1", 0, lambda m: got.append(m))
+    accepts = AcceptCounter(server)
+    host, port = server.address
+    with ServerThread(server):
+        client = TcpClient(sender="tester")
+        for i in range(8):
+            client.send(host, port, Message(mtype="PUSH", sender="", body={"i": i}))
+        _drain(server, 8, got)
+        client.close()
+    assert accepts.count == 1
+    assert client.reconnects == 0
+    assert [m.body["i"] for m in got] == list(range(8))
+
+
+def test_reuse_disabled_connects_per_send():
+    got = []
+    server = TcpServer("127.0.0.1", 0, lambda m: got.append(m))
+    accepts = AcceptCounter(server)
+    host, port = server.address
+    with ServerThread(server):
+        client = TcpClient(sender="tester", reuse=False)
+        for i in range(3):
+            client.send(host, port, Message(mtype="PUSH", sender="", body={"i": i}))
+        _drain(server, 3, got)
+        client.close()
+    assert accepts.count == 3
+
+
+def test_send_transparently_reconnects_after_peer_restart():
+    got = []
+    server = TcpServer("127.0.0.1", 0, lambda m: got.append(m))
+    host, port = server.address
+    with ServerThread(server):
+        client = TcpClient(sender="tester")
+        client.send(host, port, Message(mtype="PUSH", sender="", body={"gen": 1}))
+        _drain(server, 1, got)
+    # Peer restarts on the same port; the cached connection is now stale.
+    server2 = TcpServer(host, port, lambda m: got.append(m))
+    with ServerThread(server2):
+        client.send(host, port, Message(mtype="PUSH", sender="", body={"gen": 2}))
+        _drain(server2, 2, got)
+        client.close()
+    assert client.reconnects >= 1
+    assert [m.body["gen"] for m in got] == [1, 2]
+
+
+def test_close_drops_cached_connections():
+    server = TcpServer("127.0.0.1", 0, lambda m: None)
+    host, port = server.address
+    with ServerThread(server):
+        client = TcpClient(sender="tester")
+        client.send(host, port, Message(mtype="PUSH", sender="", body={}))
+        assert client._conns
+        client.close()
+        assert not client._conns

@@ -1,0 +1,66 @@
+"""Node construction from the manifest: role wiring and shipped stats."""
+
+import pytest
+
+from repro.core.gossip import GossipServer
+from repro.core.services import (
+    LoggingServer,
+    PersistentStateServer,
+    SchedulerServer,
+)
+from repro.live import build_manifest, sc98_topology
+from repro.live.node import build_component, node_stats
+from repro.ramsey import RamseyClient
+
+
+@pytest.fixture
+def manifest():
+    return build_manifest(sc98_topology(clients=2),
+                          collector="127.0.0.1:9999")
+
+
+def test_roles_build_the_matching_components(manifest):
+    assert isinstance(build_component(manifest, "gossip0"), GossipServer)
+    assert isinstance(build_component(manifest, "sched0"), SchedulerServer)
+    assert isinstance(build_component(manifest, "pst0"), PersistentStateServer)
+    assert isinstance(build_component(manifest, "logger0"), LoggingServer)
+    assert isinstance(build_component(manifest, "cli0"), RamseyClient)
+
+
+def test_client_wiring_comes_from_manifest(manifest):
+    client = build_component(manifest, "cli0")
+    assert client.schedulers == manifest.contacts_for("scheduler")
+    assert client.persistent == manifest.contacts_for("persistent")[0]
+    assert set(client.gossip_well_known) == set(manifest.contacts_for("gossip"))
+    assert client.infra == "live"
+    # Distinct seeds per client: the search streams must differ.
+    other = build_component(manifest, "cli1")
+    assert other.seed != client.seed
+
+
+def test_gossip_well_known_includes_self(manifest):
+    gossip = build_component(manifest, "gossip0")
+    assert manifest.contact("gossip0") in gossip.well_known
+    assert manifest.contact("gossip1") in gossip.well_known
+
+
+def test_persistent_node_validates_counter_examples(manifest):
+    pst = build_component(manifest, "pst0")
+    assert pst._validators  # counter_example_validator installed
+
+
+def test_node_stats_are_role_specific_and_json_safe(manifest):
+    import json
+
+    for name in ("gossip0", "sched0", "pst0", "logger0", "cli0"):
+        stats = node_stats(build_component(manifest, name))
+        json.dumps(stats)  # must ship inside a COL_REPORT
+    sched = node_stats(build_component(manifest, "sched0"))
+    assert sched["units_assigned"] == 0 and sched["queue_depth"] == 0
+    cli = node_stats(build_component(manifest, "cli0"))
+    assert cli["counter_examples_found"] == 0 and cli["unit_id"] is None
+
+
+def test_unknown_node_rejected(manifest):
+    with pytest.raises(KeyError):
+        build_component(manifest, "nobody")

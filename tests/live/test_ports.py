@@ -1,0 +1,47 @@
+"""Port allocation for the bootstrap manifest."""
+
+import socket
+
+from repro.live import PortAllocator
+
+
+def test_allocated_ports_are_distinct():
+    with PortAllocator() as alloc:
+        ports = alloc.allocate(12)
+        assert len(set(ports)) == 12
+        assert all(1 <= p <= 65535 for p in ports)
+
+
+def test_ports_held_until_release_then_bindable():
+    alloc = PortAllocator()
+    (port,) = alloc.allocate(1)
+    # While held, a plain bind (no SO_REUSEADDR) must fail: that is the
+    # hold that stops the kernel from double-assigning within a batch.
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        try:
+            probe.bind(("127.0.0.1", port))
+        except OSError:
+            pass
+        else:
+            raise AssertionError("held port was bindable")
+    finally:
+        probe.close()
+    alloc.release()
+    # After release the node process can take the port over.
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        server.bind(("127.0.0.1", port))
+    finally:
+        server.close()
+
+
+def test_release_is_idempotent_and_batches_accumulate():
+    alloc = PortAllocator()
+    first = alloc.allocate(2)
+    second = alloc.allocate(3)
+    assert alloc.allocated == first + second
+    alloc.release()
+    alloc.release()
+    assert alloc.allocated == first + second  # history, not live holds

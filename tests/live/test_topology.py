@@ -1,0 +1,72 @@
+"""World specs and the bootstrap/discovery manifest."""
+
+import pytest
+
+from repro.live import (
+    Manifest,
+    NodeSpec,
+    PortAllocator,
+    Topology,
+    build_manifest,
+    sc98_topology,
+)
+
+
+def test_sc98_topology_shape():
+    topo = sc98_topology(clients=4, gossips=2)
+    roles = [spec.role for spec in topo.nodes]
+    assert roles.count("gossip") == 2
+    assert roles.count("scheduler") == 1
+    assert roles.count("persistent") == 1
+    assert roles.count("logger") == 1
+    assert roles.count("client") == 4
+    # Services precede clients so a fresh world boots in manifest order.
+    assert roles.index("client") > roles.index("scheduler")
+    topo.validate()
+
+
+def test_unknown_role_and_params_rejected():
+    with pytest.raises(ValueError):
+        NodeSpec("x", "mainframe")
+    with pytest.raises(TypeError):
+        sc98_topology(warp_factor=9)
+
+
+def test_validate_rejects_broken_worlds():
+    with pytest.raises(ValueError, match="duplicate"):
+        Topology(nodes=[NodeSpec("a", "gossip"), NodeSpec("a", "client")],
+                 ).validate()
+    with pytest.raises(ValueError, match="scheduler"):
+        Topology(nodes=[NodeSpec("c", "client")]).validate()
+
+
+def test_topology_round_trips_through_dict():
+    topo = sc98_topology(clients=2, k=9, speed=123.0, seed=42)
+    clone = Topology.from_dict(topo.to_dict())
+    assert clone.to_dict() == topo.to_dict()
+    assert clone.k == 9 and clone.speed == 123.0 and clone.seed == 42
+    assert [s.name for s in clone.nodes] == [s.name for s in topo.nodes]
+    assert clone.named("cli1").options == {"infra": "live"}
+
+
+def test_build_manifest_assigns_distinct_contacts():
+    topo = sc98_topology(clients=2)
+    manifest = build_manifest(topo, collector="127.0.0.1:9999")
+    contacts = [manifest.contact(s.name) for s in topo.nodes]
+    assert len(set(contacts)) == len(topo.nodes)
+    assert all(c.startswith("127.0.0.1:") for c in contacts)
+    assert manifest.contacts_for("gossip") == [
+        manifest.contact("gossip0"), manifest.contact("gossip1")]
+
+
+def test_manifest_round_trips_through_file(tmp_path):
+    topo = sc98_topology(clients=2)
+    with PortAllocator() as alloc:
+        manifest = build_manifest(topo, collector="127.0.0.1:7",
+                                  allocator=alloc)
+        path = manifest.write(str(tmp_path / "manifest.json"))
+    loaded = Manifest.load(path)
+    assert loaded.to_dict() == manifest.to_dict()
+    assert loaded.collector == "127.0.0.1:7"
+    assert loaded.contacts_for("client") == manifest.contacts_for("client")
+    assert loaded.topology.named("sched0").role == "scheduler"
