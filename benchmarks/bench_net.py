@@ -1,0 +1,100 @@
+"""Refresh the repo-root ``BENCH_net.json`` transport curves.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_net.py
+    PYTHONPATH=src python benchmarks/bench_net.py --quick
+
+Runs both before/after transport benchmarks from
+:mod:`repro.core.netbench` across connection counts:
+
+* **echo** — request/response storms against a forked echo server:
+  ``blocking-threads`` (thread-per-connection, send-per-packet — the
+  classic portable design) vs ``async-reactor`` (the selector reactor
+  the NetDriver rides). Reports sustained msgs/s and p50/p99 latency.
+* **fanout** — one sender shipping bursts to N peer connections:
+  ``blocking-send`` (a faithful replica of the old cached blocking
+  ``TcpClient.send`` hot path: staleness probe + settimeout + sendall
+  per message) vs ``async-send`` (:class:`AsyncSender` per-peer write
+  queues, one batched ``sendmsg`` per peer per cycle). This is the path
+  the async rewrite replaced, and where the speedup lives.
+
+The gate (``--check``) asserts the acceptance floor: >= 3x sustained
+fan-out msgs/s at 1000 connections vs the blocking baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+HERE = pathlib.Path(__file__).resolve().parent
+SRC = HERE.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+NET_JSON = HERE.parent / "BENCH_net.json"
+
+#: Acceptance floor: fan-out msgs/s at the top connection count vs the
+#: blocking baseline.
+SPEEDUP_FLOOR = 3.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--connections", type=str, default="64,256,1000",
+                        help="comma-separated connection counts")
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="measured seconds per cell")
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid, short cells (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help=f"fail unless top fan-out speedup >= "
+                             f"{SPEEDUP_FLOOR}x")
+    parser.add_argument("--out", type=str, default=str(NET_JSON))
+    args = parser.parse_args(argv)
+
+    from repro.core.netbench import run_netbench
+
+    counts = tuple(int(c) for c in args.connections.split(","))
+    if args.quick:
+        counts = tuple(c for c in counts if c <= 500) or (64,)
+        report = run_netbench(connection_counts=counts, duration=1.5,
+                              warmup=0.4, payload=0)
+    else:
+        report = run_netbench(connection_counts=counts,
+                              duration=args.duration, warmup=0.8, payload=0)
+
+    print(f"{'bench':>7} {'mode':>16} {'conns':>6} {'msgs/s':>10} "
+          f"{'p50 ms':>8} {'p99 ms':>8} {'speedup':>8}")
+    for row in report["rows"]:
+        speed = row.get("speedup_vs_blocking")
+        print(f"{row['bench']:>7} {row['mode']:>16} "
+              f"{row['connections']:>6} {row['msgs_per_s']:>10,.0f} "
+              f"{row.get('p50_ms', 0.0):>8.1f} {row.get('p99_ms', 0.0):>8.1f} "
+              f"{'' if speed is None else f'{speed:.2f}x':>8}")
+    print(f"host cpus: {report['host_cpus']}")
+
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote {out_path.name}")
+
+    if args.check:
+        top = max(counts)
+        rows = {(r["bench"], r["mode"], r["connections"]): r
+                for r in report["rows"]}
+        after = rows.get(("fanout", "async-send", top))
+        speed = (after or {}).get("speedup_vs_blocking", 0.0)
+        if speed < SPEEDUP_FLOOR:
+            print(f"FAIL: fan-out speedup {speed:.2f}x at {top} "
+                  f"connections is below the {SPEEDUP_FLOOR}x floor",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

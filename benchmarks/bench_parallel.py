@@ -70,11 +70,17 @@ def main(argv: list[str] | None = None) -> int:
                              batches=4, rounds=max(args.rounds, 1))
 
     print(f"{'workers':>8} {'moves/s':>12} {'speedup':>8} "
-          f"{'parity':>18} {'fallbacks':>9}")
+          f"{'parity':>18} {'fallbacks':>9}  {'worker wall s':>13}")
     for row in report["rows"]:
+        walls = row.get("worker_wall_s") or []
+        wall_col = ("/".join(f"{w:.2f}" for w in walls) if walls
+                    else "(inline)")
         print(f"{row['workers']:>8} {row['moves_per_s']:>12,.0f} "
               f"{row['speedup_vs_inline']:>7.2f}x "
-              f"{row['parity_hash']:>18} {row['fallbacks']:>9}")
+              f"{row['parity_hash']:>18} {row['fallbacks']:>9}  "
+              f"{wall_col:>13}")
+        if row.get("warning"):
+            print(f"{'':>8} warning: {row['warning']}")
     print(f"parity: {'OK' if report['parity_ok'] else 'MISMATCH'} "
           f"(host cpus: {report['host_cpus']})")
 

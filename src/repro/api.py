@@ -19,7 +19,9 @@ The surface groups into five layers:
   drivers execute them so components never hand-roll retry loops.
 * **Drivers and transport** — :class:`SimDriver` (simulated grid) and
   :class:`NetDriver` (real TCP) run components; :class:`Message`,
-  :class:`TcpClient`/:class:`TcpServer` are the lingua franca.
+  :class:`TcpClient`/:class:`TcpServer` are the lingua franca, riding
+  the :class:`EventLoop` reactor with :class:`AsyncSender` write queues
+  (:func:`run_netbench` measures the stack — ``repro bench --net``).
 * **Simulated grid** — :class:`Environment`, :class:`Host`,
   :class:`Network`, load models, and the fault-injection subsystem
   (:class:`FaultPlan` and its injectors).
@@ -74,7 +76,14 @@ from .simgrid.profile import EngineProfiler
 # -- drivers and transport -------------------------------------------------
 from .core.simdriver import SimDriver
 from .core.netdriver import NetDriver
-from .core.linguafranca import Message, TcpClient, TcpServer
+from .core.linguafranca import (
+    AsyncSender,
+    EventLoop,
+    Message,
+    TcpClient,
+    TcpServer,
+)
+from .core.netbench import run_netbench
 from .core.forecasting import (
     ForecastRegistry,
     ForecasterBank,
@@ -121,6 +130,7 @@ from .parallel import (
     make_lane,
     run_task,
 )
+from .parallel.scaling import run_scaling
 
 # -- application: Ramsey search --------------------------------------------
 from .ramsey import (
@@ -204,9 +214,12 @@ __all__ = [
     # drivers and transport
     "SimDriver",
     "NetDriver",
+    "AsyncSender",
+    "EventLoop",
     "Message",
     "TcpClient",
     "TcpServer",
+    "run_netbench",
     "ForecastRegistry",
     "ForecasterBank",
     "default_bank",
@@ -250,6 +263,7 @@ __all__ = [
     "StepBatch",
     "StepBatchResult",
     "make_lane",
+    "run_scaling",
     "run_task",
     # Ramsey application
     "RAMSEY_BEST",

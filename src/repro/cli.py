@@ -4,7 +4,8 @@ Commands
 --------
 ``sc98``    run the SC98 scenario and print/export the paper's figures
 ``ramsey``  run a counter-example search locally (real kernels)
-``bench``   compute-plane scaling benchmark (``--parallel``)
+``bench``   compute-plane scaling (``--parallel``) and transport
+            (``--net``) benchmarks
 ``pet``     run the distributed PET reconstruction demo
 ``trace``   run a scenario with causal tracing on; export Chrome trace
 ``metrics`` run a scenario and print/export its metrics snapshot
@@ -44,6 +45,7 @@ def _cmd_sc98(args: argparse.Namespace) -> int:
         n=args.n,
         engine=args.engine,
         compute_pool=args.compute_pool,
+        parallel_des=args.parallel_des,
         max_steps_per_advance=args.max_steps_per_advance,
     )
     world = build_sc98(cfg)
@@ -51,6 +53,8 @@ def _cmd_sc98(args: argparse.Namespace) -> int:
     if cfg.engine == "real":
         lane_desc = (f", engine real, "
                      f"{'pool=' + str(cfg.compute_pool) if cfg.compute_pool else 'inline lane'}")
+    if cfg.parallel_des:
+        lane_desc += ", windowed parallel DES"
     print(f"running SC98 scenario (scale {args.scale}, seed {args.seed}"
           f"{lane_desc}) ...")
     t0 = time.time()
@@ -100,14 +104,44 @@ def _cmd_ramsey(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_bench_net(args: argparse.Namespace) -> int:
+    import json
+
+    from .api import run_netbench
+
+    counts = tuple(int(c) for c in args.connections.split(","))
+    print(f"transport curves over connection counts {counts} "
+          f"({args.net_duration:.1f}s cells) ...")
+    report = run_netbench(connection_counts=counts,
+                          duration=args.net_duration, payload=0)
+    print(f"{'bench':>7} {'mode':>16} {'conns':>6} {'msgs/s':>10} "
+          f"{'p50 ms':>8} {'p99 ms':>8} {'speedup':>8}")
+    for row in report["rows"]:
+        speed = row.get("speedup_vs_blocking")
+        print(f"{row['bench']:>7} {row['mode']:>16} "
+              f"{row['connections']:>6} {row['msgs_per_s']:>10,.0f} "
+              f"{row.get('p50_ms', 0.0):>8.1f} "
+              f"{row.get('p99_ms', 0.0):>8.1f} "
+              f"{'' if speed is None else f'{speed:.2f}x':>8}")
+    print(f"host cpus: {report['host_cpus']}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote: {args.out}")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import json
 
+    if args.net:
+        return _cmd_bench_net(args)
     if not args.parallel:
         print("nothing to do: pass --parallel for the compute-plane "
-              "scaling benchmark")
+              "scaling benchmark or --net for the transport benchmark")
         return 2
-    from .parallel.scaling import run_scaling
+    from .api import run_scaling
 
     worker_counts = tuple(int(w) for w in args.workers.split(","))
     print(f"scaling tabu kernel batches over pool sizes {worker_counts} "
@@ -130,6 +164,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"{row['workers']:>8} {row['moves_per_s']:>12,.0f} "
               f"{row['speedup_vs_inline']:>7.2f}x "
               f"{row['parity_hash']:>18} {row['fallbacks']:>9}")
+        if row.get("warning"):
+            print(f"{'':>8} warning: {row['warning']}")
     print(f"parity: {'OK' if report['parity_ok'] else 'MISMATCH'} "
           f"(host cpus: {report['host_cpus']})")
     if args.out:
@@ -357,6 +393,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compute-pool", type=int, default=0, metavar="N",
                    help="offload real-engine kernels to N pool workers "
                         "(0 = inline lane; results are bit-identical)")
+    p.add_argument("--parallel-des", action="store_true",
+                   help="conservative parallel DES: site-partitioned "
+                        "windowed execution with compute-lane barriers "
+                        "(byte-identical outcomes to the serial run)")
     p.add_argument("--max-steps-per-advance", type=int, default=2000,
                    help="real-engine step cap per advance (smoke runs)")
     p.add_argument("--out", type=str, default=None,
@@ -368,6 +408,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("bench", help="run micro/scaling benchmarks")
     p.add_argument("--parallel", action="store_true",
                    help="run the compute-plane scaling benchmark")
+    p.add_argument("--net", action="store_true",
+                   help="run the transport benchmark (echo storms and "
+                        "send fan-out, blocking stack vs async reactor)")
+    p.add_argument("--connections", type=str, default="64,256,1000",
+                   help="comma-separated connection counts (--net)")
+    p.add_argument("--net-duration", type=float, default=2.0,
+                   help="measured seconds per transport cell (--net)")
     p.add_argument("--workers", type=str, default="0,1,2,4",
                    help="comma-separated pool sizes (0 = inline lane)")
     p.add_argument("--searches", type=int, default=4)

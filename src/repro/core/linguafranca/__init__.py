@@ -3,7 +3,7 @@
 from .endpoint import SimEndpoint
 from .messages import Message, MessageError, TypeRegistry, fresh_req_id
 from .packets import PacketDecoder, PacketError, decode_packet, encode_packet
-from .tcp import TcpClient, TcpServer, TransportError
+from .tcp import AsyncSender, EventLoop, TcpClient, TcpServer, TransportError
 
 __all__ = [
     "SimEndpoint",
@@ -15,6 +15,8 @@ __all__ = [
     "PacketError",
     "decode_packet",
     "encode_packet",
+    "AsyncSender",
+    "EventLoop",
     "TcpClient",
     "TcpServer",
     "TransportError",

@@ -1,0 +1,708 @@
+"""Transport benchmarks for the live plane: echo storms and send fan-out.
+
+Two benchmark families, both before/after the async rewrite:
+
+**Echo storm** (``run_storm``) — sustained request/response throughput
+(msgs/s) and tail latency against connection count, for two server
+substrates:
+
+* ``blocking-threads`` — the *before* baseline: a blocking
+  thread-per-connection echo server issuing one ``send`` syscall per
+  packet. This is the classic portable design the paper-era systems
+  started from (and the only place in this codebase threads touch a
+  socket — it exists purely as the measurement baseline).
+* ``async-reactor`` — the *after*: the selectors-based
+  :class:`~repro.core.linguafranca.tcp.TcpServer` the NetDriver rides —
+  non-blocking accept-all, zero-copy in-place reads, per-connection
+  write queues flushed with batched ``sendmsg``.
+
+The server under test runs in a **forked child process**, so the load
+generator does not share a GIL with it; the generator itself is a
+single-threaded poll loop driving N concurrent connections with a small
+pipeline of in-flight requests each — the same shape as a live node
+fan-in. ``churn`` makes connections short-lived, folding the server's
+accept path into the measured flow.
+
+**Send fan-out** (``run_fanout``) — sustained outbound msgs/s from ONE
+driver to N peer connections, which is the path the async rewrite
+actually replaced. The *before* sender is a faithful replica of the old
+``TcpClient.send`` hot loop (cached blocking socket per peer, a
+``select``-based staleness probe + ``settimeout`` + ``sendall`` — three
+to four syscalls — per message, fully serialized); the *after* is
+:class:`~repro.core.linguafranca.tcp.AsyncSender` on the shared event
+loop, which appends to per-peer write queues and flushes up to
+``SENDMSG_BATCH`` frames per ``sendmsg`` call. The receiving end is a
+forked byte-counting sink, identical for both modes.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import signal
+import socket
+import struct
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+from .linguafranca.messages import Message
+from .linguafranca.packets import HEADER, PacketDecoder, encode_packet
+from .linguafranca.tcp import AsyncSender, EventLoop, TcpServer
+
+__all__ = ["run_storm", "run_fanout", "run_netbench", "spawn_echo_server",
+           "MODES", "LEVELS"]
+
+MODES = ("blocking-threads", "async-reactor")
+
+#: ``frame`` echoes at the packet layer (decode/validate the inbound
+#: frame, queue a pre-encoded reply) so the *transport* is what's being
+#: compared; ``message`` runs the full Message parse/reply path, which
+#: adds identical JSON cost to both modes and measures the app ceiling.
+LEVELS = ("frame", "message")
+
+_REPLY_FRAME = encode_packet("PONG", b"{}")
+
+
+def _frame_echo(mtype: str, payload: memoryview) -> bytes:
+    return _REPLY_FRAME
+
+
+def _raise_nofile(want: int) -> None:
+    """Best-effort bump of RLIMIT_NOFILE (storms need ~2 fds/connection)."""
+    try:
+        import resource
+
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft < want:
+            resource.setrlimit(resource.RLIMIT_NOFILE,
+                               (min(want, hard), hard))
+    except (ImportError, ValueError, OSError):  # pragma: no cover
+        pass
+
+
+def _echo_handler(message: Message) -> Message:
+    return message.reply("PONG", sender="bench")
+
+
+def _serve_blocking(listener: socket.socket, level: str) -> None:
+    """The baseline: accept loop + thread per connection + send per packet."""
+
+    def serve_conn(sock: socket.socket) -> None:
+        decoder = PacketDecoder()
+        try:
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    return
+                decoder.feed(data)
+                if level == "frame":
+                    while True:
+                        reply = decoder.next_record(_frame_echo)
+                        if reply is None:
+                            break
+                        sock.sendall(reply)
+                else:
+                    while True:
+                        message = decoder.next_record(Message.from_parts)
+                        if message is None:
+                            break
+                        sock.sendall(_echo_handler(message).encode())
+        except OSError:
+            pass
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # Note: no TCP_NODELAY — the before-stack never set it (that is one
+    # of the things this PR fixed), so pipelined small replies can stall
+    # on Nagle-vs-delayed-ACK exactly as the old live plane did.
+    while True:
+        sock, _addr = listener.accept()
+        threading.Thread(target=serve_conn, args=(sock,), daemon=True).start()
+
+
+def _serve_reactor(port_pipe: int, level: str) -> None:
+    raw = _frame_echo if level == "frame" else None
+    server = TcpServer("127.0.0.1", 0, _echo_handler, raw_handler=raw)
+    os.write(port_pipe, struct.pack("!I", server.address[1]))
+    os.close(port_pipe)
+    while True:
+        server.step(0.5)
+
+
+def spawn_echo_server(mode: str, level: str = "frame",
+                      max_fds: int = 16384) -> tuple[int, int]:
+    """Fork an echo server child; returns ``(pid, port)``."""
+    if mode not in MODES:
+        raise ValueError(f"unknown mode {mode!r} (want one of {MODES})")
+    if level not in LEVELS:
+        raise ValueError(f"unknown level {level!r} (want one of {LEVELS})")
+    _raise_nofile(max_fds)
+    rd, wr = os.pipe()
+    pid = os.fork()
+    if pid == 0:  # child
+        os.close(rd)
+        try:
+            if mode == "async-reactor":
+                _serve_reactor(wr, level)
+            else:
+                listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                listener.bind(("127.0.0.1", 0))
+                listener.listen(4096)
+                os.write(wr, struct.pack("!I", listener.getsockname()[1]))
+                os.close(wr)
+                _serve_blocking(listener, level)
+        finally:
+            os._exit(0)
+    os.close(wr)
+    data = b""
+    while len(data) < 4:
+        chunk = os.read(rd, 4 - len(data))
+        if not chunk:
+            raise RuntimeError("echo server child died before reporting port")
+        data += chunk
+    os.close(rd)
+    return pid, struct.unpack("!I", data)[0]
+
+
+def stop_echo_server(pid: int) -> None:
+    try:
+        os.kill(pid, signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    try:
+        os.waitpid(pid, 0)
+    except ChildProcessError:
+        pass
+
+
+class _StormConn:
+    __slots__ = ("sock", "buf", "inflight", "outbuf", "registered_w",
+                 "received")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self.buf = bytearray()  # unconsumed reply bytes
+        self.inflight: deque[float] = deque()  # send timestamps, FIFO
+        self.outbuf = bytearray()
+        self.registered_w = False
+        self.received = 0  # replies on this connection (drives churn)
+
+    def count_replies(self) -> int:
+        """Count complete reply frames by header arithmetic alone — the
+        client is the measurement instrument, not the system under test,
+        so it skips CRC/JSON work to leave the (shared) CPU to the
+        server processes being compared."""
+        buf = self.buf
+        n = 0
+        offset = 0
+        remaining = len(buf)
+        while remaining >= HEADER.size:
+            _magic, _version, tlen, plen = HEADER.unpack_from(buf, offset)
+            total = HEADER.size + tlen + plen + 4  # + crc trailer
+            if remaining < total:
+                break
+            offset += total
+            remaining -= total
+            n += 1
+        if offset:
+            del buf[:offset]
+        return n
+
+
+def run_storm(
+    host: str,
+    port: int,
+    connections: int,
+    duration: float = 4.0,
+    pipeline: int = 4,
+    payload: int = 32,
+    warmup: float = 0.5,
+    churn: int = 0,
+) -> dict:
+    """Drive ``connections`` concurrent pipelined echo exchanges for
+    ``duration`` seconds (after ``warmup``); returns throughput and
+    latency percentiles. Single-threaded selector loop.
+
+    ``churn`` > 0 makes connections short-lived: after that many replies
+    a connection closes and a fresh one takes its place, so connection
+    setup cost (the server's accept path) is part of the measured flow —
+    the live-plane shape, where nodes and collectors reconnect
+    constantly. ``churn`` = 0 keeps the original long-lived flood."""
+    _raise_nofile(connections * 2 + 64)
+    frame = Message(mtype="PING", sender="storm",
+                    body={"pad": "x" * max(payload - 16, 0)}).encode()
+    # First burst per connection, pre-built (one send call at connect).
+    first = frame * (min(pipeline, churn) if churn else pipeline)
+    first_n = len(first) // len(frame)
+    # The client instrument talks to the poll/epoll syscall interface
+    # directly: at storm churn rates the selectors-module bookkeeping
+    # (SelectorKey allocation per register) is measurable overhead the
+    # instrument should not add on top of the servers being compared.
+    use_epoll = hasattr(select, "epoll")
+    poller = select.epoll() if use_epoll else select.poll()
+    RD, WR = select.POLLIN, select.POLLOUT
+    conns: dict[int, _StormConn] = {}
+    samples: list[float] = []
+    count = 0
+    churned = 0
+    measuring = False
+
+    def connect() -> None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setblocking(False)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        err = sock.connect_ex((host, port))
+        if err not in (0, 115, 36, 10035):  # EINPROGRESS variants
+            raise OSError(err, os.strerror(err))
+        conn = _StormConn(sock)
+        # Loopback takes the first burst straight away even while the
+        # handshake is notionally in progress; fall back to the write
+        # queue if the kernel disagrees.
+        now = time.monotonic()
+        try:
+            sent = sock.send(first)
+        except OSError:
+            sent = 0
+        if sent < len(first):
+            conn.outbuf.extend(memoryview(first)[sent:])
+            conn.registered_w = True
+        for _ in range(first_n):
+            conn.inflight.append(now)
+        conns[sock.fileno()] = conn
+        poller.register(sock.fileno(), RD | (WR if conn.registered_w else 0))
+
+    def pump(fd: int, mask: int) -> None:
+        nonlocal count, churned
+        conn = conns.get(fd)
+        if conn is None:
+            return
+        if mask & RD:
+            try:
+                data = conn.sock.recv(262144)
+            except (BlockingIOError, InterruptedError):
+                data = None
+            else:
+                if not data:
+                    raise RuntimeError("echo server closed a storm connection")
+                conn.buf.extend(data)
+                now = time.monotonic()
+                for _ in range(conn.count_replies()):
+                    t0 = conn.inflight.popleft()
+                    conn.received += 1
+                    if measuring:
+                        count += 1
+                        samples.append(now - t0)
+        if churn and conn.received >= churn and not conn.inflight:
+            # This connection's quota is spent and drained: replace it.
+            poller.unregister(fd)
+            del conns[fd]
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+            connect()
+            churned += 1
+            return
+        # Top the pipeline back up (one fresh request per completed
+        # exchange), then push bytes while the kernel takes them.
+        now = time.monotonic()
+        budget = (churn - conn.received - len(conn.inflight)
+                  if churn else pipeline)
+        while len(conn.inflight) < pipeline and (not churn or budget > 0):
+            conn.outbuf.extend(frame)
+            conn.inflight.append(now)
+            budget -= 1
+        if conn.outbuf:
+            try:
+                sent = conn.sock.send(conn.outbuf)
+                del conn.outbuf[:sent]
+            except (BlockingIOError, InterruptedError):
+                pass
+        want_w = bool(conn.outbuf)
+        if want_w != conn.registered_w:
+            conn.registered_w = want_w
+            poller.modify(fd, RD | (WR if want_w else 0))
+
+    # epoll takes seconds, poll takes milliseconds.
+    timeout_scale = 1.0 if use_epoll else 1000.0
+    try:
+        for _ in range(connections):
+            connect()
+
+        t_start = time.monotonic()
+        warm_end = t_start + warmup
+        t_end = warm_end + duration
+        t_measure_start = None
+        while True:
+            now = time.monotonic()
+            if now >= t_end:
+                break
+            if not measuring and now >= warm_end:
+                measuring = True
+                t_measure_start = now
+            for fd, mask in poller.poll(0.2 * timeout_scale):
+                pump(fd, mask)
+        elapsed = time.monotonic() - (t_measure_start or warm_end)
+    finally:
+        for conn in conns.values():
+            try:
+                conn.sock.close()
+            except OSError:
+                pass
+        if use_epoll:
+            poller.close()
+
+    samples.sort()
+
+    def pct(q: float) -> float:
+        if not samples:
+            return 0.0
+        return samples[min(int(len(samples) * q), len(samples) - 1)] * 1e3
+
+    return {
+        "connections": connections,
+        "pipeline": pipeline,
+        "churn": churn,
+        "reconnects": churned,
+        "msgs": count,
+        "msgs_per_s": count / elapsed if elapsed > 0 else 0.0,
+        "p50_ms": pct(0.50),
+        "p99_ms": pct(0.99),
+    }
+
+
+def bench_mode(
+    mode: str,
+    connections: int,
+    duration: float = 4.0,
+    pipeline: int = 4,
+    payload: int = 32,
+    warmup: float = 0.5,
+    level: str = "frame",
+    churn: int = 0,
+) -> dict:
+    """One (server mode, connection count) cell: fork, storm, reap."""
+    pid, port = spawn_echo_server(mode, level=level)
+    try:
+        # Give the child a beat to enter its serve loop.
+        time.sleep(0.05)
+        row = run_storm("127.0.0.1", port, connections,
+                        duration=duration, pipeline=pipeline,
+                        payload=payload, warmup=warmup, churn=churn)
+    finally:
+        stop_echo_server(pid)
+    row["mode"] = mode
+    row["level"] = level
+    return row
+
+
+# -- send fan-out: the outbound path the async rewrite replaced --------------
+
+FANOUT_MODES = ("blocking-send", "async-send")
+
+
+def _peer_addrs(n: int) -> list[str]:
+    """``n`` distinct loopback IPs (all of 127/8 is loopback on Linux),
+    so one sender holds ``n`` distinct peer connections against a single
+    sink listener."""
+    return [f"127.0.{i // 200}.{1 + i % 200}" for i in range(n)]
+
+
+def _serve_sink(port_pipe: int, ctl: socket.socket) -> None:
+    """Byte-counting sink: accepts everything, drains everything, and
+    answers count queries on the control socket. Frames in a fan-out run
+    are uniform, so received messages = received bytes // frame size
+    (the size is learned from the first complete header)."""
+    lst = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    lst.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    lst.bind(("0.0.0.0", 0))
+    lst.listen(4096)
+    lst.setblocking(False)
+    os.write(port_pipe, struct.pack("!I", lst.getsockname()[1]))
+    os.close(port_pipe)
+
+    ep = select.epoll() if hasattr(select, "epoll") else select.poll()
+    RD = select.POLLIN
+    ep.register(lst.fileno(), RD)
+    ep.register(ctl.fileno(), RD)
+    lst_fd, ctl_fd = lst.fileno(), ctl.fileno()
+    conns: dict[int, socket.socket] = {}
+    head = bytearray()  # first bytes seen, until one header is complete
+    frame_size = 0
+    received = 0  # whole frames; trailing partials under one frame/conn
+    scale = 1.0 if hasattr(select, "epoll") else 1000.0
+    while True:
+        for fd, _ev in ep.poll(1.0 * scale):
+            if fd == lst_fd:
+                while True:
+                    try:
+                        sock, _addr = lst.accept()
+                    except OSError:
+                        break
+                    sock.setblocking(False)
+                    conns[sock.fileno()] = sock
+                    ep.register(sock.fileno(), RD)
+            elif fd == ctl_fd:
+                if not ctl.recv(1):
+                    os._exit(0)
+                ctl.send(struct.pack("!Q", received))
+            else:
+                sock = conns.get(fd)
+                if sock is None:
+                    continue
+                try:
+                    data = sock.recv(262144)
+                except (BlockingIOError, InterruptedError):
+                    continue
+                except OSError:
+                    data = b""
+                if not data:
+                    ep.unregister(fd)
+                    del conns[fd]
+                    sock.close()
+                    continue
+                if not frame_size:
+                    head.extend(data)
+                    if len(head) >= HEADER.size:
+                        _m, _v, tlen, plen = HEADER.unpack_from(head)
+                        frame_size = HEADER.size + tlen + plen + 4
+                        received += len(head) // frame_size
+                        head.clear()
+                else:
+                    received += len(data) // frame_size
+
+
+class _LegacyBlockingSender:
+    """Faithful replica of the pre-async ``TcpClient.send`` hot path:
+    one cached blocking socket per peer; every message pays the
+    readable-at-idle staleness probe (``select`` + maybe ``recv``), a
+    ``settimeout``, and a ``sendall`` — and the caller is blocked for
+    all of it. No TCP_NODELAY (the old stack never set it)."""
+
+    def __init__(self) -> None:
+        self._conns: dict[tuple[str, int], socket.socket] = {}
+
+    def send_bytes(self, host: str, port: int, data: bytes,
+                   timeout: float = 5.0) -> None:
+        key = (host, port)
+        sock = self._conns.get(key)
+        if sock is not None:
+            try:
+                ready, _, _ = select.select([sock], [], [], 0)
+                if ready and not sock.recv(4096):
+                    raise OSError("peer closed")
+                sock.settimeout(timeout)
+                sock.sendall(data)
+                return
+            except OSError:
+                self._conns.pop(key, None)
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        sock = socket.create_connection((host, port), timeout=timeout)
+        self._conns[key] = sock
+        sock.settimeout(timeout)
+        sock.sendall(data)
+
+    def close(self) -> None:
+        for sock in self._conns.values():
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._conns.clear()
+
+
+def spawn_sink(max_fds: int = 16384) -> tuple[int, int, socket.socket]:
+    """Fork the counting sink; returns ``(pid, port, control_socket)``."""
+    _raise_nofile(max_fds)
+    rd, wr = os.pipe()
+    ctl_parent, ctl_child = socket.socketpair()
+    pid = os.fork()
+    if pid == 0:  # child
+        os.close(rd)
+        ctl_parent.close()
+        try:
+            _serve_sink(wr, ctl_child)
+        finally:
+            os._exit(0)
+    os.close(wr)
+    ctl_child.close()
+    data = b""
+    while len(data) < 4:
+        chunk = os.read(rd, 4 - len(data))
+        if not chunk:
+            raise RuntimeError("sink child died before reporting port")
+        data += chunk
+    os.close(rd)
+    return pid, struct.unpack("!I", data)[0], ctl_parent
+
+
+def _sink_count(ctl: socket.socket) -> int:
+    ctl.send(b"?")
+    data = b""
+    while len(data) < 8:
+        chunk = ctl.recv(8 - len(data))
+        if not chunk:
+            raise RuntimeError("sink closed its control socket")
+        data += chunk
+    return struct.unpack("!Q", data)[0]
+
+
+def run_fanout(
+    mode: str,
+    peers: int = 1000,
+    duration: float = 4.0,
+    payload: int = 32,
+    warmup: float = 0.5,
+    window: int = 8192,
+    burst: int = 8,
+) -> dict:
+    """Sustained one-to-many send throughput: one sender, ``peers``
+    connections, frames counted at the receiving sink. Each sweep ships
+    a ``burst`` of frames to every peer — the live shipper shape (a node
+    queues a batch of reports per driver turn). ``window`` caps the
+    async sender's total queued-but-unflushed frames (the blocking
+    sender needs no cap: it is its own throttle)."""
+    if mode not in FANOUT_MODES:
+        raise ValueError(f"unknown mode {mode!r} (want one of {FANOUT_MODES})")
+    _raise_nofile(peers * 2 + 64)
+    frame = Message(mtype="PING", sender="storm",
+                    body={"pad": "x" * max(payload - 16, 0)}).encode()
+    pid, port, ctl = spawn_sink()
+    sent = 0
+    try:
+        time.sleep(0.05)
+        addrs = _peer_addrs(peers)
+        t_end = time.monotonic() + warmup + duration
+        if mode == "blocking-send":
+            legacy = _LegacyBlockingSender()
+            try:
+                # Warm the connection cache outside the measured window,
+                # as the long-lived live plane would have it.
+                for addr in addrs:
+                    legacy.send_bytes(addr, port, frame)
+                    sent += 1
+                t0 = time.monotonic()
+                c0 = _sink_count(ctl)
+                while time.monotonic() < t_end:
+                    for addr in addrs:
+                        for _ in range(burst):
+                            legacy.send_bytes(addr, port, frame)
+                    sent += peers * burst
+            finally:
+                legacy.close()
+        else:
+            loop = EventLoop()
+            sender = AsyncSender(loop, sender="storm")
+            try:
+                for addr in addrs:
+                    sender.post_bytes(addr, port, frame, timeout=30.0)
+                    sent += 1
+                while sender.pending():
+                    loop.step(0.05)
+                t0 = time.monotonic()
+                c0 = _sink_count(ctl)
+                while time.monotonic() < t_end:
+                    if sender.pending() < window:
+                        for addr in addrs:
+                            for _ in range(burst):
+                                sender.post_bytes(addr, port, frame,
+                                                  timeout=30.0)
+                        sent += peers * burst
+                    sender.service()  # batched flush: one sendmsg/peer
+                    loop.step(0)
+                # Drain what is queued so "sent" is honest before the
+                # closing count.
+                deadline = time.monotonic() + 2.0
+                while sender.pending() and time.monotonic() < deadline:
+                    loop.step(0.02)
+            finally:
+                errors = sender.errors
+                sender.close()
+                loop.close()
+                if errors:
+                    raise RuntimeError(f"async fan-out had {errors} errors")
+        t1 = time.monotonic()
+        c1 = _sink_count(ctl)
+    finally:
+        try:
+            ctl.close()
+        except OSError:
+            pass
+        stop_echo_server(pid)
+    elapsed = t1 - t0
+    received = c1 - c0
+    return {
+        "bench": "fanout",
+        "mode": mode,
+        "connections": peers,
+        "msgs": received,
+        "msgs_per_s": received / elapsed if elapsed > 0 else 0.0,
+        "sent": sent,
+    }
+
+
+def run_netbench(
+    connection_counts=(64, 256, 1000),
+    duration: float = 4.0,
+    pipeline: int = 4,
+    payload: int = 32,
+    warmup: float = 0.5,
+    modes=MODES,
+    levels=("frame",),
+    burst: int = 32,
+    fanout: bool = True,
+) -> dict:
+    """The full before/after grid: echo rows (throughput + latency, both
+    server substrates) and fan-out rows (outbound path, blocking cached
+    sender vs batched async sender). ``speedup_vs_blocking`` on each
+    *after* row compares it against the *before* row of the same family
+    at the same connection count."""
+    rows = []
+    for level in levels:
+        for mode in modes:
+            for connections in connection_counts:
+                row = bench_mode(mode, connections, duration=duration,
+                                 pipeline=pipeline, payload=payload,
+                                 warmup=warmup, level=level)
+                row["bench"] = "echo"
+                rows.append(row)
+    if fanout:
+        for mode in FANOUT_MODES:
+            for connections in connection_counts:
+                rows.append(run_fanout(mode, peers=connections,
+                                       duration=duration, payload=payload,
+                                       warmup=warmup, burst=burst,
+                                       window=burst * 2000))
+    before = {}
+    for r in rows:
+        if r["mode"] in ("blocking-threads", "blocking-send"):
+            before[(r["bench"], r.get("level"), r["connections"])] = (
+                r["msgs_per_s"])
+    for row in rows:
+        if row["mode"] not in ("async-reactor", "async-send"):
+            continue
+        base = before.get((row["bench"], row.get("level"),
+                           row["connections"]))
+        if base is not None:
+            row["speedup_vs_blocking"] = (
+                row["msgs_per_s"] / base if base else 0.0)
+    return {
+        "schema": "repro-net/1",
+        "host_cpus": os.cpu_count(),
+        "config": {
+            "duration": duration, "pipeline": pipeline,
+            "payload": payload, "warmup": warmup,
+            "connection_counts": list(connection_counts),
+            "levels": list(levels), "burst": burst,
+        },
+        "rows": rows,
+    }

@@ -8,11 +8,18 @@ paper's portability rules — the loop multiplexes socket readiness and
 timer deadlines exactly the way the C prototype multiplexed ``select()``
 time-outs.
 
-Replies here are *datagram-style*: every ``Send`` effect opens a
-short-lived connection to the destination's listening port (components
-address each other as ``"host:port"``), mirroring how the simulation's
-fire-and-forget sends behave — and how EveryWare survives transports
-that drop connections without notice.
+Sends are *datagram-style and asynchronous*: every ``Send`` effect is
+queued on a non-blocking per-peer connection (see
+:class:`~repro.core.linguafranca.tcp.AsyncSender`) and flushed in
+batched vectored writes as the socket becomes writable — the reactor
+never blocks in ``connect()`` or ``send()``, so one driver sustains
+thousands of concurrent peers. Failure semantics are unchanged from the
+blocking driver: unreachable peers cost :attr:`send_errors`, never an
+exception, and recovery is the component's time-out/retry ladder —
+exactly how EveryWare survives transports that drop connections without
+notice. The server, every accepted connection, and every outbound
+connection share one :class:`~repro.core.linguafranca.tcp.EventLoop`,
+i.e. one ``select()`` per reactor turn.
 """
 
 from __future__ import annotations
@@ -26,7 +33,13 @@ from typing import Callable, Optional
 from .component import CancelTimer, Component, Effect, LogLine, Send, SetTimer, Stop
 from .forecasting.benchmarking import event_tag
 from .linguafranca.messages import Message
-from .linguafranca.tcp import TcpClient, TcpServer, TransportError
+from .linguafranca.tcp import (
+    AsyncSender,
+    EventLoop,
+    TcpClient,
+    TcpServer,
+    TransportError,
+)
 from .policy import ReliableSendTracker, TimeoutPolicy
 from .telemetry import Telemetry
 
@@ -81,20 +94,30 @@ class NetDriver:
             if timeout_policy is None:
                 timeout_policy = TimeoutPolicy.static(send_timeout)
         self.component = component
-        self.server = TcpServer(host, port, self._handle)
+        #: One selector shared by the listening socket, every accepted
+        #: connection, and every outbound connection.
+        self.loop = EventLoop()
+        self.server = TcpServer(host, port, self._handle, loop=self.loop)
         self.contact = self.server.contact
-        self.client = TcpClient(sender=self.contact)
-        self.log_sink = log_sink
         # Per-destination/message-tag connect+send budgets; dynamic
         # time-out discovery (§2.2) instead of the old hardcoded 2.0s.
         self.timeout_policy = timeout_policy or TimeoutPolicy.forecast(default=2.0)
+        self.sender = AsyncSender(self.loop, sender=self.contact,
+                                  observer=self._observe_send)
+        #: Blocking client kept for request/response side channels
+        #: (probes, tools); the driver's own sends never touch it.
+        self.client = TcpClient(sender=self.contact)
+        self.log_sink = log_sink
         self.tracker: Optional[ReliableSendTracker] = None
         self._rng = random.Random(seed)
         self._timers: dict[str, float] = {}
         self._t0 = time.monotonic()
         self._stopped = False
         self.stop_reason: Optional[str] = None
-        self.send_errors = 0
+        #: Local (non-transport) send failures, e.g. malformed addresses;
+        #: transport failures are metered by the async sender and the two
+        #: are summed by :attr:`send_errors`.
+        self._address_errors = 0
         self.handler_errors = 0
         self._started = False
         self.speed = float(speed)
@@ -119,6 +142,18 @@ class NetDriver:
 
     def now(self) -> float:
         return time.monotonic() - self._t0
+
+    @property
+    def send_errors(self) -> int:
+        """Frames that could not be delivered (unreachable peer, stuck
+        connection expired past its deadline, malformed address)."""
+        return self._address_errors + self.sender.errors
+
+    @property
+    def reconnects(self) -> int:
+        """Transparent outbound reconnects (async sender + blocking
+        client side channel combined)."""
+        return self.sender.reconnects + self.client.reconnects
 
     # -- effects ------------------------------------------------------------
     def _apply(self, effects: list[Effect]) -> None:
@@ -166,6 +201,11 @@ class NetDriver:
             else:
                 raise TypeError(f"unknown effect {eff!r}")
 
+    def _observe_send(self, tag: Optional[str], elapsed: float) -> None:
+        # Measured queue+connect+write time feeds the forecaster so
+        # future budgets track observed behavior.
+        self.timeout_policy.observe(tag, elapsed)
+
     def _transmit(self, eff: Send) -> None:
         host, _, port = eff.dst.rpartition(":")
         tag = event_tag(eff.dst, eff.message.mtype)
@@ -175,17 +215,33 @@ class NetDriver:
             timeout = float(eff.timeout)
         else:
             timeout = self.timeout_policy.timeout_for(tag)
-        started = self.now()
         try:
-            self.client.send(host, int(port), eff.message, timeout=timeout)
-        except (TransportError, ValueError):
-            # Fire-and-forget: unreachable peers are a normal
-            # condition; time-outs higher up handle recovery.
-            self.send_errors += 1
-        else:
-            # Feed the measured connect+send time back into the
-            # forecaster so future budgets track observed behavior.
-            self.timeout_policy.observe(tag, self.now() - started)
+            port_no = int(port)
+        except ValueError:
+            self._address_errors += 1
+            return
+        # Queued, not sent: the frame leaves (in a batched vectored
+        # write) once the peer connection is writable. Unreachable peers
+        # surface asynchronously as sender errors.
+        self.sender.post(host, port_no, eff.message,
+                         timeout=timeout, tag=tag)
+
+    def post(self, dst: str, message: Message,
+             timeout: Optional[float] = None, tag: Optional[str] = None) -> None:
+        """Fire-and-forget send outside the effect system (shippers,
+        supervisors riding the driver loop). Same failure semantics as a
+        ``Send`` effect: errors are metered, never raised."""
+        host, _, port = dst.rpartition(":")
+        if tag is None:
+            tag = event_tag(dst, message.mtype)
+        if timeout is None:
+            timeout = self.timeout_policy.timeout_for(tag)
+        try:
+            port_no = int(port)
+        except ValueError:
+            self._address_errors += 1
+            return
+        self.sender.post(host, port_no, message, timeout=timeout, tag=tag)
 
     def _reliable(self) -> ReliableSendTracker:
         if self.tracker is None:
@@ -335,7 +391,10 @@ class NetDriver:
         wait = max_wait
         if deadline is not None:
             wait = min(max(deadline - self.now(), 0.0), max_wait)
+        # One select() covers the listener, inbound connections, and
+        # every outbound connection.
         self.server.step(wait)
+        self.sender.service()
         self._fire_due_timers()
         if self.tick_hook is not None:
             self.tick_hook()
@@ -353,8 +412,8 @@ class NetDriver:
     def shutdown(self) -> str:
         """Graceful drain (idempotent): cancel every pending timer and
         reliable send, run the registered :attr:`drain_hooks` so pending
-        log lines/telemetry flush, then close the server socket and any
-        cached outbound connections. Returns the stop reason."""
+        log lines/telemetry flush, then flush queued outbound frames
+        (bounded) and close every socket. Returns the stop reason."""
         reason = self.stop_reason or self._stop_requested or "shutdown"
         if self._shutdown_done:
             return reason
@@ -375,6 +434,22 @@ class NetDriver:
         self.close()
         return reason
 
+    def _flush_outbound(self, budget: float = 0.5) -> None:
+        """Pump the loop until queued frames are delivered or resolved as
+        errors, bounded by ``budget`` wall seconds. Connect failures
+        (refused peers) resolve here too — readiness is the only place
+        non-blocking connect errors surface."""
+        deadline = time.monotonic() + budget
+        while self.sender.pending() and time.monotonic() < deadline:
+            try:
+                self.loop.step(0.02)
+            except TransportError:
+                break
+            self.sender.service()
+
     def close(self) -> None:
+        self._flush_outbound()
+        self.sender.close()
         self.server.close()
         self.client.close()
+        self.loop.close()

@@ -21,7 +21,6 @@ from ..core.component import Component
 from ..core.gossip.state import ComparatorRegistry
 from ..core.gossip.server import GossipServer
 from ..core.linguafranca.messages import Message
-from ..core.linguafranca.tcp import TransportError
 from ..core.netdriver import NetDriver
 from ..core.services.logging import LoggingServer
 from ..core.services.persistent import (
@@ -224,7 +223,7 @@ class _Shipper:
             "driver": {
                 "send_errors": self.driver.send_errors,
                 "handler_errors": self.driver.handler_errors,
-                "reconnects": self.driver.client.reconnects,
+                "reconnects": self.driver.reconnects,
             },
         }
         if final:
@@ -235,15 +234,15 @@ class _Shipper:
     def _send(self, mtype: str, body: dict) -> None:
         if self._col is None:
             return
-        try:
-            self.driver.client.send(
-                self._col[0], self._col[1],
-                Message(mtype=mtype, sender=self.driver.contact, body=body),
-                timeout=2.0)
-            self.sent += 1
-        except (TransportError, OSError):
-            # The collector being away must never take a node down.
-            self.errors += 1
+        # Asynchronous fire-and-forget: the frame leaves on the driver's
+        # own reactor loop, so shipping never stalls the component. The
+        # collector being away must never take a node down — delivery
+        # failures land in driver.send_errors, not here.
+        self.driver.post(
+            f"{self._col[0]}:{self._col[1]}",
+            Message(mtype=mtype, sender=self.driver.contact, body=body),
+            timeout=2.0)
+        self.sent += 1
 
 
 def _bind_driver(component: Component, host: str, port: int,

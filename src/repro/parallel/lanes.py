@@ -63,6 +63,7 @@ class InlineLane:
         self.tracer = Tracer(enabled=False)
         self.tasks_run = 0
         self.fallbacks = 0
+        self.worker_busy_s: list[float] = []
         self._next_ticket = 0
         self._done: list[tuple] = []
 
@@ -126,6 +127,11 @@ class PoolLane:
     @property
     def fallbacks(self) -> int:
         return self.pool.fallbacks
+
+    @property
+    def worker_busy_s(self) -> list[float]:
+        """Per-worker kernel wall seconds, measured inside each worker."""
+        return list(self.pool.worker_busy_s)
 
     # -- submission/collection --------------------------------------------
     def submit(self, task) -> int:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import os
 from dataclasses import replace
 from multiprocessing import connection, get_context
+from time import perf_counter
 from typing import Optional
 
 from .kernels import EvalRound, Recount, StepBatch, StepBatchResult, run_task
@@ -117,13 +118,14 @@ def _worker_main(conn, arena: ShmArena) -> None:
         ticket, task, slot = msg
         if task == CRASH_TASK:
             os._exit(1)
+        t0 = perf_counter()
         try:
             task = _unpack_task(task, arena, slot)
             result = _pack_result(run_task(task, vectorized=True), arena, slot)
-            conn.send((ticket, True, result))
+            conn.send((ticket, True, result, perf_counter() - t0))
         except BaseException as exc:
             try:
-                conn.send((ticket, False, repr(exc)))
+                conn.send((ticket, False, repr(exc), perf_counter() - t0))
             except Exception:
                 break
     conn.close()
@@ -139,6 +141,12 @@ class KernelPool:
         self.workers = workers
         self.arena = ShmArena(arena_slots or 4 * workers + 4)
         self.fallbacks = 0
+        #: Cumulative wall seconds each worker spent executing kernels,
+        #: measured inside the worker and shipped back with each reply.
+        #: Inline-fallback time (run in the parent) is tracked apart in
+        #: ``fallback_busy_s`` so oversubscription shows up honestly.
+        self.worker_busy_s = [0.0] * workers
+        self.fallback_busy_s = 0.0
         self._next_ticket = 0
         self._conns: list = []
         self._procs: list = []
@@ -206,7 +214,10 @@ class KernelPool:
         if task == CRASH_TASK:
             self._done.append((ticket, None))
             return
-        self._done.append((ticket, run_task(task, vectorized=False)))
+        t0 = perf_counter()
+        result = run_task(task, vectorized=False)
+        self.fallback_busy_s += perf_counter() - t0
+        self._done.append((ticket, result))
 
     def _reap(self, wid: int) -> None:
         """A worker died: fall back every task it still held."""
@@ -245,10 +256,11 @@ class KernelPool:
         for conn in ready:
             wid = self._conns.index(conn)
             try:
-                ticket, ok, payload = conn.recv()
+                ticket, ok, payload, elapsed = conn.recv()
             except (EOFError, OSError):
                 self._reap(wid)
                 continue
+            self.worker_busy_s[wid] += elapsed
             task, slot = self._pending[wid].pop(ticket)
             if ok:
                 result = _unpack_result(payload, self.arena, slot)

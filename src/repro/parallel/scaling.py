@@ -84,6 +84,11 @@ def run_lane(
         "moves_per_s": moves / wall if wall > 0 else 0.0,
         "parity_hash": parity_hash(current),
         "fallbacks": getattr(lane, "fallbacks", 0),
+        # Per-worker kernel wall seconds (measured inside each worker
+        # process). Empty for the inline lane — the parent did the work.
+        "worker_wall_s": [
+            round(s, 6) for s in getattr(lane, "worker_busy_s", [])
+        ],
     }
 
 
@@ -107,6 +112,7 @@ def run_scaling(
     vectorization term is what remains.
     """
     base = initial_states(searches, k, n, candidates, seed)
+    host_cpus = os.cpu_count() or 1
     rows = []
     for workers in worker_counts:
         best: Optional[dict] = None
@@ -120,7 +126,14 @@ def run_scaling(
                 if best is not None and outcome["parity_hash"] != best["parity_hash"]:
                     raise AssertionError("parity hash changed between rounds")
                 best = outcome
-        rows.append({"workers": workers, **best})
+        row = {"workers": workers, **best}
+        if workers > host_cpus:
+            # Oversubscribed: workers time-slice the same cores, so the
+            # measured speedup understates what real cores would give.
+            row["warning"] = (
+                f"{workers} workers > {host_cpus} host cpus: "
+                f"oversubscribed, speedup is vectorization only")
+        rows.append(row)
     inline_rate = next(
         (r["moves_per_s"] for r in rows if r["workers"] == 0),
         rows[0]["moves_per_s"])
@@ -129,7 +142,7 @@ def run_scaling(
             row["moves_per_s"] / inline_rate if inline_rate else 0.0)
     return {
         "schema": "repro-parallel/1",
-        "host_cpus": os.cpu_count(),
+        "host_cpus": host_cpus,
         "config": {
             "searches": searches, "k": k, "n": n, "candidates": candidates,
             "steps_per_batch": steps_per_batch, "batches": batches,

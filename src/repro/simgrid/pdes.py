@@ -1,0 +1,138 @@
+"""Conservative parallel discrete-event simulation.
+
+The classic conservative PDES recipe (Chandy/Misra/Bryant) adapted to
+this engine's determinism contract:
+
+* **Partitions** — simulated hosts grouped by site
+  (:meth:`Network.site_partitions`). Intra-site traffic is fast and
+  chatty; inter-site traffic pays wide-area latency. That latency gap is
+  exactly what makes site boundaries the right partition boundaries.
+* **Lookahead** — the minimum inter-site link latency
+  (:meth:`Network.min_cross_site_latency`). Congestion and jitter only
+  *inflate* delays, so the static minimum is a hard lower bound: no
+  event executed inside a window of that width can be affected by a
+  cross-partition message sent within the same window.
+* **Windows and barriers** — the run advances in lookahead-sized windows
+  (:meth:`Environment.run_windowed`). Inside a window, per-partition
+  work that has been offloaded to the compute lane (the PR-4 kernel
+  pool: tabu step batches, candidate evaluation rounds) executes on
+  worker processes while the event loop advances; each window edge is a
+  synchronization barrier where outstanding completions are harvested
+  before any cross-window event can observe them.
+
+The parity contract is absolute and inherited from the compute plane:
+kernels are bit-identical between inline and pooled execution, simulated
+time is charged from exact op counts, and :meth:`Environment.run_windowed`
+is provably order-identical to a plain ``run`` — so a windowed parallel
+run produces byte-identical world snapshots, op meters, and parity
+hashes to the serial run, for every seed and worker count. Parallelism
+changes wall-clock time only, never outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .engine import Environment
+from .network import Network
+
+__all__ = ["PartitionPlan", "WindowedRunner", "plan_partitions"]
+
+#: Floor on the synchronization window: a pathologically small inter-site
+#: latency would make barrier overhead dominate (windows cost one heap
+#: sentinel + one barrier call each).
+MIN_WINDOW = 1e-6
+
+
+@dataclass
+class PartitionPlan:
+    """Static partitioning decision for one world."""
+
+    #: site name -> host names, in registration order.
+    partitions: dict[str, list[str]] = field(default_factory=dict)
+    #: Synchronization window width (simulated seconds).
+    lookahead: float = 0.0
+
+    @property
+    def n_partitions(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def n_hosts(self) -> int:
+        return sum(len(hosts) for hosts in self.partitions.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "partitions": {site: list(hosts)
+                           for site, hosts in self.partitions.items()},
+            "n_partitions": self.n_partitions,
+            "n_hosts": self.n_hosts,
+            "lookahead": self.lookahead,
+        }
+
+
+def plan_partitions(network: Network,
+                    window: Optional[float] = None) -> PartitionPlan:
+    """Partition a network's hosts by site and derive the lookahead.
+
+    ``window`` overrides the derived lookahead (it may only *shrink* it:
+    a larger window would let an inter-site message land inside the
+    window that sent it, voiding the conservative guarantee)."""
+    lookahead = network.min_cross_site_latency()
+    if window is not None:
+        lookahead = min(float(window), lookahead)
+    return PartitionPlan(
+        partitions=network.site_partitions(),
+        lookahead=max(lookahead, MIN_WINDOW),
+    )
+
+
+class WindowedRunner:
+    """Drives one world to its horizon in lookahead-sized windows.
+
+    ``lane`` is the compute lane whose in-flight work the barriers
+    reconcile; ``None`` (or an inline lane) degrades to pure windowed
+    serial execution — same results, same event order, only the barrier
+    cadence added.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        lane=None,
+        window: Optional[float] = None,
+    ) -> None:
+        self.env = env
+        self.lane = lane
+        self.plan = plan_partitions(network, window=window)
+        self.windows = 0
+        self.barriers = 0
+        self.harvested = 0
+
+    def _barrier(self, edge: float) -> None:
+        self.windows += 1
+        lane = self.lane
+        if lane is not None:
+            # Harvest every completion the window's offloaded kernels
+            # produced; anything still running belongs to a task whose
+            # requesting component is blocked on it and charges its sim
+            # time from op counts, so it cannot leak across the edge.
+            self.barriers += 1
+            self.harvested += len(lane.drain())
+
+    def run(self, until: float) -> dict:
+        """Run to ``until``; returns the run's synchronization stats."""
+        self.env.run_windowed(until, self.plan.lookahead, self._barrier)
+        return self.stats()
+
+    def stats(self) -> dict:
+        out = self.plan.to_dict()
+        out.update({
+            "windows": self.windows,
+            "barriers": self.barriers,
+            "harvested": self.harvested,
+            "workers": getattr(self.lane, "workers", 0) if self.lane else 0,
+        })
+        return out

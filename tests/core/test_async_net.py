@@ -1,0 +1,234 @@
+"""Async transport guarantees: zero-copy reads, Nagle-free sockets,
+send coalescing, and the benchmark harness.
+
+Covers the live-plane contracts the async rewrite introduced:
+
+* inbound payloads are parsed **in place** — every record's payload view
+  aliases the connection's stream buffer, no per-packet bytes objects;
+* frames survive arbitrary split points, including mid-header and
+  mid-trailer, across many reactor turns;
+* every socket in the new stack (accepted, client, async-sender) runs
+  with TCP_NODELAY, and small request/response exchanges don't hit
+  Nagle-vs-delayed-ACK stalls;
+* a burst of posts to one peer flushes as batched ``sendmsg`` calls,
+  not one syscall per frame.
+"""
+
+import socket
+import statistics
+import threading
+import time
+
+import pytest
+
+from repro.core.linguafranca.messages import Message
+from repro.core.linguafranca.tcp import (AsyncSender, EventLoop, TcpClient,
+                                         TcpServer)
+
+
+def _pump(server, condition, budget=5.0, step=0.02):
+    """Step the server's reactor until ``condition()`` or the budget is
+    spent (single-threaded: tests pump, the library never does)."""
+    deadline = time.monotonic() + budget
+    while not condition() and time.monotonic() < deadline:
+        server.step(step)
+    assert condition(), "condition not reached while pumping the reactor"
+
+
+# -- zero-copy reads ----------------------------------------------------------
+
+
+def test_payload_views_alias_the_stream_buffer():
+    seen = []
+
+    def raw(mtype, payload):
+        # Record the buffer object backing the view, and the content
+        # (copied only for the assertion, inside the view's lifetime).
+        seen.append((mtype, payload.obj, bytes(payload)))
+        return b""
+
+    server = TcpServer("127.0.0.1", 0, lambda m: None, raw_handler=raw)
+    try:
+        with socket.create_connection(server.address) as sock:
+            for i in range(3):
+                sock.sendall(Message(mtype="EVNT", sender="t",
+                                     body={"i": i}).encode())
+            _pump(server, lambda: len(seen) == 3)
+        (conn,) = server._conns
+        buffers = {id(obj) for _mtype, obj, _data in seen}
+        # One connection, one stream buffer: every payload view aliased
+        # the decoder's bytearray in place — no per-packet copies.
+        assert buffers == {id(conn.decoder._buf)}
+        for i, (mtype, obj, data) in enumerate(seen):
+            assert mtype == "EVNT"
+            assert isinstance(obj, bytearray)
+            assert b'"i": %d' % i in data or b'"i":%d' % i in data
+    finally:
+        server.close()
+
+
+def test_partial_reads_survive_frame_boundaries():
+    got = []
+    server = TcpServer("127.0.0.1", 0,
+                       lambda m: got.append(m.body["n"]) or None)
+    try:
+        frames = b"".join(Message(mtype="PUSH", sender="t",
+                                  body={"n": n}).encode()
+                          for n in range(3))
+        with socket.create_connection(server.address) as sock:
+            # Dribble the stream in 7-byte slivers: splits land inside
+            # headers, payloads, and crc trailers, across reactor turns.
+            for off in range(0, len(frames), 7):
+                sock.sendall(frames[off:off + 7])
+                server.step(0.01)
+            _pump(server, lambda: len(got) == 3)
+        assert got == [0, 1, 2]
+        assert server.decode_errors == 0
+    finally:
+        server.close()
+
+
+# -- TCP_NODELAY everywhere (no Nagle stalls) ---------------------------------
+
+
+def _nodelay_on(sock) -> bool:
+    return bool(sock.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY))
+
+
+def test_nodelay_set_on_all_new_stack_sockets():
+    server = TcpServer("127.0.0.1", 0,
+                       lambda m: m.reply("PONG", sender=""))
+    client = TcpClient(sender="t")
+    loop = EventLoop()
+    sender = AsyncSender(loop, sender="t")
+    try:
+        host, port = server.address
+        client.send(host, port, Message(mtype="PUSH", sender="", body={}))
+        _pump(server, lambda: server.messages_handled == 1)
+        # Accepted server sockets and the client's cached socket.
+        (conn,) = server._conns
+        assert _nodelay_on(conn.sock)
+        assert _nodelay_on(client._conns[(host, port)])
+        # The async sender's peer socket.
+        sender.post(host, port, Message(mtype="PUSH", sender="", body={}))
+        peer = sender._peers[(host, port)]
+        assert peer.sock is not None and _nodelay_on(peer.sock)
+    finally:
+        sender.close()
+        loop.close()
+        client.close()
+        server.close()
+
+
+def test_client_reconnect_path_keeps_nodelay():
+    server = TcpServer("127.0.0.1", 0, lambda m: None)
+    client = TcpClient(sender="t")
+    try:
+        host, port = server.address
+        client.send(host, port, Message(mtype="PUSH", sender="", body={}))
+        _pump(server, lambda: server.messages_handled == 1)
+        # Kill the server side of the cached connection; the next send
+        # reconnects transparently — the fresh socket must also be
+        # Nagle-free.
+        (conn,) = server._conns
+        server._drop(conn)
+        server.step(0.02)
+        client.send(host, port, Message(mtype="PUSH", sender="", body={}))
+        assert client.reconnects == 1
+        assert _nodelay_on(client._conns[(host, port)])
+    finally:
+        client.close()
+        server.close()
+
+
+def test_request_response_has_no_nagle_stalls():
+    # Nagle vs delayed-ACK adds ~40ms per small exchange; with NODELAY a
+    # loopback exchange is sub-millisecond. Use the median of many
+    # exchanges so one scheduler hiccup can't fail the test, with a
+    # bound an order of magnitude under the stall and an order over the
+    # honest cost.
+    server = TcpServer("127.0.0.1", 0,
+                       lambda m: m.reply("PONG", sender=""))
+    client = TcpClient(sender="t")
+    laps = []
+    stop = threading.Event()
+
+    def pump():  # test harness only: the library stays single-threaded
+        while not stop.is_set():
+            server.step(0.005)
+
+    pumper = threading.Thread(target=pump, daemon=True)
+    pumper.start()
+    try:
+        host, port = server.address
+        for _ in range(30):
+            t0 = time.monotonic()
+            reply = client.request(host, port,
+                                   Message(mtype="PING", sender="", body={}),
+                                   timeout=5.0)
+            laps.append(time.monotonic() - t0)
+            assert reply is not None and reply.mtype == "PONG"
+    finally:
+        stop.set()
+        pumper.join(timeout=2)
+        client.close()
+        server.close()
+    assert statistics.median(laps) < 0.02, f"median {statistics.median(laps)}"
+
+
+# -- send coalescing ----------------------------------------------------------
+
+
+def test_burst_of_posts_flushes_batched():
+    got = []
+    loop = EventLoop()
+    server = TcpServer("127.0.0.1", 0,
+                       lambda m: got.append(m.body["n"]) or None, loop=loop)
+    sender = AsyncSender(loop, sender="t")
+    try:
+        host, port = server.address
+        for n in range(50):
+            sender.post(host, port,
+                        Message(mtype="PUSH", sender="", body={"n": n}))
+        _pump(server, lambda: len(got) == 50)
+        assert got == list(range(50))
+        assert sender.sent == 50
+        # Coalescing contract: the burst went out in batched sendmsg
+        # calls, nowhere near one syscall per frame.
+        assert sender.flush_batches <= 4
+    finally:
+        sender.close()
+        server.close()
+
+
+# -- benchmark harness --------------------------------------------------------
+
+
+def test_netbench_echo_cell_runs():
+    from repro.core.netbench import bench_mode
+
+    row = bench_mode("async-reactor", 8, duration=0.4, warmup=0.1,
+                     pipeline=2, payload=0)
+    assert row["mode"] == "async-reactor"
+    assert row["msgs"] > 0
+    assert row["msgs_per_s"] > 0
+    assert row["p99_ms"] >= row["p50_ms"] >= 0
+
+
+def test_netbench_fanout_cell_runs():
+    from repro.core.netbench import run_fanout
+
+    row = run_fanout("async-send", peers=8, duration=0.4, warmup=0.1,
+                     payload=0, burst=4, window=256)
+    assert row["bench"] == "fanout"
+    assert row["msgs"] > 0
+    assert row["sent"] >= row["msgs"]
+
+
+def test_netbench_rejects_unknown_modes():
+    from repro.core.netbench import run_fanout, spawn_echo_server
+
+    with pytest.raises(ValueError):
+        spawn_echo_server("carrier-pigeon")
+    with pytest.raises(ValueError):
+        run_fanout("carrier-pigeon")

@@ -1,0 +1,169 @@
+"""Conservative parallel DES: windowing, partitions, and parity.
+
+The windowed runner's whole claim is that synchronization windows change
+wall-clock behavior and nothing else: event order, RNG draws, world
+metrics, and search outcomes must be byte-identical to a plain serial
+run. These tests check the mechanism (run_windowed vs run), the
+partition planning (sites + lookahead), and the end-to-end contract on
+the SC98 world across seeds and worker counts.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.export import headlines_json
+from repro.experiments.sc98 import SC98Config, SC98World
+from repro.simgrid.engine import Environment, SimulationError
+from repro.simgrid.host import Host, HostSpec
+from repro.simgrid.load import ConstantLoad
+from repro.simgrid.network import Network
+from repro.simgrid.pdes import MIN_WINDOW, WindowedRunner, plan_partitions
+from repro.simgrid.rand import RngStreams
+
+
+# -- run_windowed is order-identical to run ----------------------------------
+
+
+def _ticker_series(windowed: bool, window: float = 0.7) -> list[tuple]:
+    env = Environment()
+    seen: list[tuple] = []
+
+    def ticker(env, name, period):
+        for _ in range(40):
+            yield env.timeout(period)
+            seen.append((name, env.now))
+
+    for i in range(5):
+        env.process(ticker(env, f"t{i}", 0.9 + 0.13 * i))
+    if windowed:
+        env.run_windowed(30.0, window)
+    else:
+        env.run(until=30.0)
+    assert env.now == 30.0
+    return seen
+
+
+def test_run_windowed_is_byte_identical_to_run():
+    plain = _ticker_series(windowed=False)
+    assert plain  # the workload actually produced events
+    for window in (0.05, 0.7, 1.0, 29.0, 100.0):
+        assert _ticker_series(windowed=True, window=window) == plain
+
+
+def test_run_windowed_events_at_edges_keep_order():
+    # Events landing exactly on a window edge must be processed at the
+    # start of the next window in FIFO order — the deadline sentinel
+    # sorts before them, never between them.
+    def series(windowed: bool) -> list[str]:
+        env = Environment()
+        out: list[str] = []
+        for name in ("a", "b", "c"):
+            t = env.timeout(1.0)  # exactly on the edge for window=0.5
+            t.callbacks.append(lambda _ev, n=name: out.append(n))
+        if windowed:
+            env.run_windowed(2.0, 0.5)
+        else:
+            env.run(until=2.0)
+        return out
+
+    assert series(True) == series(False) == ["a", "b", "c"]
+
+
+def test_run_windowed_invokes_barrier_per_window():
+    env = Environment()
+    edges: list[float] = []
+    env.run_windowed(1.0, 0.25, barrier=edges.append)
+    assert edges == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+
+def test_run_windowed_rejects_bad_arguments():
+    env = Environment()
+    env.run_windowed(1.0, 0.5)
+    with pytest.raises(SimulationError):
+        env.run_windowed(0.5, 0.5)  # until in the past
+    with pytest.raises(SimulationError):
+        env.run_windowed(2.0, 0.0)  # non-positive window
+
+
+# -- partition planning -------------------------------------------------------
+
+
+def _net_with_sites() -> Network:
+    env = Environment()
+    streams = RngStreams(seed=1)
+    net = Network(env, streams, base_latency=0.05)
+    for name, site in (("h0", "east"), ("h1", "east"),
+                       ("h2", "west"), ("h3", "south")):
+        net.add_host(Host(env, HostSpec(name=name, site=site, speed=1e6,
+                                        load_model=ConstantLoad(1.0)),
+                          streams))
+    return net
+
+
+def test_site_partitions_group_hosts_by_site():
+    net = _net_with_sites()
+    assert net.site_partitions() == {
+        "east": ["h0", "h1"], "west": ["h2"], "south": ["h3"]}
+
+
+def test_lookahead_is_min_cross_site_latency():
+    net = _net_with_sites()
+    assert net.min_cross_site_latency() == pytest.approx(0.05)
+    net.set_site_latency("east", "west", 0.02)
+    net.set_site_latency("east", "east", 0.001)  # intra-site: ignored
+    assert net.min_cross_site_latency() == pytest.approx(0.02)
+    plan = plan_partitions(net)
+    assert plan.lookahead == pytest.approx(0.02)
+    assert plan.n_partitions == 3
+    assert plan.n_hosts == 4
+
+
+def test_window_override_can_only_shrink_lookahead():
+    net = _net_with_sites()
+    assert plan_partitions(net, window=0.01).lookahead == pytest.approx(0.01)
+    # A larger window would void the conservative guarantee: clamped.
+    assert plan_partitions(net, window=10.0).lookahead == pytest.approx(0.05)
+    assert plan_partitions(net, window=0.0).lookahead == MIN_WINDOW
+
+
+# -- end-to-end parity on the SC98 world -------------------------------------
+
+
+def _cfg(seed: int, pool: int, parallel_des: bool) -> SC98Config:
+    return SC98Config(scale=0.08, duration=600.0, seed=seed, k=18, n=4,
+                      engine="real", compute_pool=pool,
+                      max_steps_per_advance=200,
+                      parallel_des=parallel_des)
+
+
+def _run(seed: int, pool: int, parallel_des: bool) -> tuple[str, str]:
+    world = SC98World(_cfg(seed, pool, parallel_des))
+    results = world.run()
+    metrics = json.dumps(world.telemetry.metrics.snapshot(), sort_keys=True)
+    if parallel_des:
+        assert world.pdes_stats is not None
+        assert world.pdes_stats["windows"] > 0
+        assert world.pdes_stats["n_partitions"] >= 2
+    return headlines_json(results), metrics
+
+
+@pytest.mark.parametrize("seed", [4, 11])
+@pytest.mark.parametrize("pool", [0, 2])
+def test_parallel_des_byte_identical_to_serial(seed, pool):
+    # The acceptance matrix: two seeds x two worker counts, windowed
+    # parallel vs plain serial — headline results AND the per-mtype
+    # message counters (a wire-traffic fingerprint) must match exactly.
+    serial = _run(seed, pool=0, parallel_des=False)
+    windowed = _run(seed, pool=pool, parallel_des=True)
+    assert windowed == serial
+
+
+def test_windowed_runner_reports_stats():
+    net = _net_with_sites()
+    runner = WindowedRunner(net.env, net)
+    stats = runner.run(until=0.5)
+    assert stats["windows"] == runner.windows > 0
+    assert stats["lookahead"] == pytest.approx(0.05)
+    assert stats["workers"] == 0
+    assert stats["barriers"] == 0  # no lane attached
