@@ -1,0 +1,66 @@
+"""``repro.api.control`` — the workload-management control plane.
+
+The HTTP/JSON job gateway (ROADMAP item 2): a durable
+:class:`WorkQueue` behind diracx-style job routes, served on the live
+reactor by :class:`HttpServer` + :class:`GatewayCore` and mirrored
+deterministically under simulated time by :func:`run_sim_serve`.
+:func:`run_serve` stands up the whole control-plane world as real
+processes and storms it with :class:`GatewayStorm`.
+"""
+
+from __future__ import annotations
+
+from ..control import (
+    FileJournal,
+    GatewayClient,
+    GatewayComponent,
+    GatewayCore,
+    GatewayStorm,
+    HttpDecoder,
+    HttpError,
+    HttpRequest,
+    HttpResponseDecoder,
+    HttpServer,
+    JOB_STATES,
+    Job,
+    MemoryJournal,
+    ServeConfig,
+    ServeReport,
+    SimJobUser,
+    SimJobWorker,
+    StormStats,
+    WorkQueue,
+    error_response,
+    json_response,
+    run_serve,
+    run_sim_serve,
+)
+from ..control.serve import check_serve_invariants, ramsey_job_spec
+
+__all__ = [
+    "FileJournal",
+    "GatewayClient",
+    "GatewayComponent",
+    "GatewayCore",
+    "GatewayStorm",
+    "HttpDecoder",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponseDecoder",
+    "HttpServer",
+    "JOB_STATES",
+    "Job",
+    "MemoryJournal",
+    "ServeConfig",
+    "ServeReport",
+    "SimJobUser",
+    "SimJobWorker",
+    "StormStats",
+    "WorkQueue",
+    "check_serve_invariants",
+    "error_response",
+    "json_response",
+    "ramsey_job_spec",
+    "run_serve",
+    "run_sim_serve",
+]

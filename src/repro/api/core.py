@@ -1,0 +1,137 @@
+"""``repro.api.core`` — the plane-agnostic programming model.
+
+Everything here runs identically under simulated and wall-clock time:
+the sans-IO :class:`Component` contract and its effects, the
+retry/time-out policies drivers execute, the observability plane
+(metrics registry + causal tracer + profiler + exporters), the NWS
+forecasting machinery, the lingua-franca :class:`Message`, the
+EveryWare services (gossip, scheduler, persistent state, logging, task
+farm), and the Ramsey application components. No sockets, no simulated
+grid — those live in :mod:`repro.api.net` and :mod:`repro.api.sim`.
+"""
+
+from __future__ import annotations
+
+# -- components and effects ------------------------------------------------
+from ..core.component import (
+    CancelTimer,
+    Component,
+    Effect,
+    LogLine,
+    NullRuntime,
+    Send,
+    SetTimer,
+    Stop,
+)
+
+# -- retry / timeout policies ----------------------------------------------
+from ..core.policy import RetryPolicy, TimeoutPolicy
+
+# -- observability ----------------------------------------------------------
+from ..core.telemetry import (
+    MetricsRegistry,
+    Span,
+    Telemetry,
+    TraceContext,
+    Tracer,
+    export_chrome_trace,
+    render_timeline,
+    write_metrics_json,
+    write_trace_json,
+)
+from ..simgrid.profile import EngineProfiler
+
+# -- the lingua franca wire format -----------------------------------------
+from ..core.linguafranca import Message
+
+# -- dynamic benchmarking / forecasting (§2.2) ------------------------------
+from ..core.forecasting import (
+    ForecastRegistry,
+    ForecasterBank,
+    default_bank,
+    event_tag,
+)
+
+# -- gossip and services ---------------------------------------------------
+from ..core.gossip import (
+    ComparatorRegistry,
+    GossipAgent,
+    GossipServer,
+    StateStore,
+)
+from ..core.services import (
+    LoggingServer,
+    PersistentStateServer,
+    QueueWorkSource,
+    SchedulerServer,
+)
+from ..core.services.framework import TaskFarmMaster, TaskFarmWorker
+
+# -- application: Ramsey search --------------------------------------------
+from ..ramsey import (
+    RAMSEY_BEST,
+    Coloring,
+    ModelEngine,
+    RamseyClient,
+    RealEngine,
+    TabuSearch,
+    is_counter_example,
+    ramsey_comparator,
+    unit_generator,
+)
+from ..ramsey.verify import counter_example_validator
+
+__all__ = [
+    # components and effects
+    "CancelTimer",
+    "Component",
+    "Effect",
+    "LogLine",
+    "NullRuntime",
+    "Send",
+    "SetTimer",
+    "Stop",
+    # policies
+    "RetryPolicy",
+    "TimeoutPolicy",
+    # observability
+    "MetricsRegistry",
+    "Span",
+    "Telemetry",
+    "TraceContext",
+    "Tracer",
+    "export_chrome_trace",
+    "render_timeline",
+    "write_metrics_json",
+    "write_trace_json",
+    "EngineProfiler",
+    # lingua franca
+    "Message",
+    # forecasting
+    "ForecastRegistry",
+    "ForecasterBank",
+    "default_bank",
+    "event_tag",
+    # gossip and services
+    "ComparatorRegistry",
+    "GossipAgent",
+    "GossipServer",
+    "StateStore",
+    "LoggingServer",
+    "PersistentStateServer",
+    "QueueWorkSource",
+    "SchedulerServer",
+    "TaskFarmMaster",
+    "TaskFarmWorker",
+    # Ramsey application
+    "RAMSEY_BEST",
+    "Coloring",
+    "ModelEngine",
+    "RamseyClient",
+    "RealEngine",
+    "TabuSearch",
+    "is_counter_example",
+    "ramsey_comparator",
+    "unit_generator",
+    "counter_example_validator",
+]

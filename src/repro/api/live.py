@@ -1,0 +1,40 @@
+"""``repro.api.live`` — the deployment plane: worlds as real OS processes.
+
+Declarative :class:`Topology` specs become supervised localhost worlds:
+:func:`build_manifest` preallocates every node's contact,
+:class:`Supervisor` spawns and restarts ``repro live-node`` processes,
+:class:`Collector` merges their shipped telemetry, and :func:`run_live`
+runs the whole experiment and returns a :class:`LiveReport`.
+"""
+
+from __future__ import annotations
+
+from ..live import (
+    Collector,
+    LiveReport,
+    Manifest,
+    NodeSpec,
+    RestartPolicy,
+    Supervisor,
+    Topology,
+    build_manifest,
+    check_invariants,
+    run_live,
+    sc98_topology,
+    serve_topology,
+)
+
+__all__ = [
+    "Collector",
+    "LiveReport",
+    "Manifest",
+    "NodeSpec",
+    "RestartPolicy",
+    "Supervisor",
+    "Topology",
+    "build_manifest",
+    "check_invariants",
+    "run_live",
+    "sc98_topology",
+    "serve_topology",
+]

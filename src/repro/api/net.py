@@ -1,0 +1,27 @@
+"""``repro.api.net`` — real sockets: the reactor and the wall-clock driver.
+
+The selector :class:`EventLoop`, the lingua-franca TCP endpoints
+(:class:`TcpServer`, :class:`TcpClient`, :class:`AsyncSender`), the
+:class:`NetDriver` that runs :mod:`repro.api.core` components on a real
+port, and the transport benchmark (``repro bench --net``).
+"""
+
+from __future__ import annotations
+
+from ..core.netdriver import NetDriver
+from ..core.linguafranca import (
+    AsyncSender,
+    EventLoop,
+    TcpClient,
+    TcpServer,
+)
+from ..core.netbench import run_netbench
+
+__all__ = [
+    "NetDriver",
+    "AsyncSender",
+    "EventLoop",
+    "TcpClient",
+    "TcpServer",
+    "run_netbench",
+]

@@ -1,0 +1,131 @@
+"""``repro.api.sim`` — the simulated grid and its experiment worlds.
+
+:class:`SimDriver` runs :mod:`repro.api.core` components under
+simulated time on the simgrid fabric (:class:`Environment`,
+:class:`Host`, :class:`Network`, load models, fault injectors), the
+compute plane offloads their heuristic kernels to worker pools with
+bit-identical results, and the prebuilt experiment harnesses
+(:func:`build_sc98`, :func:`run_chaos`, :func:`run_observe`) assemble
+whole deterministic worlds.
+"""
+
+from __future__ import annotations
+
+# -- the simulated-time driver ---------------------------------------------
+from ..core.simdriver import SimDriver
+
+# -- simulated grid --------------------------------------------------------
+from ..simgrid import Environment
+from ..simgrid.host import Host, HostSpec
+from ..simgrid.load import ConstantLoad, MeanRevertingLoad
+from ..simgrid.network import Address, AddressError, Network
+from ..simgrid.rand import RngStreams
+from ..simgrid.faults import (
+    FaultPlan,
+    FaultStats,
+    HostCrash,
+    InfraOutage,
+    MessageChaos,
+    SitePartition,
+)
+
+# -- compute plane ----------------------------------------------------------
+from ..parallel import (
+    ComputeLane,
+    EvalRound,
+    EvalResult,
+    InlineLane,
+    PoolLane,
+    Recount,
+    RecountResult,
+    StepBatch,
+    StepBatchResult,
+    make_lane,
+    run_task,
+)
+from ..parallel.scaling import run_scaling
+
+# -- scenarios and experiment harnesses ------------------------------------
+from ..apps.runner import run_farm
+from ..experiments.scenario import ServiceCore, build_core, model_client_factory
+from ..experiments.sc98 import SC98Config, SC98Results, SC98World, build_sc98
+from ..experiments.report import (
+    render_fig2,
+    render_fig3a,
+    render_fig3b,
+    render_grid_criteria,
+    render_headlines,
+)
+from ..experiments.chaos import (
+    PROFILES,
+    ChaosConfig,
+    ChaosReport,
+    build_plan,
+    run_chaos,
+    run_chaos_matrix,
+)
+from ..experiments.observe import (
+    ObserveConfig,
+    ObserveWorld,
+    requeue_chains,
+    run_observe,
+)
+
+__all__ = [
+    # driver
+    "SimDriver",
+    # simulated grid
+    "Environment",
+    "Host",
+    "HostSpec",
+    "ConstantLoad",
+    "MeanRevertingLoad",
+    "Address",
+    "AddressError",
+    "Network",
+    "RngStreams",
+    # fault injection
+    "FaultPlan",
+    "FaultStats",
+    "HostCrash",
+    "InfraOutage",
+    "MessageChaos",
+    "SitePartition",
+    # compute plane
+    "ComputeLane",
+    "EvalRound",
+    "EvalResult",
+    "InlineLane",
+    "PoolLane",
+    "Recount",
+    "RecountResult",
+    "StepBatch",
+    "StepBatchResult",
+    "make_lane",
+    "run_scaling",
+    "run_task",
+    # scenarios
+    "run_farm",
+    "ServiceCore",
+    "build_core",
+    "model_client_factory",
+    "SC98Config",
+    "SC98Results",
+    "SC98World",
+    "build_sc98",
+    "render_fig2",
+    "render_fig3a",
+    "render_fig3b",
+    "render_grid_criteria",
+    "render_headlines",
+    "PROFILES",
+    "ChaosConfig",
+    "ChaosReport",
+    "build_plan",
+    "run_chaos",
+    "run_chaos_matrix",
+    "ObserveConfig",
+    "ObserveWorld",
+    "requeue_chains",
+    "run_observe",
+]

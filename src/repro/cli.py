@@ -10,9 +10,16 @@ Commands
 ``trace``   run a scenario with causal tracing on; export Chrome trace
 ``metrics`` run a scenario and print/export its metrics snapshot
 ``live``    run the world as real OS processes on localhost
+``serve``   stand up the HTTP/JSON job gateway and storm it with
+            synthetic users (``--simulate`` for the deterministic twin)
 ``info``    print version and system inventory
 
 (``live-node`` is internal: the supervisor spawns one per world node.)
+
+Every experiment-shaped command (``sc98``, ``bench``, ``trace``,
+``metrics``, ``live``, ``serve``) shares one flag vocabulary —
+``--seed``, ``--duration``, ``--out`` — declared once in
+:func:`_common_parent` so defaults and help text cannot drift apart.
 """
 
 from __future__ import annotations
@@ -23,6 +30,27 @@ import time
 from typing import Optional, Sequence
 
 __all__ = ["main"]
+
+
+def _common_parent(
+    *,
+    seed: int,
+    duration: Optional[float] = None,
+    duration_help: Optional[str] = None,
+    out_help: str = "directory for JSON exports",
+) -> argparse.ArgumentParser:
+    """One parent parser per experiment command carrying the shared
+    ``--seed`` / ``--duration`` / ``--out`` flags (``duration=None``
+    omits ``--duration`` for commands without a time axis)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--seed", type=int, default=seed,
+                        help=f"deterministic run seed (default {seed})")
+    if duration is not None:
+        parent.add_argument("--duration", type=float, default=duration,
+                            help=duration_help or
+                            f"seconds to run (default {duration:g})")
+    parent.add_argument("--out", type=str, default=None, help=out_help)
+    return parent
 
 
 def _cmd_sc98(args: argparse.Namespace) -> int:
@@ -238,10 +266,6 @@ def _observed_arguments(p: argparse.ArgumentParser) -> None:
                    default="observe")
     p.add_argument("--chaos-profile", default="crash-heavy",
                    help="fault profile when --scenario chaos")
-    p.add_argument("--seed", type=int, default=7)
-    p.add_argument("--duration", type=float, default=420.0)
-    p.add_argument("--out", type=str, default=None,
-                   help="directory for trace/metrics JSON exports")
     p.add_argument("--profile-engine", action="store_true",
                    help="profile the event loop and handler latencies")
 
@@ -339,6 +363,69 @@ def _cmd_live(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    kill_at = args.kill_at if args.kill_at and args.kill_at > 0 else None
+    if args.simulate:
+        from .control import run_sim_serve
+
+        print(f"simulated twin: {args.storm} job users, {args.clients} "
+              f"workers, {args.duration:.0f}s simulated"
+              + (f" (gateway restart at t={kill_at:.1f}s)" if kill_at else "")
+              + " ...")
+        report = run_sim_serve(
+            seed=args.seed, users=args.storm, workers=args.clients,
+            duration=args.duration, restart_after=kill_at)
+        gw = report["gateway"]
+        print(f"requests: {gw['requests']}, accepted: "
+              f"{report['accepted_total']}, lost: "
+              f"{len(report['jobs_lost'])}, restarts: {gw['restarts']} "
+              f"(requeued {gw['requeued_on_restart']})")
+        for violation in report["violations"]:
+            print(f"VIOLATION: {violation}")
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, "serve_sim.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote: {path}")
+        return 0 if not report["violations"] else 1
+
+    from .control import ServeConfig, run_serve
+
+    config = ServeConfig(
+        clients=args.clients, gateways=args.gateways,
+        storm_clients=args.storm, duration=args.duration,
+        kill_at=kill_at, churn_every=args.churn_every, seed=args.seed,
+        k=args.k, n=args.n)
+    print(f"standing up {args.gateways} gateway(s) + {args.clients} "
+          f"client(s) and storming with {args.storm} HTTP users for "
+          f"{args.duration:.0f}s wall"
+          + (f" (chaos: kill gateway at t={kill_at:.1f}s)" if kill_at else "")
+          + " ...")
+    report = run_serve(config, out=args.out,
+                       progress=lambda text: print(f"  {text}"))
+    storm = report.storm
+    print(f"\nstorm: {storm['submitted']} submitted, {storm['queried']} "
+          f"queried, {storm['cancelled']} cancelled, "
+          f"{storm['rejected']} rejected, {storm['errors']} errors")
+    states = ", ".join(f"{state}={count}" for state, count
+                       in sorted(report.job_states.items()))
+    print(f"jobs: {report.accepted} accepted, "
+          f"{len(report.jobs_lost)} lost ({states or 'no states'})")
+    for violation in report.violations:
+        print(f"VIOLATION: {violation}")
+    if not report.violations:
+        print("invariants: OK (no accepted job lost)")
+    if report.artifacts:
+        print("wrote: " + ", ".join(
+            report.artifacts[k] for k in sorted(report.artifacts)))
+    return 0 if report.ok else 1
+
+
 def _cmd_live_node(args: argparse.Namespace) -> int:
     from .live import run_node
 
@@ -349,6 +436,13 @@ def _cmd_live_node(args: argparse.Namespace) -> int:
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
 
+    if getattr(args, "api", False):
+        import json
+
+        from . import api
+
+        print(json.dumps(api.surface(), indent=1, sort_keys=True))
+        return 0
     print(f"repro {repro.__version__} — EveryWare (SC'99) reproduction")
     print(__doc__)
     inventory = [
@@ -362,6 +456,7 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.apps", "PET reconstruction + G-Net data mining"),
         ("repro.experiments", "SC98 scenario + figure regeneration"),
         ("repro.live", "live deployment plane: real processes on localhost"),
+        ("repro.control", "workload control plane: HTTP/JSON job gateway"),
     ]
     for module, blurb in inventory:
         print(f"  {module:<28} {blurb}")
@@ -369,9 +464,11 @@ def _cmd_info(args: argparse.Namespace) -> int:
 
     print("\nlive-plane entrypoints:")
     print(f"  {'repro live':<28} stand up, supervise, and report a world")
+    print(f"  {'repro serve':<28} gateway world + synthetic HTTP storm")
     print(f"  {'repro live-node':<28} one node process "
           "(spawned by the supervisor)")
     print("  node roles: " + ", ".join(ROLES))
+    print("\napi surface: repro info --api (layered; see repro.api)")
     return 0
 
 
@@ -379,11 +476,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("sc98", help="run the SC98 scenario")
+    p = sub.add_parser(
+        "sc98", help="run the SC98 scenario",
+        parents=[_common_parent(
+            seed=1998, duration=12 * 3600.0,
+            duration_help="simulated seconds (default: the paper's 12 h)",
+            out_help="directory for CSV/JSON exports")])
     p.add_argument("--scale", type=float, default=0.25)
-    p.add_argument("--seed", type=int, default=1998)
-    p.add_argument("--duration", type=float, default=12 * 3600.0,
-                   help="simulated seconds (default: the paper's 12 h)")
     p.add_argument("--k", type=int, default=43,
                    help="Ramsey search target K_k (default 43, the R(5,5) run)")
     p.add_argument("--n", type=int, default=5,
@@ -399,13 +498,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "(byte-identical outcomes to the serial run)")
     p.add_argument("--max-steps-per-advance", type=int, default=2000,
                    help="real-engine step cap per advance (smoke runs)")
-    p.add_argument("--out", type=str, default=None,
-                   help="directory for CSV/JSON exports")
     p.add_argument("--figures", action="store_true",
                    help="print the full figure tables")
     p.set_defaults(func=_cmd_sc98)
 
-    p = sub.add_parser("bench", help="run micro/scaling benchmarks")
+    p = sub.add_parser(
+        "bench", help="run micro/scaling benchmarks",
+        parents=[_common_parent(
+            seed=0, out_help="write the benchmark report JSON here")])
     p.add_argument("--parallel", action="store_true",
                    help="run the compute-plane scaling benchmark")
     p.add_argument("--net", action="store_true",
@@ -425,9 +525,6 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batches", type=int, default=4)
     p.add_argument("--rounds", type=int, default=2,
                    help="best-of rounds per worker count")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--out", type=str, default=None,
-                   help="write the scaling report JSON here")
     p.set_defaults(func=_cmd_bench)
 
     p = sub.add_parser("ramsey", help="run a local counter-example search")
@@ -445,40 +542,72 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=4)
     p.set_defaults(func=_cmd_pet)
 
-    p = sub.add_parser("trace", help="run a traced scenario; export Chrome trace")
+    observed_parent = dict(
+        seed=7, duration=420.0,
+        duration_help="simulated seconds (default 420)",
+        out_help="directory for trace/metrics JSON exports")
+    p = sub.add_parser("trace", help="run a traced scenario; export Chrome trace",
+                       parents=[_common_parent(**observed_parent)])
     _observed_arguments(p)
     p.add_argument("--timeline", type=int, nargs="?", const=200, default=0,
                    help="print a text timeline (optionally: max lines)")
     p.set_defaults(func=_cmd_trace)
 
-    p = sub.add_parser("metrics", help="run a scenario; print metrics snapshot")
+    p = sub.add_parser("metrics", help="run a scenario; print metrics snapshot",
+                       parents=[_common_parent(**observed_parent)])
     _observed_arguments(p)
     p.set_defaults(func=_cmd_metrics)
 
-    p = sub.add_parser("live",
-                       help="run the world as real processes on localhost")
+    p = sub.add_parser(
+        "live", help="run the world as real processes on localhost",
+        parents=[_common_parent(
+            seed=0, duration=12.0,
+            duration_help="wall seconds to run the world",
+            out_help="directory for manifest, node logs, merged "
+                     "report/metrics/trace JSON")])
     p.add_argument("--clients", type=int, default=4)
     p.add_argument("--gossips", type=int, default=2)
     p.add_argument("--schedulers", type=int, default=1)
     p.add_argument("--persistents", type=int, default=1)
     p.add_argument("--loggers", type=int, default=1)
-    p.add_argument("--duration", type=float, default=12.0,
-                   help="wall seconds to run the world")
     p.add_argument("--k", type=int, default=8,
                    help="Ramsey target K_k (small: live runs measure the "
                         "deployment plane, not the search)")
     p.add_argument("--n", type=int, default=4)
     p.add_argument("--speed", type=float, default=300_000.0,
                    help="per-client compute budget, ops per wall second")
-    p.add_argument("--seed", type=int, default=0)
     p.add_argument("--kill-at", type=float, default=0.0, metavar="T",
                    help="chaos: SIGKILL a node T seconds in (0 = off)")
     p.add_argument("--kill-node", type=str, default=None,
                    help="which node --kill-at kills (default: first client)")
-    p.add_argument("--out", type=str, default=None,
-                   help="directory for manifest, node logs, merged "
-                        "report/metrics/trace JSON")
     p.set_defaults(func=_cmd_live)
+
+    p = sub.add_parser(
+        "serve", help="stand up the HTTP job gateway and storm it",
+        parents=[_common_parent(
+            seed=0, duration=10.0,
+            duration_help="wall seconds of storm (simulated seconds "
+                          "with --simulate)",
+            out_help="directory for manifest, node logs, and the serve "
+                     "report JSON")])
+    p.add_argument("--clients", type=int, default=2,
+                   help="Ramsey client nodes executing submitted jobs")
+    p.add_argument("--gateways", type=int, default=1)
+    p.add_argument("--storm", type=int, default=50, metavar="N",
+                   help="concurrent synthetic HTTP users")
+    p.add_argument("--churn-every", type=int, default=0, metavar="K",
+                   help="storm connections reconnect after K responses "
+                        "(0 = keep-alive throughout)")
+    p.add_argument("--kill-at", type=float, default=0.0, metavar="T",
+                   help="chaos: SIGKILL the gateway T seconds in (0 = off); "
+                        "with --simulate, a deterministic in-sim restart")
+    p.add_argument("--k", type=int, default=8,
+                   help="Ramsey target K_k for submitted job specs")
+    p.add_argument("--n", type=int, default=4)
+    p.add_argument("--simulate", action="store_true",
+                   help="run the deterministic simulated twin instead of "
+                        "real processes")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("live-node",
                        help="internal: run one live node (supervisor-spawned)")
@@ -490,6 +619,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_live_node)
 
     p = sub.add_parser("info", help="version and inventory")
+    p.add_argument("--api", action="store_true",
+                   help="print the layered repro.api surface as JSON")
     p.set_defaults(func=_cmd_info)
     return parser
 

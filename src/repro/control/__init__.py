@@ -1,0 +1,69 @@
+"""The workload-management control plane (ROADMAP item 2).
+
+An HTTP/JSON job gateway over the EveryWare world: external users
+submit, query, and cancel jobs through plain HTTP; downward the gateway
+is an unmodified :class:`~repro.core.services.scheduler.SchedulerServer`
+whose :class:`WorkQueue` work source is fed by those submissions, so
+computational clients pull externally-submitted jobs over the usual
+SCH_* protocol. The same sans-IO router (:class:`GatewayCore`) serves
+both planes: real sockets on the live reactor
+(:class:`~repro.control.http.HttpServer`), lingua-franca messages under
+simulated time (:class:`~repro.control.sim.GatewayComponent`).
+"""
+
+from .client import GatewayClient
+from .gateway import GatewayCore, ROUTES
+from .http import (
+    HttpDecoder,
+    HttpError,
+    HttpRequest,
+    HttpResponseDecoder,
+    HttpServer,
+    error_response,
+    json_response,
+)
+from .loadgen import GatewayStorm, StormStats
+from .sim import GatewayComponent, SimJobUser, SimJobWorker, run_sim_serve
+from .serve import (
+    ServeConfig,
+    ServeReport,
+    check_serve_invariants,
+    ramsey_job_spec,
+    run_serve,
+)
+from .workqueue import (
+    FileJournal,
+    Job,
+    JOB_STATES,
+    MemoryJournal,
+    WorkQueue,
+)
+
+__all__ = [
+    "FileJournal",
+    "GatewayClient",
+    "GatewayComponent",
+    "GatewayCore",
+    "GatewayStorm",
+    "HttpDecoder",
+    "HttpError",
+    "HttpRequest",
+    "HttpResponseDecoder",
+    "HttpServer",
+    "JOB_STATES",
+    "Job",
+    "MemoryJournal",
+    "ROUTES",
+    "ServeConfig",
+    "ServeReport",
+    "SimJobUser",
+    "SimJobWorker",
+    "StormStats",
+    "WorkQueue",
+    "check_serve_invariants",
+    "error_response",
+    "json_response",
+    "ramsey_job_spec",
+    "run_serve",
+    "run_sim_serve",
+]

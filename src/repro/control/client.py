@@ -1,0 +1,128 @@
+"""Blocking HTTP/JSON client for the gateway.
+
+The control plane's counterpart of :class:`~repro.live.harness.Probe`: a
+simple synchronous client for tests, harness verify sweeps, and tools.
+Stdlib ``http.client`` underneath — the point of an HTTP gateway is that
+the client side needs nothing EveryWare-specific at all.
+
+One cached connection, reopened transparently when the gateway restarts
+(the probe-after-kill path): a request that fails on a cached connection
+is retried exactly once on a fresh one, mirroring the lingua-franca
+:class:`~repro.core.linguafranca.tcp.TcpClient` reuse contract.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Optional
+
+from .http import HttpError
+
+__all__ = ["GatewayClient"]
+
+
+class GatewayClient:
+    """Synchronous job-management client for one gateway contact."""
+
+    def __init__(self, contact: str, timeout: float = 5.0) -> None:
+        host, _, port = contact.rpartition(":")
+        if not host or not port:
+            raise ValueError(f"malformed gateway contact {contact!r}")
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+        self.reconnects = 0
+
+    # -- plumbing -------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+        return self._conn
+
+    def _drop(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._conn = None
+
+    def _once(self, method: str, path: str,
+              body: Optional[bytes]) -> tuple[int, dict]:
+        conn = self._connection()
+        headers = {"Content-Type": "application/json"} if body else {}
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        payload = response.read()
+        if response.will_close:
+            self._drop()
+        try:
+            doc = json.loads(payload) if payload else {}
+        except ValueError as exc:
+            raise HttpError(f"non-JSON gateway response: {exc}") from exc
+        return response.status, doc if isinstance(doc, dict) else {}
+
+    def request(self, method: str, path: str,
+                obj: Optional[dict] = None) -> tuple[int, dict]:
+        """One request/response; returns ``(status, parsed JSON body)``.
+
+        Raises :class:`HttpError` when the gateway is unreachable (after
+        the one transparent retry on a fresh connection).
+        """
+        body = (json.dumps(obj).encode("utf-8")
+                if obj is not None else None)
+        try:
+            return self._once(method, path, body)
+        except (OSError, http.client.HTTPException, socket.timeout):
+            # Cached connection went stale (gateway restarted): once more
+            # on a fresh socket, then give up loudly.
+            self._drop()
+        try:
+            return self._once(method, path, body)
+        except (OSError, http.client.HTTPException, socket.timeout) as exc:
+            self._drop()
+            raise HttpError(
+                f"gateway {self.host}:{self.port} unreachable: {exc}") from exc
+        finally:
+            self.reconnects += 1
+
+    # -- the job API ----------------------------------------------------------
+    def submit(self, spec: dict) -> dict:
+        """Submit one job; returns the acceptance record (raises on 4xx)."""
+        status, doc = self.request("POST", "/jobs", spec)
+        if status != 201:
+            raise HttpError(f"submit rejected ({status}): {doc}")
+        return doc
+
+    def job(self, job_id: str) -> Optional[dict]:
+        """Full job record, or None if the gateway does not know the id."""
+        status, doc = self.request("GET", f"/jobs/{job_id}")
+        return doc if status == 200 else None
+
+    def cancel(self, job_id: str) -> tuple[int, dict]:
+        return self.request("POST", f"/jobs/{job_id}/cancel")
+
+    def jobs(self) -> dict:
+        return self.request("GET", "/jobs")[1]
+
+    def queue(self) -> dict:
+        return self.request("GET", "/queue")[1]
+
+    def health(self) -> dict:
+        return self.request("GET", "/health")[1]
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")[1]
+
+    def close(self) -> None:
+        self._drop()
+
+    def __enter__(self) -> "GatewayClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,176 @@
+"""The gateway's request router, sans-IO.
+
+:class:`GatewayCore` maps ``(method, path, body)`` to ``(status, JSON
+document)`` over a :class:`~repro.control.workqueue.WorkQueue` — and
+*only* that: no sockets, no clocks of its own. The live plane wraps it
+in :class:`~repro.control.http.HttpServer` on the node's reactor; the
+simulated twin drives the identical router from lingua-franca messages
+under simulated time. One routing table, two planes — the same
+sim/live contract every other EveryWare component honors.
+
+Routes (diracx-style job management + health, ROADMAP item 2)::
+
+    POST /jobs              submit one job (body = the JSON spec)
+    GET  /jobs              queue counts + recent job ids
+    GET  /jobs/{id}         full job record (state, spec, result)
+    POST /jobs/{id}/cancel  cancel (idempotent; 409 once done)
+    GET  /queue             queue/progress counters
+    GET  /health            liveness + uptime + job counts
+    GET  /metrics           the node's telemetry metrics snapshot
+
+Every request lands in per-route telemetry: a request counter labelled
+``{route, status}``, a latency histogram per route (observed by the I/O
+wrapper, which owns the clock), and a trace span per request.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..core.telemetry import Telemetry
+from .workqueue import WorkQueue
+
+__all__ = ["GatewayCore", "ROUTES"]
+
+#: Route keys as they appear in telemetry labels.
+ROUTES = (
+    "POST /jobs",
+    "GET /jobs",
+    "GET /jobs/{id}",
+    "POST /jobs/{id}/cancel",
+    "GET /queue",
+    "GET /health",
+    "GET /metrics",
+)
+
+#: Latency buckets for the per-route histograms (milliseconds).
+LATENCY_BUCKETS_MS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+                      100.0, 250.0, 1000.0)
+
+#: ``GET /jobs`` returns at most this many recent ids.
+MAX_LISTED_JOBS = 100
+
+
+class GatewayCore:
+    """Routing + validation over a WorkQueue (see module docstring)."""
+
+    def __init__(self, name: str, work: WorkQueue,
+                 telemetry: Optional[Telemetry] = None,
+                 started_at: float = 0.0) -> None:
+        self.name = name
+        self.work = work
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.started_at = started_at
+        self.requests = 0
+        self.rejected = 0
+
+    # -- bookkeeping ----------------------------------------------------------
+    def _account(self, route: str, status: int, now: float) -> None:
+        self.requests += 1
+        if status >= 400:
+            self.rejected += 1
+        self.telemetry.metrics.counter(
+            "http.requests", route=route, status=str(status)).inc()
+        tracer = self.telemetry.tracer
+        if tracer.enabled:
+            span = tracer.begin(f"http {route}", component=self.name,
+                                start=now, mtype=route)
+            span.args["status"] = status
+            tracer.finish(span, now, "ok" if status < 400 else "rejected")
+
+    def observe_latency(self, route: str, elapsed_ms: float) -> None:
+        """Called by the I/O wrapper, which owns the request clock."""
+        self.telemetry.metrics.histogram(
+            "http.latency_ms", bounds=LATENCY_BUCKETS_MS,
+            route=route).observe(elapsed_ms)
+
+    # -- routing --------------------------------------------------------------
+    def handle(self, method: str, path: str, body: bytes,
+               now: float) -> tuple[int, dict, str]:
+        """Route one request; returns ``(status, doc, route_label)``."""
+        path = path.split("?", 1)[0].rstrip("/") or "/"
+        segments = [s for s in path.split("/") if s]
+        status, doc, route = self._route(method, path, segments, body, now)
+        self._account(route, status, now)
+        return status, doc, route
+
+    def _route(self, method: str, path: str, segments: list[str],
+               body: bytes, now: float) -> tuple[int, dict, str]:
+        if path == "/jobs":
+            if method == "POST":
+                return (*self._submit(body, now), "POST /jobs")
+            if method == "GET":
+                return (*self._list_jobs(), "GET /jobs")
+            return 405, {"error": f"{method} not allowed on {path}"}, "/jobs"
+        if len(segments) == 2 and segments[0] == "jobs":
+            if method != "GET":
+                return (405, {"error": f"{method} not allowed on {path}"},
+                        "GET /jobs/{id}")
+            return (*self._get_job(segments[1]), "GET /jobs/{id}")
+        if (len(segments) == 3 and segments[0] == "jobs"
+                and segments[2] == "cancel"):
+            if method != "POST":
+                return (405, {"error": f"{method} not allowed on {path}"},
+                        "POST /jobs/{id}/cancel")
+            return (*self._cancel(segments[1], now), "POST /jobs/{id}/cancel")
+        if path == "/queue" and method == "GET":
+            return (*self._queue(), "GET /queue")
+        if path == "/health" and method == "GET":
+            return (*self._health(now), "GET /health")
+        if path == "/metrics" and method == "GET":
+            return 200, self.telemetry.metrics.snapshot(), "GET /metrics"
+        return 404, {"error": f"no route for {method} {path}"}, "none"
+
+    # -- handlers -------------------------------------------------------------
+    def _submit(self, body: bytes, now: float) -> tuple[int, dict]:
+        try:
+            spec = json.loads(body) if body else None
+        except (ValueError, UnicodeDecodeError):
+            return 400, {"error": "body is not valid JSON"}
+        if not isinstance(spec, dict):
+            return 400, {"error": "job spec must be a JSON object"}
+        if "id" in spec:
+            return 400, {"error": "job spec may not carry 'id' "
+                                  "(the gateway assigns ids)"}
+        job = self.work.submit(spec, now)
+        return 201, {"id": job.id, "state": job.state,
+                     "submitted_at": job.submitted_at}
+
+    def _list_jobs(self) -> tuple[int, dict]:
+        ids = list(self.work.jobs)
+        return 200, {
+            "counts": self.work.counts(),
+            "jobs": ids[-MAX_LISTED_JOBS:],
+            "truncated": len(ids) > MAX_LISTED_JOBS,
+        }
+
+    def _get_job(self, job_id: str) -> tuple[int, dict]:
+        job = self.work.get(job_id)
+        if job is None:
+            return 404, {"error": f"no job {job_id!r}"}
+        return 200, job.to_dict()
+
+    def _cancel(self, job_id: str, now: float) -> tuple[int, dict]:
+        job = self.work.get(job_id)
+        if job is None:
+            return 404, {"error": f"no job {job_id!r}"}
+        if job.state == "done":
+            return 409, {"error": f"job {job_id!r} already finished",
+                         "id": job.id, "state": job.state}
+        job = self.work.cancel(job_id, now)
+        return 200, {"id": job.id, "state": job.state,
+                     "finished_at": job.finished_at}
+
+    def _queue(self) -> tuple[int, dict]:
+        return 200, {"depth": len(self.work), **self.work.stats()}
+
+    def _health(self, now: float) -> tuple[int, dict]:
+        return 200, {
+            "ok": True,
+            "node": self.name,
+            "uptime": now - self.started_at,
+            "requests": self.requests,
+            "rejected": self.rejected,
+            "jobs": self.work.counts(),
+        }

@@ -1,0 +1,319 @@
+"""Stdlib-only HTTP/1.1 on the lingua-franca reactor.
+
+The control plane's wire format is HTTP/JSON — external users should
+need nothing but ``curl`` — but the transport underneath is the exact
+same single-threaded :class:`~repro.core.linguafranca.tcp.EventLoop` /
+:class:`~repro.core.linguafranca.tcp.TcpServer` reactor every other
+EveryWare service rides (DESIGN.md §12). No new dependencies, no
+``http.server`` thread pools: :class:`HttpDecoder` is an incremental
+request parser fed straight from the reactor's read buffer (so a
+slowloris client dribbling one byte per select() turn costs buffered
+bytes, never a stalled reactor), and :class:`HttpServer` subclasses the
+TCP reactor, swapping the CRC packet decoder for the HTTP one via the
+``decoder_factory`` seam and reusing the batched ``sendmsg`` flush path
+for responses.
+
+Scope is deliberately the gateway's needs, not the RFC's: request line +
+headers + ``Content-Length`` bodies, keep-alive by default, bounded
+header/body sizes. Anything outside that (chunked encoding, continuation
+lines, absurd sizes) is answered with a correct 4xx and a closed
+connection — the §2.3 robustness rule: a hostile byte stream must never
+take the service down.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Optional
+
+from ..core.linguafranca.tcp import TcpServer, _Connection
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "HttpDecoder",
+    "HttpResponseDecoder",
+    "HttpServer",
+    "json_response",
+    "error_response",
+    "REASONS",
+]
+
+#: Request-line + headers may not exceed this many bytes (431-ish, we
+#: answer 400: the gateway's legitimate clients send tiny headers).
+MAX_HEADER_BYTES = 16 * 1024
+#: Default request-body cap; oversized submissions are answered 413.
+MAX_BODY_BYTES = 256 * 1024
+
+REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_KNOWN_METHODS = {"GET", "POST", "PUT", "DELETE", "HEAD", "OPTIONS", "PATCH"}
+
+
+class HttpError(Exception):
+    """Client-side protocol failure (GatewayClient/response parsing)."""
+
+
+class HttpRequest:
+    """One parsed inbound request (or a framing error standing in for
+    one: ``error`` carries the status/reason to answer with)."""
+
+    __slots__ = ("method", "path", "headers", "body", "error", "close")
+
+    def __init__(self, method: str = "", path: str = "",
+                 headers: Optional[dict] = None, body: bytes = b"",
+                 error: Optional[tuple[int, str]] = None,
+                 close: bool = False) -> None:
+        self.method = method
+        self.path = path
+        #: Header names lower-cased; last occurrence wins.
+        self.headers = headers if headers is not None else {}
+        self.body = body
+        self.error = error
+        #: Client asked for ``Connection: close`` (or spoke HTTP/1.0).
+        self.close = close
+
+    def json(self):
+        """The body as JSON, or None if it is not a valid JSON document."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body)
+        except (ValueError, UnicodeDecodeError):
+            return None
+
+
+class HttpDecoder:
+    """Incremental HTTP/1.1 *request* parser with bounded buffers.
+
+    Mirrors the :class:`~repro.core.linguafranca.packets.PacketDecoder`
+    contract the reactor expects: ``feed(bytes)`` appends to the stream
+    buffer, ``next_request()`` returns one complete request (or ``None``
+    while more bytes are needed). A framing violation yields a request
+    whose ``error`` is set and poisons the decoder — the server answers
+    it and closes; no resynchronisation is attempted on a byte stream
+    with no record boundaries to resynchronise on.
+    """
+
+    __slots__ = ("_buf", "_dead", "max_header", "max_body")
+
+    def __init__(self, max_header: int = MAX_HEADER_BYTES,
+                 max_body: int = MAX_BODY_BYTES) -> None:
+        self._buf = bytearray()
+        self._dead = False
+        self.max_header = max_header
+        self.max_body = max_body
+
+    def feed(self, data: bytes) -> None:
+        if not self._dead:
+            self._buf += data
+
+    def _fail(self, status: int, reason: str) -> HttpRequest:
+        self._dead = True
+        self._buf.clear()
+        return HttpRequest(error=(status, reason), close=True)
+
+    def next_request(self) -> Optional[HttpRequest]:
+        if self._dead:
+            return None
+        head_end = self._buf.find(b"\r\n\r\n")
+        if head_end < 0:
+            if len(self._buf) > self.max_header:
+                return self._fail(400, "header block too large")
+            return None
+        if head_end > self.max_header:
+            return self._fail(400, "header block too large")
+        head = bytes(self._buf[:head_end])
+        try:
+            text = head.decode("latin-1")
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 total
+            return self._fail(400, "undecodable header block")
+        lines = text.split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3 or not parts[1].startswith("/"):
+            return self._fail(400, "malformed request line")
+        method, path, version = parts
+        if method not in _KNOWN_METHODS:
+            return self._fail(400, f"unknown method {method!r}")
+        if version not in ("HTTP/1.1", "HTTP/1.0"):
+            return self._fail(400, f"unsupported version {version!r}")
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, sep, value = line.partition(":")
+            if not sep or not name or name != name.strip():
+                return self._fail(400, f"malformed header line {line!r}")
+            headers[name.lower()] = value.strip()
+        if "transfer-encoding" in headers:
+            return self._fail(400, "transfer-encoding not supported")
+        length = 0
+        if "content-length" in headers:
+            try:
+                length = int(headers["content-length"])
+            except ValueError:
+                return self._fail(400, "malformed content-length")
+            if length < 0:
+                return self._fail(400, "malformed content-length")
+        if length > self.max_body:
+            # Answer before the body even finishes arriving: a client
+            # announcing a huge upload is refused at the header.
+            return self._fail(413, f"body of {length} bytes exceeds "
+                                   f"limit of {self.max_body}")
+        body_start = head_end + 4
+        if len(self._buf) - body_start < length:
+            return None  # body still in flight
+        body = bytes(self._buf[body_start:body_start + length])
+        del self._buf[:body_start + length]
+        connection = headers.get("connection", "").lower()
+        close = (connection == "close"
+                 or (version == "HTTP/1.0" and connection != "keep-alive"))
+        return HttpRequest(method=method, path=path, headers=headers,
+                           body=body, close=close)
+
+
+class HttpResponseDecoder:
+    """Incremental HTTP/1.1 *response* parser (client side: the storm
+    load generator and the blocking gateway client). Same contract as
+    :class:`HttpDecoder`; returns ``(status, headers, body)`` tuples."""
+
+    __slots__ = ("_buf", "_dead", "max_body")
+
+    def __init__(self, max_body: int = 8 * 1024 * 1024) -> None:
+        self._buf = bytearray()
+        self._dead = False
+        self.max_body = max_body
+
+    def feed(self, data: bytes) -> None:
+        if not self._dead:
+            self._buf += data
+
+    def next_response(self) -> Optional[tuple[int, dict, bytes]]:
+        if self._dead:
+            raise HttpError("response stream is corrupt")
+        head_end = self._buf.find(b"\r\n\r\n")
+        if head_end < 0:
+            if len(self._buf) > MAX_HEADER_BYTES:
+                self._dead = True
+                raise HttpError("response header block too large")
+            return None
+        lines = bytes(self._buf[:head_end]).decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ", 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            self._dead = True
+            raise HttpError(f"malformed status line {lines[0]!r}")
+        try:
+            status = int(parts[1])
+        except ValueError:
+            self._dead = True
+            raise HttpError(f"malformed status {parts[1]!r}")
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            self._dead = True
+            raise HttpError("malformed content-length")
+        if length > self.max_body:
+            self._dead = True
+            raise HttpError("response body too large")
+        body_start = head_end + 4
+        if len(self._buf) - body_start < length:
+            return None
+        body = bytes(self._buf[body_start:body_start + length])
+        del self._buf[:body_start + length]
+        return status, headers, body
+
+
+def _render(status: int, body: bytes, content_type: str,
+            close: bool) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'close' if close else 'keep-alive'}\r\n"
+            f"\r\n")
+    return head.encode("latin-1") + body
+
+
+def json_response(status: int, obj, close: bool = False) -> bytes:
+    """A complete JSON response frame (sorted keys: byte-stable)."""
+    body = (json.dumps(obj, sort_keys=True, separators=(",", ":"))
+            .encode("utf-8") + b"\n")
+    return _render(status, body, "application/json", close)
+
+
+def error_response(status: int, reason: str) -> bytes:
+    """A complete JSON error frame; always closes the connection."""
+    return json_response(status, {"error": reason}, close=True)
+
+
+#: The application callback: a complete request in, a complete response
+#: frame out (build it with :func:`json_response`).
+HttpApp = Callable[[HttpRequest], bytes]
+
+
+class HttpServer(TcpServer):
+    """The HTTP face of the reactor.
+
+    Identical accept/read/flush/drop machinery as every lingua-franca
+    server — one ``select()`` per turn, per-connection write queues,
+    batched vectored flushes — with the CRC packet decoder swapped for
+    :class:`HttpDecoder` and record servicing swapped for request
+    dispatch. Protocol errors are answered (400/413) and the connection
+    is closed *after* the response flushes (``close_when_flushed``);
+    keep-alive connections serve any number of pipelined requests.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        app: HttpApp,
+        loop=None,
+        backlog: int = 1024,
+        max_body: int = MAX_BODY_BYTES,
+    ) -> None:
+        self.app = app
+        self.protocol_errors = 0
+        super().__init__(
+            host, port, handler=self._no_messages, loop=loop,
+            backlog=backlog,
+            decoder_factory=lambda: HttpDecoder(max_body=max_body))
+
+    @staticmethod
+    def _no_messages(message):  # pragma: no cover - decoder never parses one
+        return None
+
+    def _service(self, conn: _Connection) -> None:
+        decoder = conn.decoder
+        while not conn.close_when_flushed:
+            request = decoder.next_request()
+            if request is None:
+                break
+            self.messages_handled += 1
+            self._step_handled += 1
+            if request.error is not None:
+                status, reason = request.error
+                self.protocol_errors += 1
+                conn.out.append(error_response(status, reason))
+                conn.close_when_flushed = True
+                break
+            try:
+                response = self.app(request)
+            except Exception:  # noqa: BLE001 — robustness boundary
+                response = error_response(500, "internal error")
+            conn.out.append(response)
+            if request.close:
+                conn.close_when_flushed = True
+        self._flush(conn)

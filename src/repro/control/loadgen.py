@@ -1,0 +1,348 @@
+"""Synthetic gateway users: a single-threaded HTTP storm driver.
+
+Drives hundreds to thousands of concurrent keep-alive connections
+against one gateway from a single poll loop — the load-generator
+counterpart of the transport benchmark's echo storm, speaking HTTP
+instead of CRC packets. Each logical client runs an independent
+submit/query/cancel loop (per-client RNG, so mixes are reproducible),
+one request in flight per connection; dead connections (a SIGKILLed
+gateway, injected churn) reconnect with a short backoff, exactly like
+external users hammering refresh while a service restarts.
+
+Used by ``benchmarks/bench_gateway.py`` (floors on submissions/s and
+query p99 at 1,000+ connections) and by the ``repro serve`` harness
+(the 200-client storm in the ``gateway-smoke`` CI job). Accepted job
+ids — submissions the gateway answered 201 — are recorded so the
+harness can sweep them afterwards and prove none was lost across a
+kill/restart.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import selectors
+import socket
+import time
+from typing import Callable, Optional
+
+from .http import HttpResponseDecoder, HttpError
+
+__all__ = ["GatewayStorm", "StormStats"]
+
+_INPROGRESS = {errno.EINPROGRESS, errno.EWOULDBLOCK, errno.EALREADY}
+
+#: Reconnect backoff after a refused/reset connection (seconds). Short:
+#: the supervisor's restart backoff dominates an outage, and clients
+#: knocking politely is what "no accepted job lost" is measured under.
+RECONNECT_DELAY = 0.1
+
+
+def _default_spec(rng: random.Random) -> dict:
+    return {"kind": "noop", "payload": rng.randrange(1 << 16)}
+
+
+class StormStats:
+    """Aggregate meters across every logical client."""
+
+    __slots__ = ("submitted", "queried", "cancelled", "errors",
+                 "reconnects", "rejected", "query_latencies",
+                 "submit_latencies")
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.queried = 0
+        self.cancelled = 0
+        self.errors = 0
+        self.reconnects = 0
+        self.rejected = 0
+        self.query_latencies: list[float] = []
+        self.submit_latencies: list[float] = []
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "queried": self.queried,
+            "cancelled": self.cancelled,
+            "errors": self.errors,
+            "reconnects": self.reconnects,
+            "rejected": self.rejected,
+        }
+
+
+class _Client:
+    """One logical user: a connection, a decoder, one in-flight request."""
+
+    __slots__ = ("idx", "rng", "sock", "decoder", "connected", "outbuf",
+                 "inflight", "ids", "served", "retry_at", "want_write")
+
+    def __init__(self, idx: int, rng: random.Random) -> None:
+        self.idx = idx
+        self.rng = rng
+        self.sock: Optional[socket.socket] = None
+        self.decoder = HttpResponseDecoder()
+        self.connected = False
+        self.outbuf = b""
+        #: (kind, job_id, t0) of the request awaiting its response.
+        self.inflight: Optional[tuple[str, Optional[str], float]] = None
+        self.ids: list[str] = []
+        self.served = 0  # requests completed on this connection (churn)
+        self.retry_at = 0.0
+        self.want_write = False
+
+
+class GatewayStorm:
+    """Pumpable storm of ``clients`` concurrent gateway users.
+
+    Call :meth:`step` from the harness loop (or :meth:`run_for` to pump
+    flat out); stats accumulate in :attr:`stats` and every accepted job
+    id lands in :attr:`accepted`.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        clients: int = 200,
+        seed: int = 0,
+        submit_fraction: float = 0.5,
+        cancel_fraction: float = 0.1,
+        churn_every: int = 0,
+        spec_factory: Callable[[random.Random], dict] = _default_spec,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self.submit_fraction = submit_fraction
+        self.cancel_fraction = cancel_fraction
+        #: Close and reopen a connection after this many responses
+        #: (0 = no churn): models users coming and going.
+        self.churn_every = churn_every
+        self.spec_factory = spec_factory
+        self.stats = StormStats()
+        self.accepted: list[str] = []
+        self._sel = selectors.DefaultSelector()
+        self._clients = [
+            _Client(i, random.Random(f"{seed}:{i}")) for i in range(clients)
+        ]
+        self._closed = False
+        self._quiescing = False
+
+    # -- connection lifecycle -------------------------------------------------
+    def _open(self, client: _Client) -> None:
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setblocking(False)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:
+            pass
+        try:
+            err = sock.connect_ex((self.host, self.port))
+        except OSError as exc:
+            err = exc.errno or errno.EINVAL
+        if err != 0 and err not in _INPROGRESS:
+            sock.close()
+            self._fail(client)
+            return
+        client.sock = sock
+        client.decoder = HttpResponseDecoder()
+        client.connected = err == 0
+        client.served = 0
+        client.want_write = True
+        self._sel.register(sock, selectors.EVENT_READ | selectors.EVENT_WRITE,
+                           client)
+        if client.connected:
+            self._issue(client)
+
+    def _teardown(self, client: _Client) -> None:
+        if client.sock is not None:
+            try:
+                self._sel.unregister(client.sock)
+            except (KeyError, ValueError):
+                pass
+            try:
+                client.sock.close()
+            except OSError:
+                pass
+        client.sock = None
+        client.connected = False
+        client.outbuf = b""
+        client.inflight = None
+
+    def _fail(self, client: _Client) -> None:
+        """Connection died (gateway down or restarting): back off and
+        let :meth:`step` reconnect. An unanswered request counts as an
+        error — and an unanswered submit is *not* an accepted job."""
+        if client.inflight is not None:
+            self.stats.errors += 1
+        self._teardown(client)
+        self.stats.reconnects += 1
+        client.retry_at = time.monotonic() + RECONNECT_DELAY
+
+    # -- request generation ---------------------------------------------------
+    def _next_request(self, client: _Client) -> tuple[str, Optional[str], bytes]:
+        rng = client.rng
+        roll = rng.random()
+        if client.ids and roll >= self.submit_fraction:
+            job_id = rng.choice(client.ids)
+            if roll >= 1.0 - self.cancel_fraction:
+                data = (f"POST /jobs/{job_id}/cancel HTTP/1.1\r\n"
+                        f"Host: {self.host}\r\nContent-Length: 0\r\n\r\n")
+                return "cancel", job_id, data.encode("latin-1")
+            data = (f"GET /jobs/{job_id} HTTP/1.1\r\n"
+                    f"Host: {self.host}\r\n\r\n")
+            return "query", job_id, data.encode("latin-1")
+        import json as _json
+
+        body = _json.dumps(self.spec_factory(rng)).encode("utf-8")
+        data = (f"POST /jobs HTTP/1.1\r\nHost: {self.host}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n\r\n").encode("latin-1") + body
+        return "submit", None, data
+
+    def _issue(self, client: _Client) -> None:
+        kind, job_id, frame = self._next_request(client)
+        client.inflight = (kind, job_id, time.monotonic())
+        client.outbuf += frame
+        self._write(client)
+
+    # -- I/O ------------------------------------------------------------------
+    def _arm(self, client: _Client, want_write: bool) -> None:
+        if client.sock is None or client.want_write == want_write:
+            return
+        client.want_write = want_write
+        events = selectors.EVENT_READ
+        if want_write:
+            events |= selectors.EVENT_WRITE
+        self._sel.modify(client.sock, events, client)
+
+    def _write(self, client: _Client) -> None:
+        sock = client.sock
+        while client.outbuf:
+            try:
+                sent = sock.send(client.outbuf)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                self._fail(client)
+                return
+            client.outbuf = client.outbuf[sent:]
+        self._arm(client, bool(client.outbuf))
+
+    def _read(self, client: _Client) -> None:
+        try:
+            data = client.sock.recv(262144)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._fail(client)
+            return
+        if not data:
+            self._fail(client)
+            return
+        client.decoder.feed(data)
+        while client.inflight is not None:
+            try:
+                response = client.decoder.next_response()
+            except HttpError:
+                self._fail(client)
+                return
+            if response is None:
+                return
+            self._finish(client, *response)
+
+    def _finish(self, client: _Client, status: int, headers: dict,
+                body: bytes) -> None:
+        kind, job_id, t0 = client.inflight
+        client.inflight = None
+        elapsed_ms = (time.monotonic() - t0) * 1000.0
+        if kind == "submit":
+            if status == 201:
+                self.stats.submitted += 1
+                self.stats.submit_latencies.append(elapsed_ms)
+                import json as _json
+
+                try:
+                    accepted = _json.loads(body).get("id")
+                except (ValueError, AttributeError):
+                    accepted = None
+                if isinstance(accepted, str):
+                    client.ids.append(accepted)
+                    self.accepted.append(accepted)
+            else:
+                self.stats.rejected += 1
+        elif kind == "query":
+            if status == 200:
+                self.stats.queried += 1
+                self.stats.query_latencies.append(elapsed_ms)
+            else:
+                self.stats.rejected += 1
+        else:
+            if status in (200, 404, 409):
+                self.stats.cancelled += 1
+            else:
+                self.stats.rejected += 1
+        client.served += 1
+        if self._quiescing:
+            self._teardown(client)
+            return
+        if headers.get("connection", "").lower() == "close":
+            self._teardown(client)
+            client.retry_at = 0.0
+            return
+        if self.churn_every and client.served >= self.churn_every:
+            # Voluntary churn: this user leaves; a fresh one takes the
+            # slot on the next step.
+            self._teardown(client)
+            self.stats.reconnects += 1
+            client.retry_at = 0.0
+            return
+        self._issue(client)
+
+    # -- pumping --------------------------------------------------------------
+    def step(self, timeout: float = 0.0) -> None:
+        """One poll turn: reconnect due clients, then service readiness."""
+        if self._closed:
+            return
+        now = time.monotonic()
+        if not self._quiescing:
+            for client in self._clients:
+                if client.sock is None and now >= client.retry_at:
+                    self._open(client)
+        for key, mask in self._sel.select(timeout):
+            client: _Client = key.data
+            if client.sock is None:
+                continue
+            if mask & selectors.EVENT_WRITE:
+                if not client.connected:
+                    err = client.sock.getsockopt(socket.SOL_SOCKET,
+                                                 socket.SO_ERROR)
+                    if err:
+                        self._fail(client)
+                        continue
+                    client.connected = True
+                    if client.inflight is None:
+                        self._issue(client)
+                self._write(client)
+            if client.sock is not None and mask & selectors.EVENT_READ:
+                self._read(client)
+
+    def run_for(self, seconds: float, poll: float = 0.05) -> None:
+        deadline = time.monotonic() + seconds
+        while time.monotonic() < deadline:
+            self.step(poll)
+
+    def quiesce(self, grace: float = 2.0) -> None:
+        """Stop issuing new requests; drain in-flight responses."""
+        deadline = time.monotonic() + grace
+        self._quiescing = True
+        while (any(c.inflight is not None for c in self._clients)
+               and time.monotonic() < deadline):
+            self.step(0.02)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for client in self._clients:
+            self._teardown(client)
+        self._sel.close()

@@ -1,0 +1,327 @@
+"""``repro serve``: the control plane stood up as real OS processes.
+
+:func:`run_serve` is to the gateway what :func:`repro.live.harness.run_live`
+is to the SC98 world: allocate ports, write the manifest, spawn gossip /
+gateway / persistent / logger / Ramsey-client nodes under the
+:class:`~repro.live.supervisor.Supervisor`, then drive a
+:class:`~repro.control.loadgen.GatewayStorm` of synthetic HTTP users
+against the gateway while the world runs — optionally SIGKILLing the
+gateway mid-storm to demonstrate the control plane's central invariant
+on real sockets: **no accepted job is lost across a gateway
+kill/restart** (requeued from the journal, not dropped). After the storm
+quiesces, a verify sweep asks the (possibly restarted) gateway for every
+job id it ever answered 201 for; ids it no longer knows are violations.
+
+Submitted job specs are real Ramsey work units
+(:func:`ramsey_job_spec`), so the live clients actually execute what the
+storm submits — the full externally-submitted-work path, HTTP user to
+computational client and back.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..live.collector import Collector
+from ..live.ports import PortAllocator
+from ..live.supervisor import RestartPolicy, Supervisor
+from ..live.topology import Topology, build_manifest, serve_topology
+from ..core.telemetry import write_trace_json
+from ..ramsey.tasks import HEURISTICS
+from .client import GatewayClient
+from .http import HttpError
+from .loadgen import GatewayStorm
+
+__all__ = ["ServeConfig", "ServeReport", "check_serve_invariants",
+           "ramsey_job_spec", "run_serve"]
+
+
+def ramsey_job_spec(rng: random.Random, k: int = 8, n: int = 4,
+                    ops_budget: float = 250_000.0) -> dict:
+    """One externally-submitted job spec the Ramsey clients can execute:
+    a work unit minus the ``id`` (the gateway assigns ids)."""
+    return {
+        "k": int(k),
+        "n": int(n),
+        "heuristic": HEURISTICS[rng.randrange(len(HEURISTICS))],
+        "seed": rng.randrange(1 << 20),
+        "ops_budget": float(ops_budget),
+    }
+
+
+@dataclass
+class ServeConfig:
+    """Knobs for one ``repro serve`` run."""
+
+    clients: int = 2
+    gateways: int = 1
+    gossips: int = 1
+    persistents: int = 1
+    loggers: int = 1
+    #: Concurrent synthetic HTTP users in the storm.
+    storm_clients: int = 50
+    duration: float = 10.0
+    #: SIGKILL the first gateway this many seconds in (None = no chaos).
+    kill_at: Optional[float] = None
+    #: Storm connections recycle after this many responses (0 = never).
+    churn_every: int = 0
+    submit_fraction: float = 0.5
+    cancel_fraction: float = 0.1
+    seed: int = 0
+    k: int = 8
+    n: int = 4
+    host: str = "127.0.0.1"
+
+    def topology(self) -> Topology:
+        return serve_topology(
+            clients=self.clients, gossips=self.gossips,
+            gateways=self.gateways, persistents=self.persistents,
+            loggers=self.loggers, seed=self.seed, k=self.k, n=self.n)
+
+
+@dataclass
+class ServeReport:
+    """Everything one serve run produced, in one JSON-safe document."""
+
+    duration: float
+    topology: dict
+    nodes: dict[str, dict]
+    storm: dict
+    #: Jobs the gateway answered 201 for, total.
+    accepted: int
+    #: Accepted ids the post-run sweep could not find — must be empty.
+    jobs_lost: list[str]
+    #: Final-state histogram over the accepted ids.
+    job_states: dict[str, int]
+    chaos: list[dict] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+    artifacts: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "duration": self.duration,
+            "topology": self.topology,
+            "nodes": self.nodes,
+            "storm": self.storm,
+            "accepted": self.accepted,
+            "jobs_lost": self.jobs_lost,
+            "job_states": self.job_states,
+            "chaos": self.chaos,
+            "metrics": self.metrics,
+            "violations": self.violations,
+            "artifacts": self.artifacts,
+            "ok": self.ok,
+        }
+
+
+def check_serve_invariants(report: ServeReport) -> list[str]:
+    """The control plane's consistency checklist (wall-clock runs gate
+    on invariants, the simulated twin on byte-diffs)."""
+    violations: list[str] = []
+    if report.jobs_lost:
+        violations.append(
+            f"{len(report.jobs_lost)} accepted job(s) lost: "
+            f"{report.jobs_lost[:5]}")
+    if report.accepted == 0 and report.storm.get("submitted", 0) == 0:
+        violations.append("the storm never got a single job accepted")
+    for name, node in sorted(report.nodes.items()):
+        if not node.get("reports"):
+            violations.append(f"{name}: never shipped a telemetry report")
+    if report.chaos:
+        restarted = [c["node"] for c in report.chaos
+                     if report.nodes.get(c["node"], {}).get("restarts", 0) >= 1]
+        if not restarted:
+            violations.append("the gateway was killed but never restarted")
+    return violations
+
+
+def _sweep_jobs(contact: str, accepted: list[str],
+                pump: Optional[Callable[[], None]] = None,
+                timeout: float = 15.0) -> tuple[list[str], dict[str, int]]:
+    """Ask the gateway for every accepted id; returns (lost ids, state
+    histogram). Waits up to ``timeout`` for the gateway to answer at all
+    — it may be mid-restart when the storm ends, so ``pump`` (the
+    supervisor poll) keeps running while we wait."""
+    lost: list[str] = []
+    states: dict[str, int] = {}
+    with GatewayClient(contact, timeout=3.0) as client:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if pump is not None:
+                pump()
+            try:
+                client.health()
+                break
+            except HttpError:
+                time.sleep(0.2)
+        for i, job_id in enumerate(accepted):
+            if pump is not None and i % 200 == 0:
+                pump()
+            try:
+                job = client.job(job_id)
+            except HttpError:
+                job = None
+            if job is None:
+                lost.append(job_id)
+            else:
+                state = str(job.get("state"))
+                states[state] = states.get(state, 0) + 1
+    return lost, states
+
+
+def run_serve(
+    config: ServeConfig,
+    out: Optional[str] = None,
+    restart: Optional[RestartPolicy] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ServeReport:
+    """Stand up the control-plane world, storm it, sweep it, report."""
+    def say(text: str) -> None:
+        if progress is not None:
+            progress(text)
+
+    topology = config.topology()
+    tmp = None
+    if out is not None:
+        os.makedirs(out, exist_ok=True)
+        run_dir = out
+    else:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        run_dir = tmp.name
+    manifest_path = os.path.join(run_dir, "manifest.json")
+
+    host = config.host
+    collector = Collector(host=host)
+    allocator = PortAllocator(host)
+    storm = None
+    try:
+        manifest = build_manifest(topology, collector.contact,
+                                  host=host, allocator=allocator)
+        manifest.write(manifest_path)
+        # Nodes outlive the storm window by a sweep grace: the verify
+        # sweep below must run against a *live* (possibly restarted)
+        # gateway, not race the nodes' own deadline shutdown.
+        sweep_grace = 30.0
+        supervisor = Supervisor(
+            manifest, manifest_path,
+            deadline=config.duration + sweep_grace,
+            collector=collector, restart=restart,
+            log_dir=os.path.join(run_dir, "node-logs"))
+        gateway_name = topology.by_role("gateway")[0].name
+        http_contact = manifest.http_contact(gateway_name)
+        say(f"world of {len(topology.nodes)} nodes; "
+            f"gateway HTTP at {http_contact}")
+        allocator.release()
+        supervisor.spawn_all()
+
+        http_host, _, http_port = http_contact.rpartition(":")
+        storm = GatewayStorm(
+            http_host, int(http_port),
+            clients=config.storm_clients, seed=config.seed,
+            submit_fraction=config.submit_fraction,
+            cancel_fraction=config.cancel_fraction,
+            churn_every=config.churn_every,
+            spec_factory=lambda r: ramsey_job_spec(
+                r, k=config.k, n=config.n))
+
+        chaos: list[dict] = []
+        killed = False
+        health_at = 1.0
+        while supervisor.now() < config.duration:
+            collector.step(0.005)
+            supervisor.poll()
+            storm.step(0.005)
+            now = supervisor.now()
+            if now >= health_at:
+                supervisor.check_health()
+                health_at = now + 1.0
+            if (config.kill_at is not None and not killed
+                    and now >= config.kill_at):
+                pid = supervisor.kill(gateway_name)
+                killed = True
+                if pid is not None:
+                    chaos.append({"t": round(now, 3), "node": gateway_name,
+                                  "pid": pid})
+                    say(f"chaos: killed gateway {gateway_name} (pid {pid}) "
+                        f"at t={now:.1f}s")
+
+        def pump() -> None:
+            collector.step(0.01)
+            supervisor.poll()
+
+        storm.quiesce(grace=3.0)
+        say(f"storm done: {storm.stats.submitted} submitted, "
+            f"{storm.stats.queried} queried, "
+            f"{storm.stats.cancelled} cancelled, "
+            f"{len(storm.accepted)} accepted")
+
+        # The sweep runs while the world is still up: every accepted id
+        # must still be known to the (possibly restarted) gateway.
+        lost, states = _sweep_jobs(http_contact, storm.accepted, pump=pump)
+        for _ in range(20):
+            pump()
+        supervisor.drain(pump=pump)
+        for _ in range(10):
+            collector.step(0.01)
+
+        nodes: dict[str, dict] = {}
+        statuses = supervisor.statuses()
+        for spec in topology.nodes:
+            rec = collector.nodes.get(spec.name)
+            nodes[spec.name] = {
+                "role": spec.role,
+                "contact": manifest.contact(spec.name),
+                "hellos": rec.hellos if rec else 0,
+                "reports": rec.reports if rec else 0,
+                "stop_reason": rec.stop_reason if rec else None,
+                "stats": dict(rec.stats) if rec else {},
+                **statuses.get(spec.name, {}),
+            }
+        report = ServeReport(
+            duration=config.duration,
+            topology=topology.to_dict(),
+            nodes=nodes,
+            storm=storm.stats.to_dict(),
+            accepted=len(storm.accepted),
+            jobs_lost=lost,
+            job_states=states,
+            chaos=chaos,
+            metrics=collector.merged_metrics(),
+        )
+        report.violations = check_serve_invariants(report)
+
+        if out is not None:
+            trace_path = write_trace_json(
+                collector.merged_tracer(), os.path.join(out, "trace.json"))
+            metrics_path = os.path.join(out, "metrics.json")
+            with open(metrics_path, "w", encoding="utf-8") as fh:
+                json.dump(report.metrics, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            report.artifacts = {
+                "manifest": manifest_path, "trace": trace_path,
+                "metrics": metrics_path,
+            }
+            report_path = os.path.join(out, "report.json")
+            with open(report_path, "w", encoding="utf-8") as fh:
+                json.dump(report.to_dict(), fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            report.artifacts["report"] = report_path
+        return report
+    finally:
+        if storm is not None:
+            storm.close()
+        allocator.release()
+        collector.close()
+        if tmp is not None:
+            tmp.cleanup()

@@ -1,0 +1,298 @@
+"""The gateway's task-queue core: an app-agnostic, durable job store.
+
+:class:`WorkQueue` is the hinge of the control plane. Upward it is a job
+lifecycle store (``submit`` / ``get`` / ``cancel`` — what the HTTP
+routers expose); downward it implements the scheduler's
+:class:`~repro.core.services.scheduler.WorkSource` protocol
+(``next_unit`` / ``requeue`` / ``complete``), so an unmodified
+:class:`~repro.core.services.scheduler.SchedulerServer` can hand
+externally-submitted jobs to computational clients exactly the way it
+hands out internally-minted units. The queue is application-agnostic: a
+job spec is any JSON object the executing client understands (the Ramsey
+clients take their usual unit dicts; see
+:func:`repro.control.serve.ramsey_job_spec`).
+
+Durability is an append-only JSONL journal, flushed per accepted
+operation: a SIGKILLed gateway process loses its sockets and its
+scheduler state, never an accepted job — the journal bytes are already
+in the kernel when the 201 leaves. On restart :meth:`replay` rebuilds
+the store; jobs that were queued *or assigned* at the crash come back
+queued (requeued, not dropped — the in-flight assignment died with the
+scheduler's client table), finished and cancelled jobs stay finished and
+cancelled.
+
+Job lifecycle::
+
+    submit -> queued -> assigned -> done
+                 \\         |
+                  +--------+--> cancelled   (cancel is idempotent)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Optional
+
+__all__ = ["Job", "WorkQueue", "MemoryJournal", "FileJournal",
+           "JOB_STATES"]
+
+JOB_STATES = ("queued", "assigned", "done", "cancelled")
+
+
+class Job:
+    """One submitted job and its lifecycle bookkeeping."""
+
+    __slots__ = ("id", "spec", "state", "submitted_at", "finished_at",
+                 "result", "requeues")
+
+    def __init__(self, job_id: str, spec: dict, submitted_at: float) -> None:
+        self.id = job_id
+        self.spec = spec
+        self.state = "queued"
+        self.submitted_at = submitted_at
+        self.finished_at: Optional[float] = None
+        self.result: Optional[dict] = None
+        self.requeues = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "state": self.state,
+            "spec": self.spec,
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "result": self.result,
+            "requeues": self.requeues,
+        }
+
+
+class MemoryJournal:
+    """In-process journal for the simulated twin: same record stream as
+    :class:`FileJournal`, surviving a *simulated* gateway restart (the
+    deterministic analogue of kernel page cache surviving a SIGKILL)."""
+
+    def __init__(self) -> None:
+        self._records: list[dict] = []
+
+    def append(self, record: dict) -> None:
+        self._records.append(record)
+
+    def records(self) -> list[dict]:
+        return list(self._records)
+
+    def close(self) -> None:
+        pass
+
+
+class FileJournal:
+    """Append-only JSONL journal, flushed per record.
+
+    ``flush()`` (no fsync) is the deliberate durability point: the
+    threat model is the gateway *process* dying (chaos SIGKILL,
+    supervisor restart), and flushed bytes live in the kernel regardless
+    of what happens to the process. Machine-crash durability would add
+    an fsync per accept and is not what the live plane simulates.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = None
+
+    def records(self) -> list[dict]:
+        out: list[dict] = []
+        if not os.path.exists(self.path):
+            return out
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn tail write from a crash mid-append
+                if isinstance(record, dict):
+                    out.append(record)
+        return out
+
+    def append(self, record: dict) -> None:
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write(json.dumps(record, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+class WorkQueue:
+    """Durable job store + scheduler-facing work source (see module doc)."""
+
+    def __init__(self, journal=None, prefix: str = "job") -> None:
+        self.journal = journal
+        self.prefix = prefix
+        self.jobs: dict[str, Job] = {}
+        self._queue: deque[str] = deque()
+        self._seq = 0
+        #: Clock for callers that can't pass ``now`` (the scheduler's
+        #: ``complete(unit_id, result)`` two-arg protocol call). The
+        #: owning driver installs its own clock — wall seconds live,
+        #: simulated seconds in the twin.
+        self.clock = None
+        #: Lifecycle meters (JSON-safe; shipped in node stats).
+        self.submitted = 0
+        self.completed = 0
+        self.cancelled = 0
+        self.requeued = 0
+        self.results_dropped = 0
+        if journal is not None:
+            self.replay()
+
+    # -- journal --------------------------------------------------------------
+    def _log(self, record: dict) -> None:
+        if self.journal is not None:
+            self.journal.append(record)
+
+    def replay(self) -> int:
+        """Rebuild the store from the journal; returns the number of
+        jobs that came back *queued* (i.e. requeued-not-dropped)."""
+        self.jobs.clear()
+        self._queue.clear()
+        top = 0
+        for record in self.journal.records():
+            op = record.get("op")
+            job_id = record.get("id")
+            if op == "submit" and isinstance(job_id, str):
+                spec = record.get("spec")
+                job = Job(job_id, spec if isinstance(spec, dict) else {},
+                          float(record.get("t", 0.0)))
+                self.jobs[job_id] = job
+                self._queue.append(job_id)
+                tail = job_id.rpartition("-")[2]
+                if tail.isdigit():
+                    top = max(top, int(tail))
+            elif job_id in self.jobs:
+                job = self.jobs[job_id]
+                if op == "done":
+                    job.state = "done"
+                    job.result = record.get("result")
+                    job.finished_at = record.get("t")
+                elif op == "cancel":
+                    job.state = "cancelled"
+                    job.finished_at = record.get("t")
+        self._seq = top
+        # Everything not terminal goes back in the queue, submit order.
+        self._queue = deque(
+            job_id for job_id in self._queue
+            if self.jobs[job_id].state not in ("done", "cancelled"))
+        for job_id in self._queue:
+            self.jobs[job_id].state = "queued"
+        return len(self._queue)
+
+    # -- job lifecycle (the HTTP routers' side) ------------------------------
+    def submit(self, spec: dict, now: float) -> Job:
+        """Accept one job; the journal record is flushed before return."""
+        self._seq += 1
+        job = Job(f"{self.prefix}-{self._seq}", dict(spec), now)
+        self._log({"op": "submit", "id": job.id, "spec": job.spec,
+                   "t": now})
+        self.jobs[job.id] = job
+        self._queue.append(job.id)
+        self.submitted += 1
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self.jobs.get(job_id)
+
+    def cancel(self, job_id: str, now: float) -> Optional[Job]:
+        """Cancel a job; idempotent (a second cancel is a no-op, not an
+        error). Returns None for unknown ids. Cancelling a *done* job is
+        also a no-op — the result already exists. An assigned job is
+        marked cancelled here and its eventual completion is dropped."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            return None
+        if job.state in ("done", "cancelled"):
+            return job
+        self._log({"op": "cancel", "id": job_id, "t": now})
+        if job.state == "queued":
+            try:
+                self._queue.remove(job_id)
+            except ValueError:
+                pass
+        job.state = "cancelled"
+        job.finished_at = now
+        self.cancelled += 1
+        return job
+
+    def counts(self) -> dict:
+        out = {state: 0 for state in JOB_STATES}
+        for job in self.jobs.values():
+            out[job.state] += 1
+        out["total"] = len(self.jobs)
+        return out
+
+    # -- WorkSource protocol (the scheduler's side) --------------------------
+    def next_unit(self) -> Optional[dict]:
+        while self._queue:
+            job_id = self._queue.popleft()
+            job = self.jobs.get(job_id)
+            if job is None or job.state != "queued":
+                continue
+            job.state = "assigned"
+            # The unit handed to clients is the spec plus the job id —
+            # SCH_REPORT's unit_id is how completion finds its way back.
+            return {**job.spec, "id": job.id}
+        return None
+
+    def requeue(self, unit: dict) -> None:
+        job = self.jobs.get(str(unit.get("id")))
+        if job is None or job.state in ("done", "cancelled"):
+            return  # a cancelled in-flight unit dies here, silently
+        job.state = "queued"
+        job.requeues += 1
+        self.requeued += 1
+        # Front of the queue: requeued units represent in-flight work.
+        self._queue.appendleft(job.id)
+
+    def complete(self, unit_id: str, result: dict,
+                 now: Optional[float] = None) -> None:
+        if now is None:
+            now = self.clock() if self.clock is not None else 0.0
+        job = self.jobs.get(str(unit_id))
+        if job is None:
+            return
+        if job.state == "cancelled":
+            # Raced a cancel: the user said stop; drop the result.
+            self.results_dropped += 1
+            return
+        if job.state == "done":
+            return  # duplicate completion report
+        self._log({"op": "done", "id": job.id, "result": result, "t": now})
+        job.state = "done"
+        job.result = result
+        job.finished_at = now
+        self.completed += 1
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
+
+    def stats(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "cancelled": self.cancelled,
+            "requeued": self.requeued,
+            "results_dropped": self.results_dropped,
+            "depth": len(self._queue),
+            **{f"state_{k}": v for k, v in self.counts().items()},
+        }

@@ -129,13 +129,17 @@ class _Connection:
     """Server-side connection state: an incremental decoder per socket
     plus a frame queue flushed in batched vectored writes."""
 
-    __slots__ = ("sock", "decoder", "out", "want_write")
+    __slots__ = ("sock", "decoder", "out", "want_write", "close_when_flushed")
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket, decoder=None) -> None:
         self.sock = sock
-        self.decoder = PacketDecoder()
+        self.decoder = decoder if decoder is not None else PacketDecoder()
         self.out: deque = deque()  # bytes/memoryview frames awaiting flush
         self.want_write = False
+        #: Half-close discipline for protocols that end a conversation
+        #: (HTTP ``Connection: close``, protocol errors): the reactor
+        #: finishes flushing the queue, then drops the connection.
+        self.close_when_flushed = False
 
 
 class TcpServer:
@@ -154,6 +158,7 @@ class TcpServer:
         loop: Optional[EventLoop] = None,
         backlog: int = 1024,
         raw_handler: Optional[Callable[[str, memoryview], bytes]] = None,
+        decoder_factory: Optional[Callable[[], object]] = None,
     ) -> None:
         self.handler = handler
         #: Transport-level fast path: when set, inbound records bypass
@@ -162,6 +167,11 @@ class TcpServer:
         #: relay-style services (and the transport benchmark) that don't
         #: need message semantics. The view is only valid for the call.
         self.raw_handler = raw_handler
+        #: Per-connection wire parser. The default is the lingua franca's
+        #: CRC-framed :class:`PacketDecoder`; subclasses serving another
+        #: wire protocol on the same reactor (the HTTP gateway) install
+        #: their own incremental decoder and override :meth:`_service`.
+        self._decoder_factory = decoder_factory or PacketDecoder
         self._loop = loop if loop is not None else EventLoop()
         self._owns_loop = loop is None
         self._listen = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -227,7 +237,7 @@ class TcpServer:
             return False
         sock.setblocking(False)
         _nodelay(sock)
-        conn = _Connection(sock)
+        conn = _Connection(sock, self._decoder_factory())
         self._conns.add(conn)
         self._loop.register(
             sock, selectors.EVENT_READ,
@@ -252,6 +262,15 @@ class TcpServer:
             self._drop(conn)
             return
         conn.decoder.feed(data)
+        self._service(conn)
+
+    def _service(self, conn: _Connection) -> None:
+        """Drain every complete buffered record and queue replies.
+
+        Subclasses speaking another wire protocol (HTTP) override this
+        together with ``decoder_factory``; the accept/read/flush/drop
+        machinery is protocol-agnostic and shared.
+        """
         if self.raw_handler is not None:
             self._service_raw(conn)
             return
@@ -332,6 +351,9 @@ class TcpServer:
                     out[0] = memoryview(head)[sent:]
                     sent = 0
         want = bool(out)
+        if not want and conn.close_when_flushed:
+            self._drop(conn)
+            return False
         if want and not conn.want_write:
             conn.want_write = True
             self._loop.modify(

@@ -27,7 +27,6 @@ from __future__ import annotations
 import random
 import signal
 import time
-import warnings
 from typing import Callable, Optional
 
 from .component import CancelTimer, Component, Effect, LogLine, Send, SetTimer, Stop
@@ -85,14 +84,9 @@ class NetDriver:
         speed: float = 0.0,
     ) -> None:
         if send_timeout is not None:
-            warnings.warn(
-                "NetDriver(send_timeout=...) is deprecated; pass "
-                "timeout_policy=TimeoutPolicy.static(value) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
-            if timeout_policy is None:
-                timeout_policy = TimeoutPolicy.static(send_timeout)
+            raise TypeError(
+                "NetDriver(send_timeout=...) was removed; pass "
+                "timeout_policy=TimeoutPolicy.static(value) instead")
         self.component = component
         #: One selector shared by the listening socket, every accepted
         #: connection, and every outbound connection.

@@ -37,6 +37,7 @@ from .topology import (
     Topology,
     build_manifest,
     sc98_topology,
+    serve_topology,
 )
 
 __all__ = [
@@ -55,4 +56,5 @@ __all__ = [
     "Topology",
     "build_manifest",
     "sc98_topology",
+    "serve_topology",
 ]

@@ -29,6 +29,9 @@ from ..core.services.persistent import (
 )
 from ..core.services.scheduler import QueueWorkSource, SchedulerServer
 from ..core.telemetry import Telemetry
+from ..control.gateway import GatewayCore
+from ..control.http import HttpServer, json_response
+from ..control.workqueue import FileJournal, WorkQueue
 from ..ramsey.client import RAMSEY_BEST, RamseyClient, RealEngine, ramsey_comparator
 from ..ramsey.tasks import unit_generator
 from ..ramsey.verify import counter_example_validator
@@ -52,11 +55,15 @@ def _rotated(items: list[str], idx: int) -> list[str]:
     return items[shift:] + items[:shift]
 
 
-def build_component(manifest: Manifest, name: str) -> Component:
+def build_component(manifest: Manifest, name: str,
+                    data_dir: Optional[str] = None) -> Component:
     """Build the sans-IO component for node ``name`` from the manifest.
 
     The same classes the simulation deploys (`scenario.build_core` /
     `model_client_factory`), wired with live ``host:port`` contacts.
+    ``data_dir`` is where durable node state lives (the gateway's job
+    journal); without it a gateway runs journal-less, losing accepted
+    jobs on restart — fine for unit tests, never for ``repro serve``.
     """
     topo = manifest.topology
     spec = topo.named(name)
@@ -88,6 +95,22 @@ def build_component(manifest: Manifest, name: str) -> Component:
             reap_period=topo.report_period,
             dead_factor=float(opts.get("dead_factor", 4.0)),
         )
+    if spec.role == "gateway":
+        # A gateway IS a scheduler downward: its work source is the
+        # durable WorkQueue the HTTP routers fill, and clients pull via
+        # the usual SCH_* protocol. The journal (replayed in the
+        # constructor) is what makes a SIGKILL lose no accepted job.
+        journal = None
+        if data_dir is not None:
+            journal = FileJournal(
+                os.path.join(data_dir, f"{name}.journal.jsonl"))
+        work = WorkQueue(journal=journal, prefix=f"{name}-job")
+        return SchedulerServer(
+            name, work,
+            report_period=topo.report_period,
+            reap_period=topo.report_period,
+            dead_factor=float(opts.get("dead_factor", 4.0)),
+        )
     if spec.role == "persistent":
         backend = None
         backend_dir = opts.get("backend_dir")
@@ -101,7 +124,8 @@ def build_component(manifest: Manifest, name: str) -> Component:
     if spec.role == "client":
         return RamseyClient(
             name=name,
-            schedulers=_rotated(manifest.contacts_for("scheduler"), idx),
+            schedulers=_rotated(manifest.contacts_for("scheduler")
+                                + manifest.contacts_for("gateway"), idx),
             engine=RealEngine(
                 max_steps_per_advance=int(opts.get("max_steps_per_advance", 2000))),
             infra=str(opts.get("infra", "live")),
@@ -125,6 +149,8 @@ def node_stats(component: Component) -> dict:
             stats["queue_depth"] = len(component.work)  # type: ignore[arg-type]
         except TypeError:
             pass
+        if isinstance(component.work, WorkQueue):
+            stats["jobs"] = component.work.stats()
         return stats
     if isinstance(component, PersistentStateServer):
         stats = asdict(component.stats)
@@ -278,7 +304,8 @@ def run_node(
         trace=topo.trace,
         id_base=((idx + 1) * MAX_INCARNATIONS
                  + incarnation % MAX_INCARNATIONS) * ID_BLOCK)
-    component = build_component(manifest, name)
+    data_dir = os.path.dirname(os.path.abspath(manifest_path))
+    component = build_component(manifest, name, data_dir=data_dir)
     speed = topo.speed if spec.role == "client" else 0.0
     driver = _bind_driver(component, host, int(port), telemetry, speed)
     shipper = _Shipper(driver, manifest, name, incarnation,
@@ -286,6 +313,8 @@ def run_node(
     driver.log_sink = shipper.log_sink
     driver.tick_hook = shipper.tick
     driver.drain_hooks.append(shipper.drain)
+    if spec.role == "gateway":
+        _attach_gateway(driver, manifest, name)
     driver.install_signal_handlers()
     shipper.hello()
     try:
@@ -293,3 +322,40 @@ def run_node(
     finally:
         driver.shutdown()
     return 0
+
+
+def _attach_gateway(driver: NetDriver, manifest: Manifest,
+                    name: str) -> None:
+    """Hang the HTTP listener off the gateway node's reactor loop.
+
+    One process, one selector loop, two protocols: lingua-franca SCH_*
+    frames on the node's world port, HTTP/1.1 on its second preallocated
+    port. The router is the sans-IO :class:`GatewayCore`; this wrapper
+    owns the clocks (wall latency for histograms, driver time for job
+    timestamps)."""
+    work: WorkQueue = driver.component.work
+    work.clock = driver.now
+    core = GatewayCore(name, work, telemetry=driver.telemetry,
+                       started_at=driver.now())
+
+    def app(request):
+        t0 = time.monotonic()
+        status, doc, route = core.handle(
+            request.method, request.path, request.body, driver.now())
+        core.observe_latency(route, (time.monotonic() - t0) * 1000.0)
+        return json_response(status, doc, close=request.close)
+
+    http_host, _, http_port = manifest.http_contact(name).rpartition(":")
+    last: Optional[OSError] = None
+    for _ in range(20):
+        try:
+            server = HttpServer(http_host, int(http_port), app,
+                                loop=driver.loop)
+            break
+        except OSError as exc:  # predecessor's socket still tearing down
+            last = exc
+            time.sleep(0.1)
+    else:
+        raise last if last is not None else OSError("http bind failed")
+    driver.drain_hooks.append(server.close)
+    driver.drain_hooks.append(work.close)

@@ -27,12 +27,14 @@ __all__ = [
     "Manifest",
     "build_manifest",
     "sc98_topology",
+    "serve_topology",
 ]
 
 #: The node roles the deployment plane can stand up (Figure 1's boxes:
 #: G = gossip, S = scheduler, P = persistent state, L = logging,
-#: A = computational client).
-ROLES = ("gossip", "scheduler", "persistent", "logger", "client")
+#: A = computational client — plus the control plane's HTTP/JSON job
+#: gateway, a scheduler whose work queue is fed by external users).
+ROLES = ("gossip", "scheduler", "persistent", "logger", "client", "gateway")
 
 
 @dataclass
@@ -98,8 +100,10 @@ class Topology:
         names = [spec.name for spec in self.nodes]
         if len(set(names)) != len(names):
             raise ValueError("duplicate node names in topology")
-        if self.by_role("client") and not self.by_role("scheduler"):
-            raise ValueError("clients need at least one scheduler node")
+        if self.by_role("client") and not (
+                self.by_role("scheduler") or self.by_role("gateway")):
+            raise ValueError("clients need at least one scheduler or "
+                             "gateway node")
 
     def to_dict(self) -> dict:
         return {
@@ -155,6 +159,37 @@ def sc98_topology(
     return topo
 
 
+def serve_topology(
+    clients: int = 2,
+    gossips: int = 1,
+    gateways: int = 1,
+    persistents: int = 1,
+    loggers: int = 1,
+    **params,
+) -> Topology:
+    """The control-plane world: HTTP/JSON gateways in place of the
+    self-feeding scheduler. Gateways *are* schedulers downward — clients
+    pull externally-submitted jobs over the usual SCH_* protocol — but
+    their queues start empty and fill from ``POST /jobs``.
+
+    Extra keyword arguments override :class:`Topology` run parameters.
+    """
+    nodes: list[NodeSpec] = []
+    nodes += [NodeSpec(f"gossip{i}", "gossip") for i in range(gossips)]
+    nodes += [NodeSpec(f"gw{i}", "gateway") for i in range(gateways)]
+    nodes += [NodeSpec(f"pst{i}", "persistent") for i in range(persistents)]
+    nodes += [NodeSpec(f"logger{i}", "logger") for i in range(loggers)]
+    nodes += [NodeSpec(f"cli{i}", "client", options={"infra": "live"})
+              for i in range(clients)]
+    topo = Topology(nodes=nodes)
+    for key, value in params.items():
+        if not hasattr(topo, key):
+            raise TypeError(f"unknown topology parameter {key!r}")
+        setattr(topo, key, value)
+    topo.validate()
+    return topo
+
+
 @dataclass
 class Manifest:
     """The bootstrap/discovery document every live node reads at startup.
@@ -167,6 +202,10 @@ class Manifest:
     topology: Topology
     contacts: dict[str, str]
     collector: str
+    #: HTTP contacts for gateway nodes (name -> ``host:port``): a
+    #: gateway listens on *two* preallocated ports, lingua franca for
+    #: the world and HTTP/JSON for external users.
+    http: dict = field(default_factory=dict)
 
     def contact(self, name: str) -> str:
         return self.contacts[name]
@@ -175,11 +214,19 @@ class Manifest:
         """Contacts of every node with ``role``, in topology order."""
         return [self.contacts[s.name] for s in self.topology.by_role(role)]
 
+    def http_contact(self, name: str) -> str:
+        return self.http[name]
+
+    def http_contacts(self) -> list[str]:
+        """HTTP contacts of every gateway node, in topology order."""
+        return [self.http[s.name] for s in self.topology.by_role("gateway")]
+
     def to_dict(self) -> dict:
         return {
             "topology": self.topology.to_dict(),
             "contacts": dict(self.contacts),
             "collector": self.collector,
+            "http": dict(self.http),
         }
 
     @classmethod
@@ -188,6 +235,7 @@ class Manifest:
             topology=Topology.from_dict(d["topology"]),
             contacts=dict(d["contacts"]),
             collector=str(d.get("collector", "")),
+            http=dict(d.get("http", {})),
         )
 
     def write(self, path: str) -> str:
@@ -216,13 +264,20 @@ def build_manifest(
     tests that never bind them.
     """
     topology.validate()
+    gateways = topology.by_role("gateway")
     own = allocator is None
     alloc = allocator if allocator is not None else PortAllocator(host)
-    ports = alloc.allocate(len(topology.nodes))
+    ports = alloc.allocate(len(topology.nodes) + len(gateways))
     if own:
         alloc.release()
     contacts = {
         spec.name: f"{host}:{port}"
         for spec, port in zip(topology.nodes, ports)
     }
-    return Manifest(topology=topology, contacts=contacts, collector=collector)
+    # Gateways get a second preallocated port for their HTTP listener.
+    http = {
+        spec.name: f"{host}:{port}"
+        for spec, port in zip(gateways, ports[len(topology.nodes):])
+    }
+    return Manifest(topology=topology, contacts=contacts,
+                    collector=collector, http=http)

@@ -1,0 +1,121 @@
+"""GatewayCore routing: one table, exercised sans-IO.
+
+These are the semantics both planes inherit — the live HttpServer and
+the simulated twin drive this exact router, so every status code and
+idempotency rule proven here holds there too.
+"""
+
+import pytest
+
+from repro.control import GatewayCore, WorkQueue
+
+
+@pytest.fixture()
+def core():
+    return GatewayCore("gw-test", WorkQueue(prefix="t"))
+
+
+def _json(obj) -> bytes:
+    import json
+
+    return json.dumps(obj).encode("utf-8")
+
+
+def test_submit_returns_201_and_assigned_id(core):
+    status, doc, route = core.handle(
+        "POST", "/jobs", _json({"kind": "noop"}), now=1.0)
+    assert (status, route) == (201, "POST /jobs")
+    assert doc["id"] == "t-1"
+    assert doc["state"] == "queued"
+    assert doc["submitted_at"] == 1.0
+
+
+def test_submit_rejects_malformed_bodies(core):
+    for body in (b"{not json", b"", b"[1, 2]", b'"a string"',
+                 _json({"id": "t-9", "kind": "forged"})):
+        status, doc, route = core.handle("POST", "/jobs", body, now=0.0)
+        assert status == 400, body
+        assert "error" in doc
+        assert route == "POST /jobs"
+    assert core.rejected == 5
+    assert len(core.work.jobs) == 0
+
+
+def test_get_job_roundtrip_and_404(core):
+    core.handle("POST", "/jobs", _json({"k": 8}), now=1.0)
+    status, doc, route = core.handle("GET", "/jobs/t-1", b"", now=2.0)
+    assert (status, route) == (200, "GET /jobs/{id}")
+    assert doc["id"] == "t-1"
+    assert doc["spec"] == {"k": 8}
+    status, doc, _ = core.handle("GET", "/jobs/t-404", b"", now=2.0)
+    assert status == 404
+
+
+def test_cancel_idempotent_and_409_once_done(core):
+    core.handle("POST", "/jobs", _json({}), now=0.0)
+    status1, doc1, route = core.handle(
+        "POST", "/jobs/t-1/cancel", b"", now=1.0)
+    status2, doc2, _ = core.handle("POST", "/jobs/t-1/cancel", b"", now=2.0)
+    assert route == "POST /jobs/{id}/cancel"
+    assert (status1, status2) == (200, 200)  # double-cancel is idempotent
+    assert doc1["state"] == doc2["state"] == "cancelled"
+    assert doc2["finished_at"] == 1.0
+
+    core.handle("POST", "/jobs", _json({}), now=3.0)
+    core.work.next_unit()
+    core.work.complete("t-2", {"answer": 1}, now=4.0)
+    status, doc, _ = core.handle("POST", "/jobs/t-2/cancel", b"", now=5.0)
+    assert status == 409
+    assert doc["state"] == "done"
+    status, _, _ = core.handle("POST", "/jobs/t-404/cancel", b"", now=5.0)
+    assert status == 404
+
+
+def test_list_queue_health_metrics(core):
+    for i in range(3):
+        core.handle("POST", "/jobs", _json({"i": i}), now=float(i))
+    status, doc, _ = core.handle("GET", "/jobs", b"", now=3.0)
+    assert status == 200
+    assert doc["counts"]["queued"] == 3
+    assert doc["jobs"] == ["t-1", "t-2", "t-3"]
+    assert doc["truncated"] is False
+
+    status, doc, _ = core.handle("GET", "/queue", b"", now=3.0)
+    assert status == 200
+    assert doc["depth"] == 3
+
+    status, doc, _ = core.handle("GET", "/health", b"", now=10.0)
+    assert status == 200
+    assert doc["ok"] is True
+    assert doc["node"] == "gw-test"
+    assert doc["uptime"] == 10.0
+    assert doc["jobs"]["queued"] == 3
+
+    status, doc, _ = core.handle("GET", "/metrics", b"", now=10.0)
+    assert status == 200
+    assert any(k.startswith("http.requests") for k in doc["counters"])
+
+
+def test_unknown_routes_404_wrong_methods_405(core):
+    assert core.handle("GET", "/nope", b"", now=0.0)[0] == 404
+    assert core.handle("DELETE", "/jobs", b"", now=0.0)[0] == 405
+    assert core.handle("POST", "/jobs/t-1", b"", now=0.0)[0] == 405
+    assert core.handle("GET", "/jobs/t-1/cancel", b"", now=0.0)[0] == 405
+    assert core.handle("POST", "/health", b"", now=0.0)[0] == 404
+
+
+def test_path_normalisation(core):
+    core.handle("POST", "/jobs", _json({}), now=0.0)
+    # Trailing slashes and query strings route identically.
+    assert core.handle("GET", "/jobs/t-1/", b"", now=0.0)[0] == 200
+    assert core.handle("GET", "/health?probe=1", b"", now=0.0)[0] == 200
+
+
+def test_requests_accounted_per_route_and_status(core):
+    core.handle("POST", "/jobs", _json({}), now=0.0)
+    core.handle("GET", "/jobs/t-404", b"", now=0.0)
+    assert core.requests == 2
+    assert core.rejected == 1
+    counters = core.telemetry.metrics.snapshot()["counters"]
+    assert any("POST /jobs" in k and "201" in k for k in counters)
+    assert any("404" in k for k in counters)

@@ -1,0 +1,274 @@
+"""The HTTP face of the reactor: framing edges and hostile byte streams.
+
+Decoder tests are sans-IO; the server tests pump a real HttpServer from
+a helper thread (the library itself stays single-threaded) and attack it
+with raw sockets — malformed request lines, oversized uploads, slowloris
+dribbles — asserting the §2.3 robustness rule: a hostile byte stream is
+answered with a correct 4xx, never a wedged reactor.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.control import (
+    GatewayClient,
+    GatewayCore,
+    HttpDecoder,
+    HttpError,
+    HttpResponseDecoder,
+    HttpServer,
+    WorkQueue,
+    json_response,
+)
+
+
+def _request(method="GET", path="/health", body=b"", version="HTTP/1.1",
+             extra=""):
+    head = (f"{method} {path} {version}\r\n"
+            f"Content-Length: {len(body)}\r\n{extra}\r\n")
+    return head.encode("latin-1") + body
+
+
+# -- decoder: framing ---------------------------------------------------------
+
+def test_decoder_parses_simple_get():
+    decoder = HttpDecoder()
+    decoder.feed(_request())
+    request = decoder.next_request()
+    assert request.method == "GET"
+    assert request.path == "/health"
+    assert request.error is None
+    assert request.close is False  # HTTP/1.1 keep-alive default
+
+
+def test_decoder_honors_connection_close_and_http10():
+    decoder = HttpDecoder()
+    decoder.feed(_request(extra="Connection: close\r\n"))
+    assert decoder.next_request().close is True
+    decoder = HttpDecoder()
+    decoder.feed(_request(version="HTTP/1.0"))
+    assert decoder.next_request().close is True
+    decoder = HttpDecoder()
+    decoder.feed(_request(version="HTTP/1.0",
+                          extra="Connection: keep-alive\r\n"))
+    assert decoder.next_request().close is False
+
+
+def test_decoder_handles_pipelined_requests():
+    decoder = HttpDecoder()
+    decoder.feed(_request(path="/a") + _request("POST", "/b", b'{"x":1}'))
+    first = decoder.next_request()
+    second = decoder.next_request()
+    assert (first.path, second.path) == ("/a", "/b")
+    assert second.json() == {"x": 1}
+    assert decoder.next_request() is None
+
+
+def test_decoder_survives_slowloris_byte_dribble():
+    decoder = HttpDecoder()
+    wire = _request("POST", "/jobs", b'{"kind": "noop"}')
+    for i in range(len(wire) - 1):
+        decoder.feed(wire[i:i + 1])
+        assert decoder.next_request() is None  # never a partial request
+    decoder.feed(wire[-1:])
+    request = decoder.next_request()
+    assert request.error is None
+    assert request.json() == {"kind": "noop"}
+
+
+def test_decoder_waits_for_split_body():
+    decoder = HttpDecoder()
+    wire = _request("POST", "/jobs", b'{"a": 1}')
+    decoder.feed(wire[:-4])
+    assert decoder.next_request() is None
+    decoder.feed(wire[-4:])
+    assert decoder.next_request().json() == {"a": 1}
+
+
+@pytest.mark.parametrize("wire, status", [
+    (b"NONSENSE\r\n\r\n", 400),                      # no method/path/version
+    (b"BREW /pot HTTP/1.1\r\n\r\n", 400),            # unknown method
+    (b"GET /x HTTP/2.0\r\n\r\n", 400),               # unsupported version
+    (b"GET noslash HTTP/1.1\r\n\r\n", 400),          # path without /
+    (_request(extra="Transfer-Encoding: chunked\r\n"), 400),
+    (b"GET / HTTP/1.1\r\nContent-Length: ten\r\n\r\n", 400),
+    (b"GET / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", 400),
+    (b"GET / HTTP/1.1\r\nBad Header Line\r\n\r\n", 400),
+])
+def test_decoder_rejects_malformed_framing(wire, status):
+    decoder = HttpDecoder()
+    decoder.feed(wire)
+    request = decoder.next_request()
+    assert request.error is not None
+    assert request.error[0] == status
+    assert request.close is True
+    # The decoder is poisoned: no resync on a boundary-less stream.
+    decoder.feed(_request())
+    assert decoder.next_request() is None
+
+
+def test_decoder_refuses_oversized_declared_body_with_413():
+    decoder = HttpDecoder(max_body=1024)
+    decoder.feed(b"POST /jobs HTTP/1.1\r\nContent-Length: 2048\r\n\r\n")
+    request = decoder.next_request()
+    assert request.error[0] == 413  # refused at the header, body unread
+
+
+def test_decoder_caps_header_block():
+    decoder = HttpDecoder(max_header=256)
+    decoder.feed(b"GET / HTTP/1.1\r\nX-Pad: " + b"a" * 300)
+    request = decoder.next_request()
+    assert request.error[0] == 400
+
+
+def test_response_decoder_roundtrips_server_frames():
+    decoder = HttpResponseDecoder()
+    decoder.feed(json_response(201, {"id": "t-1"}))
+    status, headers, body = decoder.next_response()
+    assert status == 201
+    assert headers["content-type"] == "application/json"
+    assert json.loads(body) == {"id": "t-1"}
+    with pytest.raises(HttpError):
+        decoder.feed(b"garbage not http\r\n\r\n")
+        decoder.next_response()
+
+
+# -- server: real sockets -----------------------------------------------------
+
+class GatewayUnderTest:
+    """An HttpServer wrapping a GatewayCore, pumped from a thread."""
+
+    def __init__(self):
+        self.work = WorkQueue(prefix="t")
+        self.core = GatewayCore("gw-test", self.work)
+        self.server = HttpServer("127.0.0.1", 0, self._app)
+        self.contact = "%s:%d" % self.server.address
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _app(self, request):
+        status, doc, _route = self.core.handle(
+            request.method, request.path, request.body, time.monotonic())
+        return json_response(status, doc, close=request.close)
+
+    def _run(self):
+        while not self._stop.is_set():
+            self.server.step(0.02)
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc):
+        self._stop.set()
+        self._thread.join(timeout=2)
+        self.server.close()
+
+
+def test_job_api_over_real_sockets():
+    with GatewayUnderTest() as world:
+        with GatewayClient(world.contact) as client:
+            accepted = client.submit({"kind": "noop"})
+            assert accepted["state"] == "queued"
+            job_id = accepted["id"]
+            assert client.job(job_id)["spec"] == {"kind": "noop"}
+            assert client.job("t-404") is None
+            status1, doc1 = client.cancel(job_id)
+            status2, doc2 = client.cancel(job_id)  # double-cancel: idempotent
+            assert (status1, status2) == (200, 200)
+            assert doc1["state"] == doc2["state"] == "cancelled"
+            assert client.health()["ok"] is True
+            assert client.queue()["state_cancelled"] == 1
+
+
+def test_malformed_bytes_answered_400_and_closed():
+    with GatewayUnderTest() as world:
+        host, port = world.server.address
+        with socket.create_connection((host, port), timeout=2) as sock:
+            sock.sendall(b"THIS IS NOT HTTP\r\n\r\n")
+            decoder = HttpResponseDecoder()
+            response = None
+            while response is None:
+                chunk = sock.recv(4096)
+                assert chunk, "server closed without answering"
+                decoder.feed(chunk)
+                response = decoder.next_response()
+            status, _, body = response
+            assert status == 400
+            assert b"error" in body
+            # The connection is closed after the error flushes.
+            sock.settimeout(2)
+            assert sock.recv(4096) == b""
+        assert world.server.protocol_errors == 1
+
+
+def test_oversized_upload_refused_413_at_header():
+    with GatewayUnderTest() as world:
+        host, port = world.server.address
+        with socket.create_connection((host, port), timeout=2) as sock:
+            sock.sendall(f"POST /jobs HTTP/1.1\r\n"
+                         f"Content-Length: {300 * 1024}\r\n\r\n"
+                         .encode("latin-1"))
+            decoder = HttpResponseDecoder()
+            response = None
+            while response is None:
+                chunk = sock.recv(4096)
+                assert chunk
+                decoder.feed(chunk)
+                response = decoder.next_response()
+            assert response[0] == 413
+        assert len(world.work.jobs) == 0
+
+
+def test_slowloris_does_not_stall_other_clients():
+    with GatewayUnderTest() as world:
+        host, port = world.server.address
+        with socket.create_connection((host, port), timeout=2) as slow:
+            slow.sendall(b"GET /heal")  # ...and then just sit there
+            time.sleep(0.05)
+            # A well-behaved client on another connection is unaffected.
+            with GatewayClient(world.contact) as client:
+                t0 = time.monotonic()
+                assert client.health()["ok"] is True
+                assert time.monotonic() - t0 < 1.0
+            slow.sendall(b"th HTTP/1.1\r\n\r\n")  # finish the dribble
+            decoder = HttpResponseDecoder()
+            response = None
+            while response is None:
+                chunk = slow.recv(4096)
+                assert chunk
+                decoder.feed(chunk)
+                response = decoder.next_response()
+            assert response[0] == 200
+
+
+def test_client_reconnects_after_gateway_restart():
+    """The probe-after-kill path: a cached client connection goes stale
+    when the gateway dies; the next request retries on a fresh socket
+    against the reborn gateway on the same contact."""
+    first = GatewayUnderTest()
+    host, port = first.server.address
+    with first:
+        client = GatewayClient(first.contact)
+        accepted = client.submit({"kind": "noop"})
+    # The gateway is dead; its replacement binds the same port and
+    # replays the (here: shared in-memory) store.
+    reborn = GatewayUnderTest()
+    reborn.server.close()
+    reborn.work = first.work
+    reborn.core = GatewayCore("gw-reborn", first.work)
+    for _ in range(50):
+        try:
+            reborn.server = HttpServer(host, port, reborn._app)
+            break
+        except OSError:
+            time.sleep(0.1)
+    with reborn:
+        job = client.job(accepted["id"])
+        assert job is not None and job["id"] == accepted["id"]
+        assert client.health()["node"] == "gw-reborn"
+    client.close()

@@ -180,14 +180,9 @@ def test_netdriver_default_timeout_policy_is_forecast_driven():
         driver.close()
 
 
-def test_netdriver_send_timeout_kwarg_deprecated_but_honored():
-    with pytest.deprecated_call():
-        driver = NetDriver(EchoComponent(), send_timeout=1.5)
-    try:
-        assert not driver.timeout_policy.dynamic
-        assert driver.timeout_policy.timeout_for("any#TAG") == 1.5
-    finally:
-        driver.close()
+def test_netdriver_send_timeout_kwarg_removed():
+    with pytest.raises(TypeError, match="timeout_policy"):
+        NetDriver(EchoComponent(), send_timeout=1.5)
 
 
 def test_netdriver_explicit_policy_wins_silently():
