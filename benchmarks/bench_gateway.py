@@ -63,16 +63,16 @@ def _free_port() -> int:
 def _serve_child(port: int, journal_path: str) -> int:
     """Child mode: one gateway process, pumped until killed."""
     from repro.control import (FileJournal, GatewayCore, HttpServer,
-                               WorkQueue, json_response)
+                               WorkQueue, render_payload)
 
     work = WorkQueue(journal=FileJournal(journal_path), prefix="bench-job")
     work.clock = time.monotonic
     core = GatewayCore("bench-gw", work, started_at=time.monotonic())
 
     def app(request):
-        status, doc, _route = core.handle(
+        status, payload, route = core.handle(
             request.method, request.path, request.body, time.monotonic())
-        return json_response(status, doc, close=request.close)
+        return render_payload(status, payload, route, close=request.close)
 
     last: Exception | None = None
     for _ in range(100):  # the port may linger briefly after a SIGKILL

@@ -1,0 +1,330 @@
+"""Refresh the repo-root ``BENCH_obs.json`` observability-cost curves.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py
+    PYTHONPATH=src python benchmarks/bench_obs.py --quick --check
+
+Two questions, two cell families:
+
+* **trace cells** — the same ``GatewayStorm`` submission storm is run
+  against a gateway child with end-to-end job tracing OFF and then ON
+  (ingress span, journal/assign/done instants, TraceContext on every
+  unit). The median of the per-round paired off/on throughput ratios
+  is the price of tracing on the control plane's hot path; the gate
+  caps it at 5% (12% under --quick, whose 8-second cells cannot
+  resolve finer against CI scheduling noise).
+* **flight cells** — an in-process ``FlightRecorder`` at ring
+  capacities 1k and 10k is fed several rings' worth of spans, then
+  sealed and recovered with ``load_flight``. Reported: spool
+  throughput, seal/load latency, and on-disk dump size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+HERE = pathlib.Path(__file__).resolve().parent
+SRC = HERE.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+OBS_JSON = HERE.parent / "BENCH_obs.json"
+
+#: Acceptance ceiling: tracing may cost at most this much throughput.
+TRACE_DELTA_PCT_CEILING = 5.0
+#: The --quick ceiling is looser for the same reason net-smoke's floors
+#: are: an 8-second cell on a shared (often single-core) CI box cannot
+#: resolve the ~2% true cost against scheduling noise; the quick gate
+#: exists to catch a gross regression (a span per request, an O(n) scan
+#: on the submit path), not to re-measure the committed baseline.
+QUICK_TRACE_DELTA_PCT_CEILING = 12.0
+FLIGHT_CAPACITIES = (1_000, 10_000)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _serve_child(port: int, journal_path: str, trace: bool) -> int:
+    """Child mode: one gateway process, tracing on or off."""
+    from repro.control import (FileJournal, GatewayCore, HttpServer,
+                               WorkQueue, render_payload)
+    from repro.core.telemetry import Telemetry
+    from repro.obs.jobtrace import ID_BLOCK
+
+    telemetry = Telemetry(trace=True, id_base=ID_BLOCK) if trace else None
+    work = WorkQueue(journal=FileJournal(journal_path), prefix="bench-job")
+    work.clock = time.monotonic
+    core = GatewayCore("bench-gw", work, telemetry=telemetry,
+                       started_at=time.monotonic())
+
+    def app(request):
+        status, payload, route = core.handle(
+            request.method, request.path, request.body, time.monotonic())
+        return render_payload(status, payload, route, close=request.close)
+
+    server = HttpServer("127.0.0.1", port, app)
+    tracer = telemetry.tracer if telemetry is not None else None
+    while True:
+        server.step(0.05)
+        if tracer is not None:
+            # Model a healthy span shipper: everything taken, list bounded.
+            tracer.trim(tracer.dropped + len(tracer.spans))
+
+
+def _spawn_gateway(port: int, journal: str, trace: bool):
+    import subprocess
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, str(HERE / "bench_obs.py"), "--_serve",
+         str(port), journal, str(int(trace))],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+
+
+def _wait_healthy(port: int, timeout: float = 15.0) -> None:
+    from repro.control import GatewayClient, HttpError
+
+    deadline = time.monotonic() + timeout
+    with GatewayClient(f"127.0.0.1:{port}", timeout=2.0) as probe:
+        while time.monotonic() < deadline:
+            try:
+                probe.health()
+                return
+            except HttpError:
+                time.sleep(0.1)
+    raise RuntimeError("gateway never became healthy")
+
+
+def _trace_cells(clients: int, rounds: int, burst_s: float,
+                 seed: int) -> list[dict]:
+    """Storm two gateways — tracing off and on — in alternating bursts.
+
+    Both children are alive for the whole measurement and each round
+    flips which mode goes first, so machine-wide throughput drift (the
+    dominant noise source on shared hosts) hits both modes equally
+    instead of masquerading as tracing cost.
+    """
+    import signal
+
+    from repro.control import GatewayStorm
+
+    modes = ("trace-off", "trace-on")
+    with tempfile.TemporaryDirectory(prefix="repro-bench-obs-") as tmp:
+        ports = {m: _free_port() for m in modes}
+        procs = {m: _spawn_gateway(ports[m],
+                                   os.path.join(tmp, f"{m}.jsonl"),
+                                   trace=(m == "trace-on"))
+                 for m in modes}
+        storms = {}
+        try:
+            for mode in modes:
+                _wait_healthy(ports[mode])
+                storms[mode] = GatewayStorm("127.0.0.1", ports[mode],
+                                            clients=clients, seed=seed)
+            totals = {m: {"submitted": 0, "elapsed": 0.0} for m in modes}
+            rates = {m: [] for m in modes}
+            seen = {m: 0 for m in modes}
+            for rnd in range(rounds):
+                order = modes if rnd % 2 == 0 else tuple(reversed(modes))
+                for mode in order:
+                    storm = storms[mode]
+                    t0 = time.monotonic()
+                    while time.monotonic() - t0 < burst_s:
+                        storm.step(0.005)
+                    elapsed = time.monotonic() - t0
+                    burst = storm.stats.submitted - seen[mode]
+                    totals[mode]["elapsed"] += elapsed
+                    totals[mode]["submitted"] += burst
+                    seen[mode] = storm.stats.submitted
+                    rates[mode].append(round(burst / elapsed, 1))
+            rows = []
+            for mode in modes:
+                storms[mode].quiesce(grace=3.0)
+                stats = storms[mode].stats
+                tot = totals[mode]
+                rows.append({
+                    "cell": mode,
+                    "clients": clients,
+                    "rounds": rounds,
+                    "burst_s": burst_s,
+                    "duration_s": round(tot["elapsed"], 3),
+                    "submitted": tot["submitted"],
+                    "errors": stats.errors,
+                    "submissions_per_s": round(
+                        tot["submitted"] / tot["elapsed"], 1)
+                    if tot["elapsed"] else 0.0,
+                    "submit_p50_ms": round(
+                        _percentile(stats.submit_latencies, 0.50), 2),
+                    "submit_p99_ms": round(
+                        _percentile(stats.submit_latencies, 0.99), 2),
+                    "round_submissions_per_s": rates[mode],
+                })
+            return rows
+        finally:
+            for storm in storms.values():
+                storm.close()
+            for proc in procs.values():
+                if proc.poll() is None:
+                    proc.send_signal(signal.SIGKILL)
+                    proc.wait()
+
+
+def _flight_cell(capacity: int) -> dict:
+    from repro.core.telemetry import Telemetry
+    from repro.obs.flight import FlightRecorder, flight_path, load_flight
+
+    spans = capacity * 3  # enough to force rotation twice over
+    with tempfile.TemporaryDirectory(prefix="repro-bench-obs-") as tmp:
+        tel = Telemetry(trace=True, id_base=1_000_000)
+        rec = FlightRecorder(flight_path(tmp, "bench", 0), telemetry=tel,
+                             node="bench", capacity=capacity)
+        t0 = time.perf_counter()
+        for i in range(spans):
+            span = tel.tracer.begin("job work", component="bench",
+                                    start=float(i))
+            tel.tracer.finish(span, float(i) + 0.5)
+            if i % 100 == 99:
+                rec.tick()
+        spool_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        rec.seal("bench")
+        seal_ms = (time.perf_counter() - t0) * 1e3
+
+        size = sum(os.path.getsize(p) for p in (rec.path, rec.path + ".1")
+                   if os.path.exists(p))
+        t0 = time.perf_counter()
+        dump = load_flight(rec.path)
+        load_ms = (time.perf_counter() - t0) * 1e3
+        return {
+            "cell": "flight",
+            "capacity": capacity,
+            "spans_fed": spans,
+            "spool_spans_per_s": round(spans / spool_s, 0),
+            "rotations": rec.rotations,
+            "seal_ms": round(seal_ms, 3),
+            "load_ms": round(load_ms, 3),
+            "dump_bytes": size,
+            "spans_recovered": len(dump["spans"]) if dump else 0,
+        }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    # 100 clients keeps the server at a stable operating point: deep
+    # saturation (bench_gateway's domain) amplifies queueing noise far
+    # beyond the per-request delta this bench is trying to resolve.
+    parser.add_argument("--clients", type=int, default=100,
+                        help="storm client count for the trace cells")
+    parser.add_argument("--rounds", type=int, default=12,
+                        help="alternating off/on burst rounds")
+    parser.add_argument("--burst", type=float, default=1.0,
+                        help="seconds per storm burst")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--quick", action="store_true",
+                        help="small storm, short cells (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail unless the tracing-cost ceiling holds")
+    parser.add_argument("--out", type=str, default=str(OBS_JSON))
+    parser.add_argument("--_serve", nargs=3,
+                        metavar=("PORT", "JOURNAL", "TRACE"),
+                        help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+    if args._serve:
+        return _serve_child(int(args._serve[0]), args._serve[1],
+                            bool(int(args._serve[2])))
+
+    clients, rounds, burst = args.clients, args.rounds, args.burst
+    if args.quick:
+        # Same total wall time as 8 x 0.5s but twice the alternations:
+        # more paired rounds tightens the median the ceiling checks.
+        clients = min(clients, 100)
+        rounds = max(rounds, 16)
+        burst = min(burst, 0.25)
+
+    rows = _trace_cells(clients, rounds, burst, seed=args.seed)
+    by_cell = {row["cell"]: row for row in rows}
+    for row in rows:
+        print(f"{row['cell']:<9} {clients:>4} clients: "
+              f"{row['submissions_per_s']:>8,.0f} submissions/s "
+              f"over {row['rounds']} x {row['burst_s']}s bursts, "
+              f"submit p50 {row['submit_p50_ms']:.1f} ms")
+    # The gate statistic is the MEDIAN of the per-round paired off/on
+    # throughput ratios, not the ratio of the aggregates: a single
+    # noisy burst (scheduler hiccup, page-cache writeback) moves the
+    # aggregate by several percent but cannot move the median, which
+    # is what lets an 8-second quick run hold a 5% ceiling without
+    # flaking.
+    pairs = zip(by_cell["trace-off"]["round_submissions_per_s"],
+                by_cell["trace-on"]["round_submissions_per_s"])
+    ratios = sorted(off / on for off, on in pairs if on)
+    mid = len(ratios) // 2
+    median = (ratios[mid] if len(ratios) % 2
+              else (ratios[mid - 1] + ratios[mid]) / 2) if ratios else 1.0
+    delta_pct = round(100.0 * (1.0 - 1.0 / median), 2)
+    ceiling = (QUICK_TRACE_DELTA_PCT_CEILING if args.quick
+               else TRACE_DELTA_PCT_CEILING)
+    print(f"tracing cost: {delta_pct:+.1f}% submissions/s "
+          f"(median of {len(ratios)} paired rounds, "
+          f"ceiling {ceiling:.0f}%)")
+
+    for capacity in FLIGHT_CAPACITIES:
+        row = _flight_cell(capacity)
+        rows.append(row)
+        print(f"flight cap {capacity:>6}: "
+              f"{row['spool_spans_per_s']:>9,.0f} spans/s spooled, "
+              f"dump {row['dump_bytes'] / 1024:.0f} KiB, "
+              f"seal {row['seal_ms']:.1f} ms, load {row['load_ms']:.1f} ms")
+
+    report = {
+        "bench": "obs",
+        "ceilings": {"trace_delta_pct": ceiling},
+        "trace_delta_pct": delta_pct,
+        "rows": rows,
+        "host_cpus": os.cpu_count(),
+    }
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"wrote: {out_path}")
+
+    if args.check:
+        failures = []
+        if delta_pct > ceiling:
+            failures.append(
+                f"tracing costs {delta_pct:.1f}% submissions/s > "
+                f"ceiling {ceiling:.0f}%")
+        for row in rows:
+            if row["cell"] == "flight" and row["spans_recovered"] == 0:
+                failures.append(
+                    f"flight dump at capacity {row['capacity']} "
+                    f"recovered no spans")
+        if failures:
+            print("CHECK FAILED: " + "; ".join(failures))
+            return 1
+        print("check: OK (ceilings hold)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

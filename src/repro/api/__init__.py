@@ -22,6 +22,9 @@ for callers that want exactly one plane:
 * :mod:`repro.api.control` — the workload-management control plane: the
   HTTP/JSON job gateway, its durable :class:`WorkQueue`, the synthetic
   user storm, and the ``repro serve`` harnesses (live + simulated twin).
+* :mod:`repro.api.obs` — the observability plane: end-to-end job
+  tracing, the per-node flight recorder, Prometheus text exposition,
+  and the ``repro top`` dashboard.
 
 Importing a name from ``repro.api`` directly keeps working for every
 previously public name (the flat-module compatibility contract, frozen
@@ -102,7 +105,14 @@ _LAYERS: dict[str, tuple[str, ...]] = {
         "MemoryJournal", "ServeConfig", "ServeReport", "SimJobUser",
         "SimJobWorker", "StormStats", "WorkQueue",
         "check_serve_invariants", "error_response", "json_response",
-        "ramsey_job_spec", "run_serve", "run_sim_serve",
+        "ramsey_job_spec", "render_payload", "run_serve", "run_sim_serve",
+        "text_response",
+    ),
+    "obs": (
+        "EventLog", "FlightRecorder", "build_frame", "flight_path",
+        "job_trace", "load_flight", "load_spans", "parse_prometheus",
+        "render_job_trace", "render_prometheus", "render_top", "run_top",
+        "sample_value", "span_origin",
     ),
 }
 

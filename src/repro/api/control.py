@@ -32,8 +32,10 @@ from ..control import (
     WorkQueue,
     error_response,
     json_response,
+    render_payload,
     run_serve,
     run_sim_serve,
+    text_response,
 )
 from ..control.serve import check_serve_invariants, ramsey_job_spec
 
@@ -61,6 +63,8 @@ __all__ = [
     "error_response",
     "json_response",
     "ramsey_job_spec",
+    "render_payload",
     "run_serve",
     "run_sim_serve",
+    "text_response",
 ]

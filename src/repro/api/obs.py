@@ -1,0 +1,47 @@
+"""``repro.api.obs`` — the observability plane (DESIGN §14).
+
+Wall-clock observability over the control and deployment planes:
+end-to-end job tracing (:func:`job_trace` / :func:`render_job_trace`
+walk one submission's causal chain across processes and incarnations),
+the per-node :class:`FlightRecorder` black box recovered post-mortem by
+the supervisor, Prometheus text exposition for the gateway's
+``/metrics`` (:func:`render_prometheus` / :func:`parse_prometheus`),
+the job-lifecycle :class:`EventLog` behind ``GET /events``, and the
+``repro top`` live dashboard (:func:`run_top`).
+"""
+
+from __future__ import annotations
+
+from ..obs import (
+    EventLog,
+    FlightRecorder,
+    build_frame,
+    flight_path,
+    job_trace,
+    load_flight,
+    load_spans,
+    parse_prometheus,
+    render_job_trace,
+    render_prometheus,
+    render_top,
+    run_top,
+    sample_value,
+    span_origin,
+)
+
+__all__ = [
+    "EventLog",
+    "FlightRecorder",
+    "build_frame",
+    "flight_path",
+    "job_trace",
+    "load_flight",
+    "load_spans",
+    "parse_prometheus",
+    "render_job_trace",
+    "render_prometheus",
+    "render_top",
+    "run_top",
+    "sample_value",
+    "span_origin",
+]

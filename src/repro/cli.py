@@ -8,10 +8,14 @@ Commands
             (``--net``) benchmarks
 ``pet``     run the distributed PET reconstruction demo
 ``trace``   run a scenario with causal tracing on; export Chrome trace
+            (``--job ID --from DIR`` walks one job's end-to-end trace
+            out of a serve/live run's ``spans.json`` instead)
 ``metrics`` run a scenario and print/export its metrics snapshot
 ``live``    run the world as real OS processes on localhost
 ``serve``   stand up the HTTP/JSON job gateway and storm it with
             synthetic users (``--simulate`` for the deterministic twin)
+``top``     live dashboard over a running gateway (submissions/s, queue
+            depth, per-site utilisation, route latency)
 ``info``    print version and system inventory
 
 (``live-node`` is internal: the supervisor spawns one per world node.)
@@ -270,6 +274,29 @@ def _observed_arguments(p: argparse.ArgumentParser) -> None:
                    help="profile the event loop and handler latencies")
 
 
+def _cmd_trace_job(args: argparse.Namespace) -> int:
+    """``repro trace --job ID --from DIR``: walk one job's end-to-end
+    causal chain out of a recorded run's spans (no scenario run)."""
+    from .obs import job_trace, load_spans, render_job_trace
+
+    if not args.from_path:
+        print("--job needs --from <run dir or spans.json> "
+              "(a `repro serve --out`/`repro live --out` artifact)")
+        return 2
+    try:
+        spans = load_spans(args.from_path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load spans from {args.from_path!r}: {exc}")
+        return 2
+    try:
+        trace = job_trace(spans, args.job)
+    except KeyError:
+        print(f"no spans for job {args.job!r} in {args.from_path}")
+        return 1
+    print(render_job_trace(trace))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
     import os
@@ -278,6 +305,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     from .experiments.report import render_trace_summary
 
+    if args.job:
+        return _cmd_trace_job(args)
     report, telemetry, profiler = _run_observed(args, trace=True)
     chains = report.get("requeue_chains", [])
     print(render_trace_summary(telemetry))
@@ -296,8 +325,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(profiler.render())
     if args.out:
         os.makedirs(args.out, exist_ok=True)
+        # The profiler lane is wall-clock and only present under
+        # --profile-engine, so default exports stay byte-diffable.
+        extra = profiler.chrome_events() if profiler is not None else None
         paths = [
-            write_trace_json(telemetry, os.path.join(args.out, "trace.json")),
+            write_trace_json(telemetry, os.path.join(args.out, "trace.json"),
+                             extra_events=extra),
             write_metrics_json(telemetry, os.path.join(args.out, "metrics.json")),
         ]
         report_path = os.path.join(args.out, "report.json")
@@ -399,12 +432,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = ServeConfig(
         clients=args.clients, gateways=args.gateways,
         storm_clients=args.storm, duration=args.duration,
-        kill_at=kill_at, churn_every=args.churn_every, seed=args.seed,
-        k=args.k, n=args.n)
+        kill_at=kill_at, kill_node=args.kill_node,
+        churn_every=args.churn_every, seed=args.seed,
+        k=args.k, n=args.n,
+        cancel_fraction=args.cancel_fraction)
+    kill_target = args.kill_node or "the gateway"
     print(f"standing up {args.gateways} gateway(s) + {args.clients} "
           f"client(s) and storming with {args.storm} HTTP users for "
           f"{args.duration:.0f}s wall"
-          + (f" (chaos: kill gateway at t={kill_at:.1f}s)" if kill_at else "")
+          + (f" (chaos: kill {kill_target} at t={kill_at:.1f}s)"
+             if kill_at else "")
           + " ...")
     report = run_serve(config, out=args.out,
                        progress=lambda text: print(f"  {text}"))
@@ -424,6 +461,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("wrote: " + ", ".join(
             report.artifacts[k] for k in sorted(report.artifacts)))
     return 0 if report.ok else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs import run_top
+
+    return run_top(args.contact, interval=args.interval,
+                   duration=args.duration, once=args.once)
 
 
 def _cmd_live_node(args: argparse.Namespace) -> int:
@@ -457,6 +501,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.experiments", "SC98 scenario + figure regeneration"),
         ("repro.live", "live deployment plane: real processes on localhost"),
         ("repro.control", "workload control plane: HTTP/JSON job gateway"),
+        ("repro.obs", "observability plane: job tracing, flight recorder, "
+                      "Prometheus exposition, repro top"),
     ]
     for module, blurb in inventory:
         print(f"  {module:<28} {blurb}")
@@ -551,6 +597,14 @@ def build_parser() -> argparse.ArgumentParser:
     _observed_arguments(p)
     p.add_argument("--timeline", type=int, nargs="?", const=200, default=0,
                    help="print a text timeline (optionally: max lines)")
+    p.add_argument("--job", type=str, default=None, metavar="ID",
+                   help="walk one job's end-to-end trace out of a "
+                        "recorded run (requires --from) instead of "
+                        "running a scenario")
+    p.add_argument("--from", dest="from_path", type=str, default=None,
+                   metavar="PATH",
+                   help="run directory (or spans.json) holding the "
+                        "recorded spans for --job")
     p.set_defaults(func=_cmd_trace)
 
     p = sub.add_parser("metrics", help="run a scenario; print metrics snapshot",
@@ -604,10 +658,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=8,
                    help="Ramsey target K_k for submitted job specs")
     p.add_argument("--n", type=int, default=4)
+    p.add_argument("--kill-node", type=str, default=None,
+                   help="which node --kill-at kills (default: the first "
+                        "gateway; kill a client to watch one job's trace "
+                        "span two incarnations)")
+    p.add_argument("--cancel-fraction", type=float, default=0.1,
+                   metavar="F",
+                   help="fraction of storm turns that cancel a job "
+                        "(0 with --kill-node: a cancelled in-flight job "
+                        "is dropped on requeue, which would make the "
+                        "two-incarnation trace demo nondeterministic)")
     p.add_argument("--simulate", action="store_true",
                    help="run the deterministic simulated twin instead of "
                         "real processes")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "top", help="live dashboard over a running gateway")
+    p.add_argument("contact", type=str,
+                   help="gateway HTTP contact, host:port")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="refresh period, seconds (default 1.0)")
+    p.add_argument("--duration", type=float, default=None,
+                   help="stop after this many seconds (default: run "
+                        "until interrupted)")
+    p.add_argument("--once", action="store_true",
+                   help="print one frame and exit (no screen clearing)")
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser("live-node",
                        help="internal: run one live node (supervisor-spawned)")

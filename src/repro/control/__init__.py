@@ -12,7 +12,7 @@ simulated time (:class:`~repro.control.sim.GatewayComponent`).
 """
 
 from .client import GatewayClient
-from .gateway import GatewayCore, ROUTES
+from .gateway import GatewayCore, ROUTES, TEXT_ROUTES, render_payload
 from .http import (
     HttpDecoder,
     HttpError,
@@ -21,6 +21,7 @@ from .http import (
     HttpServer,
     error_response,
     json_response,
+    text_response,
 )
 from .loadgen import GatewayStorm, StormStats
 from .sim import GatewayComponent, SimJobUser, SimJobWorker, run_sim_serve
@@ -59,11 +60,14 @@ __all__ = [
     "SimJobUser",
     "SimJobWorker",
     "StormStats",
+    "TEXT_ROUTES",
     "WorkQueue",
     "check_serve_invariants",
     "error_response",
     "json_response",
     "ramsey_job_spec",
+    "render_payload",
     "run_serve",
     "run_sim_serve",
+    "text_response",
 ]

@@ -51,8 +51,8 @@ class GatewayClient:
                 pass
             self._conn = None
 
-    def _once(self, method: str, path: str,
-              body: Optional[bytes]) -> tuple[int, dict]:
+    def _once_raw(self, method: str, path: str,
+                  body: Optional[bytes]) -> tuple[int, bytes]:
         conn = self._connection()
         headers = {"Content-Type": "application/json"} if body else {}
         conn.request(method, path, body=body, headers=headers)
@@ -60,11 +60,16 @@ class GatewayClient:
         payload = response.read()
         if response.will_close:
             self._drop()
+        return response.status, payload
+
+    def _once(self, method: str, path: str,
+              body: Optional[bytes]) -> tuple[int, dict]:
+        status, payload = self._once_raw(method, path, body)
         try:
             doc = json.loads(payload) if payload else {}
         except ValueError as exc:
             raise HttpError(f"non-JSON gateway response: {exc}") from exc
-        return response.status, doc if isinstance(doc, dict) else {}
+        return status, doc if isinstance(doc, dict) else {}
 
     def request(self, method: str, path: str,
                 obj: Optional[dict] = None) -> tuple[int, dict]:
@@ -83,6 +88,23 @@ class GatewayClient:
             self._drop()
         try:
             return self._once(method, path, body)
+        except (OSError, http.client.HTTPException, socket.timeout) as exc:
+            self._drop()
+            raise HttpError(
+                f"gateway {self.host}:{self.port} unreachable: {exc}") from exc
+        finally:
+            self.reconnects += 1
+
+    def request_raw(self, method: str, path: str,
+                    body: Optional[bytes] = None) -> tuple[int, bytes]:
+        """Like :meth:`request` but without JSON parsing — for the text
+        routes (Prometheus /metrics, JSONL /events)."""
+        try:
+            return self._once_raw(method, path, body)
+        except (OSError, http.client.HTTPException, socket.timeout):
+            self._drop()
+        try:
+            return self._once_raw(method, path, body)
         except (OSError, http.client.HTTPException, socket.timeout) as exc:
             self._drop()
             raise HttpError(
@@ -116,7 +138,40 @@ class GatewayClient:
         return self.request("GET", "/health")[1]
 
     def metrics(self) -> dict:
-        return self.request("GET", "/metrics")[1]
+        """The JSON metrics snapshot (served at /metrics.json since
+        /metrics became Prometheus text exposition)."""
+        return self.request("GET", "/metrics.json")[1]
+
+    def metrics_text(self) -> str:
+        """Scrape /metrics: raw Prometheus text exposition."""
+        status, payload = self.request_raw("GET", "/metrics")
+        if status != 200:
+            raise HttpError(f"metrics scrape failed ({status})")
+        return payload.decode("utf-8")
+
+    def events(self, since: int = -1, wait: float = 0.0,
+               limit: int = 500) -> list[dict]:
+        """Tail the job-lifecycle feed; ``wait`` long-polls server-side."""
+        path = f"/events?since={int(since)}&limit={int(limit)}"
+        if wait > 0:
+            path += f"&wait={wait:g}"
+        status, payload = self.request_raw("GET", path)
+        if status != 200:
+            raise HttpError(f"events poll failed ({status})")
+        out = []
+        for line in payload.decode("utf-8").splitlines():
+            if line.strip():
+                out.append(json.loads(line))
+        return out
+
+    def publish_sites(self, sites: dict) -> dict:
+        """Push per-site utilisation gauges (the serve harness does this
+        with collector-derived numbers)."""
+        status, doc = self.request("POST", "/telemetry/sites",
+                                   {"sites": sites})
+        if status != 200:
+            raise HttpError(f"site publish rejected ({status}): {doc}")
+        return doc
 
     def close(self) -> None:
         self._drop()

@@ -16,22 +16,36 @@ Routes (diracx-style job management + health, ROADMAP item 2)::
     POST /jobs/{id}/cancel  cancel (idempotent; 409 once done)
     GET  /queue             queue/progress counters
     GET  /health            liveness + uptime + job counts
-    GET  /metrics           the node's telemetry metrics snapshot
+    GET  /metrics           Prometheus text exposition (DESIGN §14)
+    GET  /metrics.json      the raw telemetry metrics snapshot (legacy)
+    GET  /events            job-lifecycle feed, JSONL (long-poll capable)
+    POST /telemetry/sites   per-site utilisation gauges (collector push)
 
 Every request lands in per-route telemetry: a request counter labelled
 ``{route, status}``, a latency histogram per route (observed by the I/O
-wrapper, which owns the clock), and a trace span per request.
+wrapper, which owns the clock), and a trace span per request. A POST
+/jobs additionally roots the job's end-to-end trace: the ingress span's
+context is journaled with the submission and stamped into the work unit
+so every downstream actor parents on it.
+
+Text routes (/metrics, /events) return a ``str`` payload instead of a
+JSON document; I/O wrappers render either with :func:`render_payload`.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Optional
+from typing import Optional, Union
+from urllib.parse import unquote_plus
 
 from ..core.telemetry import Telemetry
+from ..obs.events import EventLog, render_jsonl
+from ..obs.prom import CONTENT_TYPE as PROM_CONTENT_TYPE
+from ..obs.prom import render_prometheus
+from .http import json_response, text_response
 from .workqueue import WorkQueue
 
-__all__ = ["GatewayCore", "ROUTES"]
+__all__ = ["GatewayCore", "ROUTES", "TEXT_ROUTES", "render_payload"]
 
 #: Route keys as they appear in telemetry labels.
 ROUTES = (
@@ -42,7 +56,17 @@ ROUTES = (
     "GET /queue",
     "GET /health",
     "GET /metrics",
+    "GET /metrics.json",
+    "GET /events",
+    "POST /telemetry/sites",
 )
+
+#: Routes whose payload is pre-rendered text, and the content type each
+#: is served under.
+TEXT_ROUTES = {
+    "GET /metrics": PROM_CONTENT_TYPE,
+    "GET /events": "application/x-ndjson",
+}
 
 #: Latency buckets for the per-route histograms (milliseconds).
 LATENCY_BUCKETS_MS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
@@ -52,18 +76,53 @@ LATENCY_BUCKETS_MS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
 MAX_LISTED_JOBS = 100
 
 
+def render_payload(status: int, payload: Union[dict, str], route: str,
+                   close: bool = False) -> bytes:
+    """One response frame for either payload kind the router returns:
+    a JSON document (dict) or pre-rendered text (str, content type per
+    :data:`TEXT_ROUTES`). Every I/O wrapper — live node, bench child,
+    HTTP tests — renders through this, so text routes can't drift."""
+    if isinstance(payload, str):
+        return text_response(
+            status, payload,
+            content_type=TEXT_ROUTES.get(route, "text/plain; charset=utf-8"),
+            close=close)
+    return json_response(status, payload, close=close)
+
+
+def _query_params(query: str) -> dict:
+    params: dict[str, str] = {}
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        key, _, value = pair.partition("=")
+        params[unquote_plus(key)] = unquote_plus(value)
+    return params
+
+
 class GatewayCore:
     """Routing + validation over a WorkQueue (see module docstring)."""
 
     def __init__(self, name: str, work: WorkQueue,
                  telemetry: Optional[Telemetry] = None,
-                 started_at: float = 0.0) -> None:
+                 started_at: float = 0.0,
+                 events: Optional[EventLog] = None) -> None:
         self.name = name
         self.work = work
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.started_at = started_at
         self.requests = 0
         self.rejected = 0
+        #: The /events feed. The WorkQueue is the producer (it owns the
+        #: job lifecycle); wire it up unless the caller already did.
+        if events is None:
+            events = work.events if work.events is not None else EventLog()
+        self.events = events
+        if work.events is None:
+            work.events = events
+        if work.telemetry is None:
+            work.telemetry = self.telemetry
+        work.component = name
 
     # -- bookkeeping ----------------------------------------------------------
     def _account(self, route: str, status: int, now: float) -> None:
@@ -73,11 +132,16 @@ class GatewayCore:
         self.telemetry.metrics.counter(
             "http.requests", route=route, status=str(status)).inc()
         tracer = self.telemetry.tracer
-        if tracer.enabled:
+        if tracer.enabled and status >= 400:
+            # Only anomalies become spans. Healthy traffic is already
+            # covered by the counters/latency histograms and by the
+            # per-job ingress trace; a span per request would roughly
+            # triple tracing's hot-path cost and flood the span shipper
+            # at storm rates.
             span = tracer.begin(f"http {route}", component=self.name,
                                 start=now, mtype=route)
             span.args["status"] = status
-            tracer.finish(span, now, "ok" if status < 400 else "rejected")
+            tracer.finish(span, now, "rejected")
 
     def observe_latency(self, route: str, elapsed_ms: float) -> None:
         """Called by the I/O wrapper, which owns the request clock."""
@@ -87,16 +151,24 @@ class GatewayCore:
 
     # -- routing --------------------------------------------------------------
     def handle(self, method: str, path: str, body: bytes,
-               now: float) -> tuple[int, dict, str]:
-        """Route one request; returns ``(status, doc, route_label)``."""
-        path = path.split("?", 1)[0].rstrip("/") or "/"
+               now: float) -> tuple[int, Union[dict, str], str]:
+        """Route one request; returns ``(status, payload, route_label)``.
+
+        ``payload`` is a JSON document (dict) for most routes, or
+        pre-rendered text (str) for the routes in :data:`TEXT_ROUTES` —
+        render either with :func:`render_payload`.
+        """
+        path, _, query = path.partition("?")
+        path = path.rstrip("/") or "/"
         segments = [s for s in path.split("/") if s]
-        status, doc, route = self._route(method, path, segments, body, now)
+        status, doc, route = self._route(method, path, segments, body,
+                                         query, now)
         self._account(route, status, now)
         return status, doc, route
 
     def _route(self, method: str, path: str, segments: list[str],
-               body: bytes, now: float) -> tuple[int, dict, str]:
+               body: bytes, query: str, now: float
+               ) -> tuple[int, Union[dict, str], str]:
         if path == "/jobs":
             if method == "POST":
                 return (*self._submit(body, now), "POST /jobs")
@@ -119,7 +191,15 @@ class GatewayCore:
         if path == "/health" and method == "GET":
             return (*self._health(now), "GET /health")
         if path == "/metrics" and method == "GET":
-            return 200, self.telemetry.metrics.snapshot(), "GET /metrics"
+            return (200, render_prometheus(self.telemetry.metrics.snapshot()),
+                    "GET /metrics")
+        if path == "/metrics.json" and method == "GET":
+            return (200, self.telemetry.metrics.snapshot(),
+                    "GET /metrics.json")
+        if path == "/events" and method == "GET":
+            return (*self._events(query), "GET /events")
+        if path == "/telemetry/sites" and method == "POST":
+            return (*self._sites(body), "POST /telemetry/sites")
         return 404, {"error": f"no route for {method} {path}"}, "none"
 
     # -- handlers -------------------------------------------------------------
@@ -133,7 +213,24 @@ class GatewayCore:
         if "id" in spec:
             return 400, {"error": "job spec may not carry 'id' "
                                   "(the gateway assigns ids)"}
-        job = self.work.submit(spec, now)
+        tracer = self.telemetry.tracer
+        ingress = None
+        if tracer.enabled:
+            # The root of the job's end-to-end trace. Its context is
+            # journaled with the submission and rides inside the work
+            # unit, so scheduler assignment, every client incarnation's
+            # work slices, requeues, and completion all chain back here.
+            # parent=None always: the HTTP layer keeps no ambient span,
+            # so skip the current_ctx() lookup on this hot path.
+            ingress = tracer.begin("job ingress", component=self.name,
+                                   start=now, mtype="POST /jobs")
+        job = self.work.submit(
+            spec, now,
+            trace=None if ingress is None
+            else (ingress.trace_id, ingress.span_id))
+        if ingress is not None:
+            ingress.args["job_id"] = job.id
+            tracer.finish(ingress, now)
         return 201, {"id": job.id, "state": job.state,
                      "submitted_at": job.submitted_at}
 
@@ -161,6 +258,43 @@ class GatewayCore:
         job = self.work.cancel(job_id, now)
         return 200, {"id": job.id, "state": job.state,
                      "finished_at": job.finished_at}
+
+    def _events(self, query: str) -> tuple[int, Union[dict, str]]:
+        params = _query_params(query)
+        try:
+            since = int(params.get("since", "-1"))
+            limit = int(params.get("limit", "500"))
+        except ValueError:
+            return 400, {"error": "since/limit must be integers"}
+        return 200, render_jsonl(self.events.since(since, limit=limit))
+
+    def _sites(self, body: bytes) -> tuple[int, dict]:
+        """Collector-computed per-site utilisation, pushed by the serve
+        harness (the process that owns the collector). Lands as labelled
+        gauges so /metrics exposes delivered-vs-available per site."""
+        try:
+            doc = json.loads(body) if body else None
+        except (ValueError, UnicodeDecodeError):
+            return 400, {"error": "body is not valid JSON"}
+        sites = (doc or {}).get("sites") if isinstance(doc, dict) else None
+        if not isinstance(sites, dict):
+            return 400, {"error": "body must be {'sites': {...}}"}
+        metrics = self.telemetry.metrics
+        for site in sorted(sites):
+            row = sites[site]
+            if not isinstance(row, dict):
+                continue
+            for field, gauge in (("delivered_ops", "site.delivered_ops"),
+                                 ("available_ops", "site.available_ops"),
+                                 ("utilisation", "site.utilisation"),
+                                 ("clients", "site.clients")):
+                if field in row:
+                    try:
+                        metrics.gauge(gauge, site=site).set(
+                            float(row[field]))
+                    except (TypeError, ValueError):
+                        pass
+        return 200, {"ok": True, "sites": len(sites)}
 
     def _queue(self) -> tuple[int, dict]:
         return 200, {"depth": len(self.work), **self.work.stats()}

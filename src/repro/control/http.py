@@ -35,6 +35,7 @@ __all__ = [
     "HttpResponseDecoder",
     "HttpServer",
     "json_response",
+    "text_response",
     "error_response",
     "REASONS",
 ]
@@ -253,14 +254,25 @@ def json_response(status: int, obj, close: bool = False) -> bytes:
     return _render(status, body, "application/json", close)
 
 
+def text_response(status: int, text: str,
+                  content_type: str = "text/plain; charset=utf-8",
+                  close: bool = False) -> bytes:
+    """A complete plain-text response frame (Prometheus exposition, the
+    JSONL /events feed)."""
+    return _render(status, text.encode("utf-8"), content_type, close)
+
+
 def error_response(status: int, reason: str) -> bytes:
     """A complete JSON error frame; always closes the connection."""
     return json_response(status, {"error": reason}, close=True)
 
 
 #: The application callback: a complete request in, a complete response
-#: frame out (build it with :func:`json_response`).
-HttpApp = Callable[[HttpRequest], bytes]
+#: frame out (build it with :func:`json_response` /
+#: :func:`text_response`) — or ``None`` to *park* the request for
+#: long-polling: the server holds the connection open and re-invokes the
+#: app from :meth:`HttpServer.poll_parked` until it returns a frame.
+HttpApp = Callable[[HttpRequest], Optional[bytes]]
 
 
 class HttpServer(TcpServer):
@@ -286,6 +298,10 @@ class HttpServer(TcpServer):
     ) -> None:
         self.app = app
         self.protocol_errors = 0
+        #: Long-poll requests awaiting an answer: the app returned None,
+        #: so the connection idles here until :meth:`poll_parked` gets a
+        #: frame out of the app (or the peer goes away).
+        self._parked: list[tuple[_Connection, HttpRequest]] = []
         super().__init__(
             host, port, handler=self._no_messages, loop=loop,
             backlog=backlog,
@@ -294,6 +310,10 @@ class HttpServer(TcpServer):
     @staticmethod
     def _no_messages(message):  # pragma: no cover - decoder never parses one
         return None
+
+    @property
+    def parked(self) -> int:
+        return len(self._parked)
 
     def _service(self, conn: _Connection) -> None:
         decoder = conn.decoder
@@ -313,7 +333,43 @@ class HttpServer(TcpServer):
                 response = self.app(request)
             except Exception:  # noqa: BLE001 — robustness boundary
                 response = error_response(500, "internal error")
+            if response is None:
+                # Parked: stop draining this connection — HTTP/1.1
+                # responses must go back in request order, so pipelined
+                # follow-ups wait until this one is answered.
+                self._parked.append((conn, request))
+                return
             conn.out.append(response)
             if request.close:
                 conn.close_when_flushed = True
         self._flush(conn)
+
+    def poll_parked(self) -> int:
+        """Re-offer every parked request to the app; returns the number
+        answered this call. The reactor owner (the gateway node's tick
+        hook, a bench loop) calls this once per turn — the app decides
+        per request whether to answer (new data / deadline hit) or keep
+        waiting by returning None again."""
+        if not self._parked:
+            return 0
+        waiting, self._parked = self._parked, []
+        answered = 0
+        for conn, request in waiting:
+            if conn not in self._conns:
+                continue  # peer hung up while parked
+            try:
+                response = self.app(request)
+            except Exception:  # noqa: BLE001 — robustness boundary
+                response = error_response(500, "internal error")
+            if response is None:
+                self._parked.append((conn, request))
+                continue
+            answered += 1
+            conn.out.append(response)
+            if request.close:
+                conn.close_when_flushed = True
+            if self._flush(conn) and conn in self._conns:
+                # Drain any requests the client pipelined behind the
+                # long-poll while it was parked.
+                self._service(conn)
+        return answered

@@ -69,6 +69,13 @@ class ServeConfig:
     duration: float = 10.0
     #: SIGKILL the first gateway this many seconds in (None = no chaos).
     kill_at: Optional[float] = None
+    #: Which node the chaos knob kills (None = the first gateway). Kill
+    #: a client instead to watch a job's trace span two incarnations:
+    #: accept on the first life, requeue, finish on the second.
+    kill_node: Optional[str] = None
+    #: Publish collector-derived per-site utilisation gauges to the
+    #: gateway this often (0 = never).
+    sites_period: float = 2.0
     #: Storm connections recycle after this many responses (0 = never).
     churn_every: int = 0
     submit_fraction: float = 0.5
@@ -142,8 +149,37 @@ def check_serve_invariants(report: ServeReport) -> list[str]:
         restarted = [c["node"] for c in report.chaos
                      if report.nodes.get(c["node"], {}).get("restarts", 0) >= 1]
         if not restarted:
-            violations.append("the gateway was killed but never restarted")
+            killed = sorted({c["node"] for c in report.chaos})
+            violations.append(
+                f"{'/'.join(killed)} was killed but never restarted")
     return violations
+
+
+def _site_rollup(collector: Collector, topology: Topology,
+                 elapsed: float) -> dict:
+    """Per-site delivered-vs-available (§2.2's utilisation meters),
+    computed from the clients' shipped stats. Delivered is each client's
+    latest-incarnation ops counter (a restart resets it — the meter dips
+    honestly when a site loses a machine); available is what the site
+    *could* have delivered: clients x topology speed x elapsed."""
+    sites: dict[str, dict] = {}
+    for spec in topology.by_role("client"):
+        site = str(spec.options.get("site", "")) or "default"
+        row = sites.setdefault(site, {"clients": 0, "delivered_ops": 0.0,
+                                      "available_ops": 0.0})
+        row["clients"] += 1
+        row["available_ops"] += topology.speed * max(elapsed, 0.0)
+        rec = collector.nodes.get(spec.name)
+        stats = rec.stats if rec is not None else {}
+        try:
+            row["delivered_ops"] += float(stats.get("total_ops", 0.0))
+        except (TypeError, ValueError):
+            pass
+    for row in sites.values():
+        avail = row["available_ops"]
+        row["utilisation"] = (row["delivered_ops"] / avail
+                              if avail > 0 else 0.0)
+    return sites
 
 
 def _sweep_jobs(contact: str, accepted: list[str],
@@ -205,6 +241,7 @@ def run_serve(
     collector = Collector(host=host)
     allocator = PortAllocator(host)
     storm = None
+    sites_client: Optional[GatewayClient] = None
     try:
         manifest = build_manifest(topology, collector.contact,
                                   host=host, allocator=allocator)
@@ -237,7 +274,12 @@ def run_serve(
 
         chaos: list[dict] = []
         killed = False
+        kill_target = config.kill_node or gateway_name
+        if kill_target not in supervisor.nodes:
+            raise ValueError(f"kill_node {kill_target!r} not in topology")
+        sites_client = GatewayClient(http_contact, timeout=1.0)
         health_at = 1.0
+        sites_at = config.sites_period or float("inf")
         while supervisor.now() < config.duration:
             collector.step(0.005)
             supervisor.poll()
@@ -246,14 +288,24 @@ def run_serve(
             if now >= health_at:
                 supervisor.check_health()
                 health_at = now + 1.0
+            if now >= sites_at:
+                # Push delivered-vs-available to the gateway so /metrics
+                # exposes per-site utilisation; a dead/mid-restart
+                # gateway just misses a beat.
+                try:
+                    sites_client.publish_sites(
+                        _site_rollup(collector, topology, now))
+                except HttpError:
+                    pass
+                sites_at = now + config.sites_period
             if (config.kill_at is not None and not killed
                     and now >= config.kill_at):
-                pid = supervisor.kill(gateway_name)
+                pid = supervisor.kill(kill_target)
                 killed = True
                 if pid is not None:
-                    chaos.append({"t": round(now, 3), "node": gateway_name,
+                    chaos.append({"t": round(now, 3), "node": kill_target,
                                   "pid": pid})
-                    say(f"chaos: killed gateway {gateway_name} (pid {pid}) "
+                    say(f"chaos: killed {kill_target} (pid {pid}) "
                         f"at t={now:.1f}s")
 
         def pump() -> None:
@@ -302,15 +354,23 @@ def run_serve(
         report.violations = check_serve_invariants(report)
 
         if out is not None:
+            merged = collector.merged_tracer()
             trace_path = write_trace_json(
-                collector.merged_tracer(), os.path.join(out, "trace.json"))
+                merged, os.path.join(out, "trace.json"))
+            # Raw span dicts alongside the Chrome export: what
+            # ``repro trace --job`` walks (obs.jobtrace.load_spans).
+            spans_path = os.path.join(out, "spans.json")
+            with open(spans_path, "w", encoding="utf-8") as fh:
+                json.dump({"spans": [s.to_dict() for s in merged.spans]},
+                          fh, indent=1, sort_keys=True)
+                fh.write("\n")
             metrics_path = os.path.join(out, "metrics.json")
             with open(metrics_path, "w", encoding="utf-8") as fh:
                 json.dump(report.metrics, fh, indent=1, sort_keys=True)
                 fh.write("\n")
             report.artifacts = {
                 "manifest": manifest_path, "trace": trace_path,
-                "metrics": metrics_path,
+                "spans": spans_path, "metrics": metrics_path,
             }
             report_path = os.path.join(out, "report.json")
             with open(report_path, "w", encoding="utf-8") as fh:
@@ -319,6 +379,8 @@ def run_serve(
             report.artifacts["report"] = report_path
         return report
     finally:
+        if sites_client is not None:
+            sites_client.close()
         if storm is not None:
             storm.close()
         allocator.release()

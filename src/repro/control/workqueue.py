@@ -45,7 +45,7 @@ class Job:
     """One submitted job and its lifecycle bookkeeping."""
 
     __slots__ = ("id", "spec", "state", "submitted_at", "finished_at",
-                 "result", "requeues")
+                 "result", "requeues", "trace")
 
     def __init__(self, job_id: str, spec: dict, submitted_at: float) -> None:
         self.id = job_id
@@ -55,6 +55,10 @@ class Job:
         self.finished_at: Optional[float] = None
         self.result: Optional[dict] = None
         self.requeues = 0
+        #: (trace_id, span_id) of the gateway ingress span that accepted
+        #: this job — the root every downstream span parents on. Journaled
+        #: with the submit record so the causal chain survives a restart.
+        self.trace: Optional[tuple[int, int]] = None
 
     def to_dict(self) -> dict:
         return {
@@ -144,6 +148,13 @@ class WorkQueue:
         #: owning driver installs its own clock — wall seconds live,
         #: simulated seconds in the twin.
         self.clock = None
+        #: Observability hooks, both optional and off by default so the
+        #: queue costs nothing when untelemetered: ``telemetry`` emits
+        #: per-job lifecycle spans parented on the job's ingress trace,
+        #: ``events`` feeds the gateway's /events long-poll ring.
+        self.telemetry = None
+        self.events = None
+        self.component = "workqueue"
         #: Lifecycle meters (JSON-safe; shipped in node stats).
         self.submitted = 0
         self.completed = 0
@@ -158,6 +169,24 @@ class WorkQueue:
         if self.journal is not None:
             self.journal.append(record)
 
+    # -- observability hooks --------------------------------------------------
+    def _now(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
+    def _span(self, name: str, now: float, parent, outcome: str = "ok",
+              **args) -> None:
+        tel = self.telemetry
+        if tel is None or not tel.tracer.enabled or parent is None:
+            return
+        tel.tracer.instant(name, now, component=self.component,
+                           parent=tuple(parent), outcome=outcome,
+                           args=args or None)
+
+    def _event(self, event: str, job_id: str, now: float, **extra) -> None:
+        if self.events is not None:
+            self.events.append({"event": event, "job": job_id,
+                                "t": round(now, 6), **extra})
+
     def replay(self) -> int:
         """Rebuild the store from the journal; returns the number of
         jobs that came back *queued* (i.e. requeued-not-dropped)."""
@@ -171,6 +200,11 @@ class WorkQueue:
                 spec = record.get("spec")
                 job = Job(job_id, spec if isinstance(spec, dict) else {},
                           float(record.get("t", 0.0)))
+                trace = record.get("trace")
+                if (isinstance(trace, (list, tuple)) and len(trace) == 2):
+                    # The causal chain survives the restart: the reborn
+                    # gateway keeps parenting on the original ingress.
+                    job.trace = (int(trace[0]), int(trace[1]))
                 self.jobs[job_id] = job
                 self._queue.append(job_id)
                 tail = job_id.rpartition("-")[2]
@@ -195,15 +229,33 @@ class WorkQueue:
         return len(self._queue)
 
     # -- job lifecycle (the HTTP routers' side) ------------------------------
-    def submit(self, spec: dict, now: float) -> Job:
-        """Accept one job; the journal record is flushed before return."""
+    def submit(self, spec: dict, now: float,
+               trace: Optional[tuple[int, int]] = None) -> Job:
+        """Accept one job; the journal record is flushed before return.
+
+        ``trace`` is the (trace_id, span_id) of the gateway's ingress
+        span; it is journaled with the record and stamped into the unit
+        handed out by :meth:`next_unit`, so every downstream span —
+        scheduler assignment, client work slices across incarnations,
+        requeues, completion — joins one causal chain.
+        """
         self._seq += 1
         job = Job(f"{self.prefix}-{self._seq}", dict(spec), now)
-        self._log({"op": "submit", "id": job.id, "spec": job.spec,
-                   "t": now})
+        record = {"op": "submit", "id": job.id, "spec": job.spec, "t": now}
+        if trace is not None:
+            job.trace = (int(trace[0]), int(trace[1]))
+            record["trace"] = job.trace  # json renders the tuple as a list
+        self._log(record)
+        # Inlined _span: submits are the hot path, and the parent ingress
+        # span already names the job, so no args either.
+        tel = self.telemetry
+        if tel is not None and job.trace is not None and tel.tracer.enabled:
+            tel.tracer.instant("journal flush", now,
+                               component=self.component, parent=job.trace)
         self.jobs[job.id] = job
         self._queue.append(job.id)
         self.submitted += 1
+        self._event("submitted", job.id, now)
         return job
 
     def get(self, job_id: str) -> Optional[Job]:
@@ -228,6 +280,8 @@ class WorkQueue:
         job.state = "cancelled"
         job.finished_at = now
         self.cancelled += 1
+        self._span("job cancel", now, job.trace, id=job.id)
+        self._event("cancelled", job.id, now)
         return job
 
     def counts(self) -> dict:
@@ -245,9 +299,19 @@ class WorkQueue:
             if job is None or job.state != "queued":
                 continue
             job.state = "assigned"
+            now = self._now()
+            self._span("job assign", now, job.trace, id=job.id)
+            self._event("assigned", job.id, now)
             # The unit handed to clients is the spec plus the job id —
             # SCH_REPORT's unit_id is how completion finds its way back.
-            return {**job.spec, "id": job.id}
+            unit = {**job.spec, "id": job.id}
+            if job.trace is not None:
+                # The trace context rides inside the unit dict itself, so
+                # it crosses the SCH_WORK wire frame (and any journal or
+                # checkpoint that round-trips the unit) with no protocol
+                # change; `validate_unit` tolerates extra keys.
+                unit["trace"] = list(job.trace)
+            return unit
         return None
 
     def requeue(self, unit: dict) -> None:
@@ -257,6 +321,10 @@ class WorkQueue:
         job.state = "queued"
         job.requeues += 1
         self.requeued += 1
+        now = self._now()
+        self._span("job requeue", now, job.trace, outcome="requeue",
+                   id=job.id, requeues=job.requeues)
+        self._event("requeued", job.id, now, requeues=job.requeues)
         # Front of the queue: requeued units represent in-flight work.
         self._queue.appendleft(job.id)
 
@@ -278,6 +346,8 @@ class WorkQueue:
         job.result = result
         job.finished_at = now
         self.completed += 1
+        self._span("job done", now, job.trace, id=job.id)
+        self._event("done", job.id, now)
 
     def __len__(self) -> int:
         return len(self._queue)

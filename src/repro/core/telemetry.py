@@ -285,6 +285,10 @@ class Tracer:
         self.enabled = enabled
         self.spans: list[Span] = []
         self.current: Optional[Span] = None
+        #: Spans discarded from the front of ``spans`` by :meth:`trim`.
+        #: Consumers that walk the list with a cursor must treat their
+        #: cursor as ``dropped + list position``.
+        self.dropped = 0
         #: Id offset for distributed worlds: trace contexts travel between
         #: processes in message headers, so each live node gets a disjoint
         #: id block (``node_index * block``) and merged traces stay
@@ -329,16 +333,46 @@ class Tracer:
         mtype: str = "",
         args: Optional[dict] = None,
     ) -> Span:
-        """A zero-duration annotation span."""
-        span = self.begin(name, component, parent, t, mtype)
+        """A zero-duration annotation span.
+
+        Constructed inline rather than via :meth:`begin` — instants sit
+        on the control plane's submit hot path and the extra call layer
+        is measurable there.
+        """
+        self._next_span += 1
+        if parent is None:
+            self._next_trace += 1
+            trace_id, parent_id = self._next_trace, None
+        else:
+            trace_id, parent_id = int(parent[0]), int(parent[1])
+        span = Span(trace_id, self._next_span, parent_id, name, component,
+                    t, mtype)
         span.end = t
         span.outcome = outcome
         if args:
             span.args.update(args)
+        self.spans.append(span)
         return span
 
     def current_ctx(self) -> Optional[TraceContext]:
         return self.current.ctx if self.current is not None else None
+
+    def trim(self, upto: int) -> int:
+        """Discard spans every cursor-holder has already consumed.
+
+        ``upto`` is an *absolute* span index (``dropped`` + position in
+        ``spans``); spans before it leave memory. Long-lived traced
+        nodes call this after the shipper/flight recorder have taken a
+        span so the list — and with it gen-2 GC pressure — stays
+        bounded; simulated runs never trim and keep the full record for
+        export. Returns the number of spans dropped.
+        """
+        cut = min(upto - self.dropped, len(self.spans))
+        if cut <= 0:
+            return 0
+        del self.spans[:cut]
+        self.dropped += cut
+        return cut
 
     # -- queries (tests, chain validation, reports) -------------------------
     def by_span_id(self) -> dict[int, Span]:
@@ -442,7 +476,8 @@ def merge_snapshots(snapshots: list[dict]) -> dict:
 # -- exporters ---------------------------------------------------------------
 
 
-def export_chrome_trace(telemetry: "Telemetry | Tracer") -> dict:
+def export_chrome_trace(telemetry: "Telemetry | Tracer",
+                        extra_events: "list[dict] | None" = None) -> dict:
     """Spans as Chrome ``trace_event`` JSON (``chrome://tracing`` and
     Perfetto both load it).
 
@@ -451,6 +486,11 @@ def export_chrome_trace(telemetry: "Telemetry | Tracer") -> dict:
     time), ``pid`` — plus ``tid``, ``dur``, and span linkage in
     ``args``. Components map to pids in first-seen order (deterministic
     under a fixed seed) with ``process_name`` metadata events.
+
+    ``extra_events`` are appended verbatim — pre-built trace events from
+    another producer (e.g. the engine profiler's per-handler latency
+    lane, :meth:`repro.simgrid.profile.EngineProfiler.chrome_events`)
+    that should land in the same export.
     """
     tracer = telemetry.tracer if isinstance(telemetry, Telemetry) else telemetry
     pids: dict[str, int] = {}
@@ -490,6 +530,8 @@ def export_chrome_trace(telemetry: "Telemetry | Tracer") -> dict:
             "tid": pid,
             "args": args,
         })
+    if extra_events:
+        events.extend(extra_events)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
@@ -509,10 +551,12 @@ def render_timeline(telemetry: "Telemetry | Tracer", limit: int = 0) -> str:
     return "\n".join(lines)
 
 
-def write_trace_json(telemetry: "Telemetry | Tracer", path: str) -> str:
+def write_trace_json(telemetry: "Telemetry | Tracer", path: str,
+                     extra_events: "list[dict] | None" = None) -> str:
     """Write the Chrome trace to ``path``; returns the path."""
     with open(path, "w", encoding="utf-8") as fh:
-        json.dump(export_chrome_trace(telemetry), fh, indent=1, sort_keys=True)
+        json.dump(export_chrome_trace(telemetry, extra_events=extra_events),
+                  fh, indent=1, sort_keys=True)
         fh.write("\n")
     return path
 

@@ -55,9 +55,24 @@ class NodeRecord:
     #: Node wall epoch (``time.time()`` at driver start) per the latest
     #: incarnation; span timestamps ship relative to it.
     epoch: float = 0.0
+    #: Wall epoch per incarnation. Reports carry their incarnation, so a
+    #: straggler from a dead life that lands *after* the successor's
+    #: hello is still shifted by the epoch it was actually timed against.
+    epochs: dict = field(default_factory=dict)
     hellos: int = 0
     reports: int = 0
     last_seq: int = -1
+    #: Highest sequence number seen per incarnation: dedup (reconnect
+    #: resends) is per-life, since every restart resets the counter.
+    last_seqs: dict = field(default_factory=dict)
+    #: Every span id already merged — flight-dump recovery re-offers
+    #: spans the periodic shipper already delivered, and must be
+    #: idempotent.
+    span_ids: set = field(default_factory=set)
+    #: Log-line identity keys already merged (same idempotence story).
+    log_keys: set = field(default_factory=set)
+    flight_dumps: int = 0
+    flight_spans: int = 0
     #: Collector-clock time of the last report (for liveness).
     last_report: Optional[float] = None
     #: Latest full metrics snapshot (cumulative on the node side).
@@ -125,8 +140,10 @@ class Collector:
             rec.pid = int(body.get("pid", 0))
             rec.incarnation = int(body.get("incarnation", 0))
             rec.epoch = float(body.get("epoch", time.time()))
+            rec.epochs[rec.incarnation] = rec.epoch
             # A fresh incarnation restarts the node-side sequence space.
             rec.last_seq = -1
+            rec.last_seqs.setdefault(rec.incarnation, -1)
             rec.stop_reason = None
             return None
         if message.mtype == COL_REPORT:
@@ -137,10 +154,16 @@ class Collector:
 
     def _ingest_report(self, rec: NodeRecord, body: dict) -> None:
         seq = int(body.get("seq", 0))
-        if seq <= rec.last_seq:
+        incarnation = int(body.get("incarnation", rec.incarnation))
+        # Dedup is per-incarnation: restarts reset the node-side counter,
+        # and a dead life's straggler (still in flight while the
+        # successor says hello) must not be mistaken for a resend.
+        if seq <= rec.last_seqs.get(incarnation, -1):
             rec.duplicate_reports += 1
             return
-        rec.last_seq = seq
+        rec.last_seqs[incarnation] = seq
+        if incarnation == rec.incarnation:
+            rec.last_seq = seq
         rec.reports += 1
         now = self.now()
         if rec.last_report is not None:
@@ -151,36 +174,80 @@ class Collector:
         metrics = body.get("metrics")
         if isinstance(metrics, dict):
             rec.metrics = metrics
-            rec.metrics_history[int(body.get("incarnation", rec.incarnation))] = metrics
+            rec.metrics_history[incarnation] = metrics
         stats = body.get("stats")
         if isinstance(stats, dict):
             rec.stats = stats
         # Spans/logs ship with node-relative timestamps; place them on
-        # the collector timeline via the node's wall epoch.
-        shift = rec.epoch - self.epoch
-        for d in body.get("spans", ()):
+        # the collector timeline via the epoch of the incarnation that
+        # actually timed them.
+        shift = rec.epochs.get(incarnation, rec.epoch) - self.epoch
+        self._merge_spans(rec, body.get("spans", ()), shift)
+        self._merge_logs(rec, body.get("logs", ()), shift)
+        if body.get("final"):
+            rec.final_reports += 1
+            rec.stop_reason = str(body.get("stop_reason", "") or "") or None
+
+    def _merge_spans(self, rec: NodeRecord, spans, shift: float) -> int:
+        merged = 0
+        for d in spans:
             try:
                 span = Span.from_dict(d)
             except (KeyError, TypeError, ValueError):
                 self.bad_messages += 1
                 continue
+            if span.span_id in rec.span_ids:
+                continue
+            rec.span_ids.add(span.span_id)
             span.start += shift
             if span.end is not None:
                 span.end += shift
             rec.spans.append(span)
-        for line in body.get("logs", ()):
+            merged += 1
+        return merged
+
+    def _merge_logs(self, rec: NodeRecord, lines, shift: float) -> int:
+        merged = 0
+        for line in lines:
             if not isinstance(line, dict):
                 continue
-            rec.logs.append({
-                "t": float(line.get("t", 0.0)) + shift,
+            t = float(line.get("t", 0.0)) + shift
+            entry = {
+                "t": t,
                 "node": rec.name,
                 "component": str(line.get("component", rec.name)),
                 "level": str(line.get("level", "info")),
                 "text": str(line.get("text", "")),
-            })
-        if body.get("final"):
-            rec.final_reports += 1
-            rec.stop_reason = str(body.get("stop_reason", "") or "") or None
+            }
+            key = (round(t, 6), entry["component"], entry["level"],
+                   entry["text"])
+            if key in rec.log_keys:
+                continue
+            rec.log_keys.add(key)
+            rec.logs.append(entry)
+            merged += 1
+        return merged
+
+    def ingest_flight(self, dump: dict) -> int:
+        """Merge a dead incarnation's flight-recorder dump (the
+        :func:`~repro.obs.flight.load_flight` shape). Idempotent against
+        the periodic shipments: spans the collector already holds are
+        skipped by span id, so recovery only contributes the tail the
+        crash cut off. Returns the number of spans actually added."""
+        name = str(dump.get("node", "") or "")
+        if not name:
+            self.bad_messages += 1
+            return 0
+        rec = self._record(name)
+        incarnation = int(dump.get("incarnation", 0))
+        epoch = float(dump.get("epoch", 0.0) or 0.0)
+        rec.epochs.setdefault(incarnation, epoch or rec.epoch)
+        shift = rec.epochs[incarnation] - self.epoch
+        added = self._merge_spans(rec, dump.get("spans", ()), shift)
+        self._merge_logs(rec, dump.get("logs", ()), shift)
+        rec.flight_dumps += 1
+        rec.flight_spans += added
+        return added
 
     # -- liveness ------------------------------------------------------------
     def silent_nodes(

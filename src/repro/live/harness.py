@@ -335,8 +335,14 @@ def run_live(
         report.violations = check_invariants(report)
 
         if out is not None:
+            merged = collector.merged_tracer()
             trace_path = write_trace_json(
-                collector.merged_tracer(), os.path.join(out, "trace.json"))
+                merged, os.path.join(out, "trace.json"))
+            spans_path = os.path.join(out, "spans.json")
+            with open(spans_path, "w", encoding="utf-8") as fh:
+                json.dump({"spans": [s.to_dict() for s in merged.spans]},
+                          fh, indent=1, sort_keys=True)
+                fh.write("\n")
             metrics_path = os.path.join(out, "metrics.json")
             with open(metrics_path, "w", encoding="utf-8") as fh:
                 json.dump(report.metrics, fh, indent=1, sort_keys=True)
@@ -348,7 +354,8 @@ def run_live(
                              f"[{line['level']}] {line['text']}\n")
             report.artifacts = {
                 "manifest": manifest_path, "trace": trace_path,
-                "metrics": metrics_path, "log": log_path,
+                "spans": spans_path, "metrics": metrics_path,
+                "log": log_path,
             }
             report_path = os.path.join(out, "report.json")
             with open(report_path, "w", encoding="utf-8") as fh:

@@ -29,23 +29,21 @@ from ..core.services.persistent import (
 )
 from ..core.services.scheduler import QueueWorkSource, SchedulerServer
 from ..core.telemetry import Telemetry
-from ..control.gateway import GatewayCore
-from ..control.http import HttpServer, json_response
+from ..control.gateway import GatewayCore, render_payload
+from ..control.http import HttpServer
 from ..control.workqueue import FileJournal, WorkQueue
+# The id-partition constants live with the span-origin decoder so trace
+# tooling and the nodes that mint the ids can never drift apart.
+from ..obs.jobtrace import ID_BLOCK, MAX_INCARNATIONS
+from ..obs.flight import FlightRecorder, flight_path
 from ..ramsey.client import RAMSEY_BEST, RamseyClient, RealEngine, ramsey_comparator
 from ..ramsey.tasks import unit_generator
 from ..ramsey.verify import counter_example_validator
 from .collector import COL_HELLO, COL_REPORT
 from .topology import Manifest
 
-__all__ = ["build_component", "run_node", "node_stats"]
-
-#: Tracer id block per (node index, incarnation): keeps span/trace ids
-#: disjoint across every process the world ever runs, so merged traces
-#: are collision-free.
-ID_BLOCK = 1_000_000
-#: Incarnations per node index inside the id space.
-MAX_INCARNATIONS = 64
+__all__ = ["build_component", "run_node", "node_stats",
+           "ID_BLOCK", "MAX_INCARNATIONS"]
 
 
 def _rotated(items: list[str], idx: int) -> list[str]:
@@ -122,7 +120,7 @@ def build_component(manifest: Manifest, name: str,
     if spec.role == "logger":
         return LoggingServer(name)
     if spec.role == "client":
-        return RamseyClient(
+        client = RamseyClient(
             name=name,
             schedulers=_rotated(manifest.contacts_for("scheduler")
                                 + manifest.contacts_for("gateway"), idx),
@@ -137,6 +135,8 @@ def build_component(manifest: Manifest, name: str,
             hello_retry=topo.hello_retry,
             seed=topo.seed + idx,
         )
+        client.site = str(opts.get("site", ""))
+        return client
     raise ValueError(f"unknown node role {spec.role!r}")
 
 
@@ -171,6 +171,8 @@ def node_stats(component: Component) -> dict:
             "checkpoint_denials": component.checkpoint_denials,
             "checkpoint_give_ups": component.checkpoint_give_ups,
             "unit_id": component.unit.get("id") if component.unit else None,
+            "site": component.site,
+            "total_ops": component._total_ops,
         }
     return {}
 
@@ -219,9 +221,15 @@ class _Shipper:
             "epoch": self.epoch,
         })
 
+    @property
+    def cursor(self) -> int:
+        """Absolute index of the first span not yet taken (trim bound)."""
+        return self._cursor
+
     def _take_spans(self, final: bool) -> list[dict]:
-        spans = self.driver.telemetry.tracer.spans
-        fresh, self._cursor = spans[self._cursor:], len(spans)
+        tracer = self.driver.telemetry.tracer
+        fresh = tracer.spans[max(self._cursor - tracer.dropped, 0):]
+        self._cursor = tracer.dropped + len(tracer.spans)
         candidates = self._pending + fresh
         if final:
             self._pending = []
@@ -310,40 +318,126 @@ def run_node(
     driver = _bind_driver(component, host, int(port), telemetry, speed)
     shipper = _Shipper(driver, manifest, name, incarnation,
                        topo.ship_period)
-    driver.log_sink = shipper.log_sink
-    driver.tick_hook = shipper.tick
-    driver.drain_hooks.append(shipper.drain)
+    tick_hooks = [shipper.tick]
+    flight: Optional[FlightRecorder] = None
+    if topo.trace:
+        # Flight recorder: the node's black box. Every closed span and
+        # log line also lands in a bounded on-disk spool, flushed per
+        # record, so a SIGKILLed incarnation leaves its last N records
+        # behind for the supervisor to recover (DESIGN §14).
+        flight = FlightRecorder(
+            flight_path(data_dir, name, incarnation),
+            telemetry=telemetry, node=name, incarnation=incarnation,
+            epoch=shipper.epoch, capacity=topo.flight_capacity)
+        tick_hooks.append(flight.tick)
+        driver.log_sink = _fan_out_logs(
+            [shipper.log_sink, flight.observe_log])
+    else:
+        driver.log_sink = shipper.log_sink
     if spec.role == "gateway":
-        _attach_gateway(driver, manifest, name)
+        server = _attach_gateway(driver, manifest, name)
+        tick_hooks.append(server.poll_parked)
+    if topo.trace:
+        # Once both cursor-holders have taken a span it can leave memory;
+        # without this a busy traced node grows its span list (and gen-2
+        # GC pauses) without bound for the life of the process.
+        def _trim_spans() -> None:
+            upto = shipper.cursor
+            if flight is not None:
+                upto = min(upto, flight.cursor)
+            telemetry.tracer.trim(upto)
+
+        tick_hooks.append(_trim_spans)
+    driver.tick_hook = (tick_hooks[0] if len(tick_hooks) == 1
+                        else _fan_out(tick_hooks))
+    driver.drain_hooks.insert(0, shipper.drain)
+    if flight is not None:
+        # After the shipper's final report (so the seal records spans the
+        # collector already has — recovery is idempotent), before the
+        # server/journal close hooks appended by _attach_gateway.
+        driver.drain_hooks.insert(
+            1, lambda: flight.seal(driver.stop_reason or "deadline"))
     driver.install_signal_handlers()
     shipper.hello()
     try:
         driver.run(deadline)
     finally:
         driver.shutdown()
+        if flight is not None:
+            flight.close()
     return 0
 
 
+def _fan_out(hooks: list) -> "callable":
+    def dispatch() -> None:
+        for hook in hooks:
+            hook()
+    return dispatch
+
+
+def _fan_out_logs(sinks: list) -> "callable":
+    def dispatch(now: float, component: str, level: str, text: str) -> None:
+        for sink in sinks:
+            sink(now, component, level, text)
+    return dispatch
+
+
+#: Cap on ``GET /events?wait=`` long-polls, seconds of driver time.
+MAX_EVENT_WAIT = 30.0
+
+
 def _attach_gateway(driver: NetDriver, manifest: Manifest,
-                    name: str) -> None:
+                    name: str) -> HttpServer:
     """Hang the HTTP listener off the gateway node's reactor loop.
 
     One process, one selector loop, two protocols: lingua-franca SCH_*
     frames on the node's world port, HTTP/1.1 on its second preallocated
     port. The router is the sans-IO :class:`GatewayCore`; this wrapper
     owns the clocks (wall latency for histograms, driver time for job
-    timestamps)."""
+    timestamps) and the ``GET /events?wait=`` long-poll: a poll with
+    nothing new returns ``None`` to park the connection, and the reactor
+    retries parked requests every tick (``server.poll_parked``) until
+    fresh events arrive or the wait deadline passes."""
     work: WorkQueue = driver.component.work
     work.clock = driver.now
     core = GatewayCore(name, work, telemetry=driver.telemetry,
                        started_at=driver.now())
+    #: Long-poll deadlines keyed by id(request) — HttpRequest is
+    #: __slots__-frozen, so the park state lives here, not on it.
+    poll_deadlines: dict[int, float] = {}
+
+    def _long_poll_wait(request) -> bool:
+        """True when this request should park instead of answering."""
+        path, _, query = request.path.partition("?")
+        if request.method != "GET" or path.rstrip("/") != "/events":
+            return False
+        params = {}
+        for pair in query.split("&"):
+            key, _, value = pair.partition("=")
+            params[key] = value
+        try:
+            since = int(params.get("since", "-1"))
+            wait = float(params.get("wait", "0"))
+        except ValueError:
+            return False  # let the router 400 it
+        if wait <= 0 or core.events.latest_seq > since:
+            poll_deadlines.pop(id(request), None)
+            return False
+        deadline = poll_deadlines.setdefault(
+            id(request), driver.now() + min(wait, MAX_EVENT_WAIT))
+        if driver.now() >= deadline:
+            poll_deadlines.pop(id(request), None)
+            return False  # waited long enough: answer empty
+        return True
 
     def app(request):
+        if _long_poll_wait(request):
+            return None
         t0 = time.monotonic()
-        status, doc, route = core.handle(
+        status, payload, route = core.handle(
             request.method, request.path, request.body, driver.now())
         core.observe_latency(route, (time.monotonic() - t0) * 1000.0)
-        return json_response(status, doc, close=request.close)
+        return render_payload(status, payload, route, close=request.close)
 
     http_host, _, http_port = manifest.http_contact(name).rpartition(":")
     last: Optional[OSError] = None
@@ -359,3 +453,4 @@ def _attach_gateway(driver: NetDriver, manifest: Manifest,
         raise last if last is not None else OSError("http bind failed")
     driver.drain_hooks.append(server.close)
     driver.drain_hooks.append(work.close)
+    return server

@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import IO, Optional
 
+from ..obs.flight import flight_path, load_flight
 from .collector import Collector
 from .topology import Manifest
 
@@ -68,6 +69,8 @@ class ManagedNode:
     restart_at: Optional[float] = None
     exit_codes: list[int] = field(default_factory=list)
     state: str = "new"  # new | running | backoff | stopped | failed
+    #: Incarnations whose flight-recorder spool was recovered post-mortem.
+    flights_recovered: list[int] = field(default_factory=list)
 
     @property
     def pid(self) -> Optional[int]:
@@ -107,6 +110,14 @@ class Supervisor:
         #: Nodes the forecast-driven health check flagged while their
         #: process was still alive (name -> count).
         self.suspicions: dict[str, int] = {}
+        #: Where dead incarnations' flight-recorder dumps go: defaults to
+        #: the collector's :meth:`~.collector.Collector.ingest_flight`,
+        #: replaceable for tests. ``None`` disables recovery.
+        self.flight_sink = (collector.ingest_flight
+                            if collector is not None else None)
+        #: Nodes' data dir (flight spools live beside the manifest, the
+        #: same convention run_node uses for journals).
+        self._data_dir = os.path.dirname(os.path.abspath(manifest_path))
 
     def now(self) -> float:
         return time.monotonic() - self._t0
@@ -169,6 +180,7 @@ class Supervisor:
                 if node.log is not None:
                     node.log.close()
                     node.log = None
+                self._recover_flight(node)
                 if self.draining or now >= self.deadline:
                     node.state = "stopped"
                 elif node.restarts < self.restart.max_restarts:
@@ -181,6 +193,27 @@ class Supervisor:
                 node.incarnation += 1
                 node.restarts += 1
                 self.spawn(node.name)
+
+    def _recover_flight(self, node: ManagedNode) -> None:
+        """Post-mortem: pull the reaped incarnation's flight-recorder
+        spool off disk and hand it to the sink (collector). A SIGKILLed
+        process never got to flush its final telemetry report — the
+        spool is where its last moments live. Idempotent downstream
+        (the collector dedups by span id), so recovering a *graceful*
+        exit's spool is harmless."""
+        if self.flight_sink is None:
+            return
+        if node.incarnation in node.flights_recovered:
+            return
+        dump = load_flight(flight_path(self._data_dir, node.name,
+                                       node.incarnation))
+        if dump is None:
+            return
+        node.flights_recovered.append(node.incarnation)
+        try:
+            self.flight_sink(dump)
+        except Exception:
+            pass  # recovery must never take the supervisor down
 
     def check_health(self, restart_silent: bool = False, **forecast_kw) -> list[str]:
         """Forecast-driven liveness sweep (needs a collector).
@@ -265,5 +298,6 @@ class Supervisor:
                 "kills": node.kills,
                 "exit_codes": list(node.exit_codes),
                 "suspicions": self.suspicions.get(name, 0),
+                "flights_recovered": list(node.flights_recovered),
             }
         return out

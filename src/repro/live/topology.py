@@ -22,6 +22,7 @@ from .ports import PortAllocator
 
 __all__ = [
     "ROLES",
+    "SITES",
     "NodeSpec",
     "Topology",
     "Manifest",
@@ -35,6 +36,11 @@ __all__ = [
 #: A = computational client — plus the control plane's HTTP/JSON job
 #: gateway, a scheduler whose work queue is fed by external users).
 ROLES = ("gossip", "scheduler", "persistent", "logger", "client", "gateway")
+
+#: Default site labels for per-site delivered-vs-available accounting
+#: (DESIGN §14); clients are assigned round-robin. The names are the
+#: paper's participating institutions.
+SITES = ("ucsd", "utk", "anl", "ncsa")
 
 
 @dataclass
@@ -78,6 +84,9 @@ class Topology:
     ship_period: float = 0.5
     #: Causal tracing on live nodes (wall-clock span timestamps).
     trace: bool = True
+    #: Flight-recorder ring size per node (DESIGN §14): the most recent
+    #: N spans/logs recoverable from a dead incarnation's spool.
+    flight_capacity: int = 2048
     seed: int = 0
 
     def named(self, name: str) -> NodeSpec:
@@ -117,7 +126,9 @@ class Topology:
                 "gossip_poll_period": self.gossip_poll_period,
                 "gossip_sync_period": self.gossip_sync_period,
                 "ship_period": self.ship_period,
-                "trace": self.trace, "seed": self.seed,
+                "trace": self.trace,
+                "flight_capacity": self.flight_capacity,
+                "seed": self.seed,
             },
         }
 
@@ -148,7 +159,9 @@ def sc98_topology(
     nodes += [NodeSpec(f"sched{i}", "scheduler") for i in range(schedulers)]
     nodes += [NodeSpec(f"pst{i}", "persistent") for i in range(persistents)]
     nodes += [NodeSpec(f"logger{i}", "logger") for i in range(loggers)]
-    nodes += [NodeSpec(f"cli{i}", "client", options={"infra": "live"})
+    nodes += [NodeSpec(f"cli{i}", "client",
+                       options={"infra": "live",
+                                "site": SITES[i % len(SITES)]})
               for i in range(clients)]
     topo = Topology(nodes=nodes)
     for key, value in params.items():
@@ -179,7 +192,9 @@ def serve_topology(
     nodes += [NodeSpec(f"gw{i}", "gateway") for i in range(gateways)]
     nodes += [NodeSpec(f"pst{i}", "persistent") for i in range(persistents)]
     nodes += [NodeSpec(f"logger{i}", "logger") for i in range(loggers)]
-    nodes += [NodeSpec(f"cli{i}", "client", options={"infra": "live"})
+    nodes += [NodeSpec(f"cli{i}", "client",
+                       options={"infra": "live",
+                                "site": SITES[i % len(SITES)]})
               for i in range(clients)]
     topo = Topology(nodes=nodes)
     for key, value in params.items():

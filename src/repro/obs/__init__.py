@@ -1,0 +1,52 @@
+"""The wall-clock observability plane (DESIGN.md §14).
+
+Rides the deterministic :mod:`repro.core.telemetry` primitives across
+process boundaries: end-to-end job traces stitched from every node's
+shipped spans, a crash-surviving flight recorder per node, Prometheus
+text exposition + a long-poll /events feed on the gateway, and the
+``repro top`` terminal dashboard. Everything here is stdlib-only and
+strictly additive — simulated-plane runs stay byte-identical and the
+telemetry-off overhead gate still holds.
+"""
+
+from .events import EventLog, parse_jsonl, render_jsonl
+from .flight import FlightRecorder, flight_path, load_flight
+from .jobtrace import (
+    ID_BLOCK,
+    MAX_INCARNATIONS,
+    job_trace,
+    load_spans,
+    render_job_trace,
+    span_origin,
+)
+from .prom import (
+    CONTENT_TYPE,
+    parse_prometheus,
+    render_prometheus,
+    sample_value,
+    split_metric_key,
+)
+from .top import build_frame, render_top, run_top
+
+__all__ = [
+    "CONTENT_TYPE",
+    "EventLog",
+    "FlightRecorder",
+    "ID_BLOCK",
+    "MAX_INCARNATIONS",
+    "build_frame",
+    "flight_path",
+    "job_trace",
+    "load_flight",
+    "load_spans",
+    "parse_jsonl",
+    "parse_prometheus",
+    "render_job_trace",
+    "render_jsonl",
+    "render_prometheus",
+    "render_top",
+    "run_top",
+    "sample_value",
+    "span_origin",
+    "split_metric_key",
+]

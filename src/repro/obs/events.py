@@ -1,0 +1,74 @@
+"""A bounded, sequence-numbered event feed (the gateway's /events).
+
+Job-lifecycle transitions (submitted / assigned / requeued / done /
+cancelled) are appended by the :class:`~repro.control.workqueue.WorkQueue`
+as they happen; HTTP long-pollers tail the feed with
+``GET /events?since=<seq>`` and get back newline-delimited JSON. The
+ring is fixed-size: a slow consumer loses old events (and can see the
+gap in the seq numbers), never stalls the producer.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Iterable, Optional
+
+__all__ = ["EventLog", "render_jsonl"]
+
+DEFAULT_EVENT_CAPACITY = 1024
+
+
+class EventLog:
+    """Fixed-capacity ring of seq-stamped event dicts."""
+
+    __slots__ = ("capacity", "_events", "next_seq", "dropped")
+
+    def __init__(self, capacity: int = DEFAULT_EVENT_CAPACITY) -> None:
+        self.capacity = int(capacity)
+        self._events: deque = deque(maxlen=self.capacity)
+        #: Seq of the next event to be appended (first event gets 0).
+        self.next_seq = 0
+        #: Events evicted by the ring before any consumer saw them.
+        self.dropped = 0
+
+    @property
+    def latest_seq(self) -> int:
+        """Seq of the newest event, or -1 when the log is empty."""
+        return self.next_seq - 1
+
+    def append(self, event: dict) -> int:
+        """Stamp ``event`` with the next seq and append it; returns seq."""
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        seq = self.next_seq
+        event["seq"] = seq
+        self.next_seq = seq + 1
+        self._events.append(event)
+        return seq
+
+    def since(self, seq: int, limit: int = 500) -> list[dict]:
+        """Events with seq strictly greater than ``seq``, oldest first."""
+        if seq >= self.latest_seq:
+            return []
+        out = [e for e in self._events if e["seq"] > seq]
+        return out[:limit] if limit else out
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def render_jsonl(events: Iterable[dict]) -> str:
+    """Newline-delimited JSON, one event per line (byte-stable order)."""
+    return "".join(
+        json.dumps(e, sort_keys=True, separators=(",", ":")) + "\n"
+        for e in events)
+
+
+def parse_jsonl(text: str) -> list[dict]:
+    """Inverse of :func:`render_jsonl`; skips blank lines."""
+    out = []
+    for line in text.splitlines():
+        if line.strip():
+            out.append(json.loads(line))
+    return out

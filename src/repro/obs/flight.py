@@ -1,0 +1,197 @@
+"""Flight recorder: a crash-surviving ring of recent spans and logs.
+
+The telemetry shipper loses whatever happened after the last
+``COL_REPORT`` when a node dies — exactly the seconds that explain the
+death. The flight recorder closes that gap: every closed span (and log
+line) is appended to a per-incarnation JSONL spool, flushed per record
+like the job journal, with ring semantics via two-segment rotation —
+once ``capacity`` records are written the segment rotates to ``*.1`` and
+a fresh one starts, so disk holds at most ~2x capacity records and the
+most recent ``capacity`` are always recoverable.
+
+On a graceful SIGTERM the drain hook :meth:`FlightRecorder.seal` writes
+the still-open spans plus a footer naming the stop reason. On SIGKILL
+nothing runs — and nothing needs to: the spool already holds the
+history. The supervisor reaps the dump with :func:`load_flight` and
+feeds it to the collector, which dedups spans by id (tracer id blocks
+make span ids globally unique per incarnation).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+__all__ = ["FlightRecorder", "load_flight", "flight_path"]
+
+DEFAULT_FLIGHT_CAPACITY = 2048
+FLIGHT_SUFFIX = ".flight.jsonl"
+
+
+def flight_path(data_dir: str, node: str, incarnation: int) -> str:
+    """Where node ``name`` incarnation ``n`` spools its flight records."""
+    return os.path.join(data_dir, f"{node}.{incarnation}{FLIGHT_SUFFIX}")
+
+
+class FlightRecorder:
+    """Incrementally spool closed spans/logs; survive SIGKILL by design.
+
+    ``telemetry`` is the node's :class:`~repro.core.telemetry.Telemetry`;
+    :meth:`tick` (called from the driver's reactor hook) takes every span
+    closed since the last tick. Open spans wait in ``_pending`` (finish
+    mutates in place) and are force-dumped by :meth:`seal`.
+    """
+
+    def __init__(self, path: str, telemetry=None, node: str = "",
+                 incarnation: int = 0, epoch: float = 0.0,
+                 capacity: int = DEFAULT_FLIGHT_CAPACITY) -> None:
+        self.path = path
+        self.telemetry = telemetry
+        self.node = node
+        self.incarnation = incarnation
+        self.epoch = epoch
+        self.capacity = max(1, int(capacity))
+        self.records = 0          # total records ever spooled
+        self.rotations = 0
+        self._written = 0         # records in the current segment
+        self._cursor = 0          # first tracer span not yet considered
+        self._pending: list = []  # spans seen but still open
+        self._sealed = False
+        self._fh = open(path, "w", encoding="utf-8")
+        self._header()
+
+    # -- spool ----------------------------------------------------------------
+    def _header(self) -> None:
+        self._emit({"kind": "hello", "node": self.node,
+                    "incarnation": self.incarnation, "epoch": self.epoch,
+                    "capacity": self.capacity})
+
+    def _emit(self, record: dict) -> None:
+        if self._fh.closed:
+            return
+        self._fh.write(json.dumps(record, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        # Flushed per record, like the job journal: the whole point is
+        # that the bytes are on disk when the SIGKILL lands.
+        self._fh.flush()
+
+    def _rotate_if_full(self) -> None:
+        if self._written < self.capacity:
+            return
+        self._fh.close()
+        os.replace(self.path, self.path + ".1")
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._written = 0
+        self.rotations += 1
+        self._header()
+
+    def _record(self, kind: str, payload: dict) -> None:
+        self._rotate_if_full()
+        self._emit({"kind": kind, **payload})
+        self._written += 1
+        self.records += 1
+
+    # -- driver hooks ---------------------------------------------------------
+    def observe_log(self, t: float, component: str, level: str,
+                    text: str) -> None:
+        self._record("log", {"t": t, "component": component,
+                             "level": level, "text": text})
+
+    @property
+    def cursor(self) -> int:
+        """Absolute index of the first span not yet spooled (trim bound)."""
+        return self._cursor
+
+    def tick(self) -> int:
+        """Spool every span closed since the last tick; returns count."""
+        if self.telemetry is None or not self.telemetry.tracer.enabled:
+            return 0
+        tracer = self.telemetry.tracer
+        fresh = tracer.spans[max(self._cursor - tracer.dropped, 0):]
+        self._cursor = tracer.dropped + len(tracer.spans)
+        candidates = self._pending + fresh
+        taken = 0
+        still_open = []
+        for span in candidates:
+            if span.end is None:
+                still_open.append(span)
+            else:
+                self._record("span", span.to_dict())
+                taken += 1
+        self._pending = still_open
+        return taken
+
+    def seal(self, reason: str = "") -> None:
+        """Graceful-exit path: dump open spans and a footer, then close."""
+        if self._sealed or self._fh.closed:
+            return
+        self._sealed = True
+        if self.telemetry is not None and self.telemetry.tracer.enabled:
+            tracer = self.telemetry.tracer
+            fresh = tracer.spans[max(self._cursor - tracer.dropped, 0):]
+            self._cursor = tracer.dropped + len(tracer.spans)
+            for span in self._pending + fresh:
+                self._record("span", span.to_dict())
+            self._pending = []
+        self._emit({"kind": "seal", "reason": reason,
+                    "records": self.records})
+        self._fh.close()
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def _read_records(path: str) -> list[dict]:
+    records: list[dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    # A torn final line is expected when the process was
+                    # killed mid-write; everything before it is intact.
+                    break
+    except OSError:
+        pass
+    return records
+
+
+def load_flight(path: str) -> Optional[dict]:
+    """Load a flight spool (current segment + rotated predecessor).
+
+    Returns ``{"node", "incarnation", "epoch", "spans", "logs",
+    "sealed", "reason"}`` holding the most recent ``capacity`` records,
+    or ``None`` when no readable spool exists at ``path``.
+    """
+    records = _read_records(path + ".1") + _read_records(path)
+    if not records:
+        return None
+    header = next((r for r in records if r.get("kind") == "hello"), None)
+    if header is None:
+        return None
+    capacity = int(header.get("capacity", DEFAULT_FLIGHT_CAPACITY))
+    spans = [r for r in records if r.get("kind") == "span"]
+    logs = [r for r in records if r.get("kind") == "log"]
+    seal = next((r for r in reversed(records) if r.get("kind") == "seal"),
+                None)
+    keep = spans[-capacity:]
+    for record in keep:
+        record.pop("kind", None)
+    for record in logs:
+        record.pop("kind", None)
+    return {
+        "node": header.get("node", ""),
+        "incarnation": int(header.get("incarnation", 0)),
+        "epoch": float(header.get("epoch", 0.0)),
+        "capacity": capacity,
+        "spans": keep,
+        "logs": logs[-capacity:],
+        "sealed": seal is not None,
+        "reason": (seal or {}).get("reason", ""),
+    }

@@ -1,0 +1,213 @@
+"""``repro top`` — a live terminal dashboard over the gateway.
+
+Polls the gateway's JSON snapshot (/metrics.json), queue counts, and
+the /events long-poll feed, and renders the numbers a human steering an
+SC98-style run actually watches: submissions/s, queue depth, per-site
+delivered-vs-available utilisation, p50/p99 route latency, and the most
+recent job-lifecycle events. Stdlib only; rendering is a pure function
+of one sampled frame so tests never need a terminal (or a gateway).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional
+
+from .prom import split_metric_key
+
+__all__ = ["build_frame", "render_top", "run_top"]
+
+_CLEAR = "\x1b[H\x1b[2J"
+SUBMIT_ROUTE = "POST /jobs"
+
+
+def quantile_from_histogram(hist: dict, q: float) -> float:
+    """The bucket upper bound at quantile ``q`` (+inf bucket clamps to
+    the top finite bound)."""
+    total = hist.get("count", 0)
+    if total <= 0:
+        return 0.0
+    bounds = hist.get("bounds", [])
+    counts = hist.get("counts", [])
+    target = q * total
+    seen = 0
+    for i, bound in enumerate(bounds):
+        seen += counts[i] if i < len(counts) else 0
+        if seen >= target:
+            return float(bound)
+    return float(bounds[-1]) if bounds else 0.0
+
+
+def _sum_counters(counters: dict, name: str,
+                  route: Optional[str] = None) -> int:
+    total = 0
+    for key, value in counters.items():
+        kname, labels = split_metric_key(key)
+        if kname != name:
+            continue
+        if route is not None and labels.get("route") != route:
+            continue
+        total += value
+    return total
+
+
+def build_frame(metrics: dict, queue: Optional[dict] = None,
+                events: Optional[list] = None,
+                prev: Optional[dict] = None,
+                now: Optional[float] = None) -> dict:
+    """Distil one dashboard frame from a /metrics.json snapshot.
+
+    ``prev`` is the previous frame (for rate deltas); rates are 0.0 on
+    the first sample.
+    """
+    now = time.monotonic() if now is None else now
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    histograms = metrics.get("histograms", {})
+
+    submitted = _sum_counters(counters, "http.requests", route=SUBMIT_ROUTE)
+    requests = _sum_counters(counters, "http.requests")
+
+    sites: dict[str, dict] = {}
+    for key, value in gauges.items():
+        name, labels = split_metric_key(key)
+        site = labels.get("site")
+        if site is None:
+            continue
+        slot = sites.setdefault(site, {})
+        if name == "site.utilisation":
+            slot["utilisation"] = value
+        elif name == "site.delivered_ops":
+            slot["delivered"] = value
+        elif name == "site.available_ops":
+            slot["available"] = value
+
+    routes: dict[str, dict] = {}
+    for key, hist in histograms.items():
+        name, labels = split_metric_key(key)
+        if name != "http.latency_ms":
+            continue
+        routes[labels.get("route", "?")] = {
+            "count": hist.get("count", 0),
+            "p50_ms": quantile_from_histogram(hist, 0.50),
+            "p99_ms": quantile_from_histogram(hist, 0.99),
+        }
+
+    queue_depth = None
+    for key, value in gauges.items():
+        name, _labels = split_metric_key(key)
+        if name == "sch.queue_depth":
+            queue_depth = value
+            break
+    frame = {
+        "now": now,
+        "submitted_total": submitted,
+        "requests_total": requests,
+        "submissions_per_s": 0.0,
+        "requests_per_s": 0.0,
+        "queue_depth": queue_depth,
+        "queue": dict(queue or {}),
+        "sites": sites,
+        "routes": routes,
+        "events": list(events or [])[-8:],
+    }
+    if prev is not None:
+        dt = now - prev.get("now", now)
+        if dt > 0:
+            frame["submissions_per_s"] = (
+                (submitted - prev.get("submitted_total", 0)) / dt)
+            frame["requests_per_s"] = (
+                (requests - prev.get("requests_total", 0)) / dt)
+    return frame
+
+
+def _bar(fraction: float, width: int = 20) -> str:
+    fraction = min(1.0, max(0.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render_top(frame: dict, width: int = 78) -> str:
+    """Render one frame as plain text (no ANSI — the loop adds that)."""
+    lines = ["repro top — gateway live view", "=" * width]
+    depth = frame.get("queue_depth")
+    queue = frame.get("queue") or {}
+    depth = queue.get("depth", depth)
+    lines.append(
+        f"submissions/s {frame['submissions_per_s']:8.1f}   "
+        f"requests/s {frame['requests_per_s']:8.1f}   "
+        f"queue depth {('?' if depth is None else int(depth)):>6}")
+    counts = {k: v for k, v in queue.items() if k != "depth"}
+    if counts:
+        lines.append("jobs: " + "  ".join(
+            f"{k}={counts[k]}" for k in sorted(counts)))
+    sites = frame.get("sites") or {}
+    if sites:
+        lines.append("-" * width)
+        lines.append(f"{'site':<12} {'busy':<22} {'util':>6} "
+                     f"{'delivered':>12} {'available':>12}")
+        for site in sorted(sites):
+            row = sites[site]
+            util = float(row.get("utilisation", 0.0))
+            lines.append(
+                f"{site:<12} [{_bar(util)}] {util * 100:5.1f}% "
+                f"{row.get('delivered', 0):>12,.0f} "
+                f"{row.get('available', 0):>12,.0f}")
+    routes = frame.get("routes") or {}
+    if routes:
+        lines.append("-" * width)
+        lines.append(f"{'route':<24} {'count':>8} {'p50 ms':>8} "
+                     f"{'p99 ms':>8}")
+        for route in sorted(routes):
+            row = routes[route]
+            lines.append(f"{route:<24} {row['count']:>8} "
+                         f"{row['p50_ms']:>8.1f} {row['p99_ms']:>8.1f}")
+    events = frame.get("events") or []
+    if events:
+        lines.append("-" * width)
+        for event in events:
+            t = event.get("t", 0.0)
+            lines.append(f"  t={t:9.2f}  {event.get('event', '?'):<10} "
+                         f"{event.get('job', '')}")
+    return "\n".join(lines)
+
+
+def run_top(contact: str, interval: float = 1.0,
+            duration: Optional[float] = None, once: bool = False,
+            out=None) -> int:
+    """Poll the gateway and repaint until interrupted (or --once)."""
+    from ..control.client import GatewayClient, HttpError
+
+    out = sys.stdout if out is None else out
+    prev: Optional[dict] = None
+    since = -1
+    t0 = time.monotonic()
+    try:
+        with GatewayClient(contact, timeout=max(2.0, interval + 1.0)) \
+                as client:
+            while True:
+                try:
+                    metrics = client.metrics()
+                    queue = client.queue()
+                    events = client.events(since=since, wait=0.0)
+                except HttpError as exc:
+                    print(f"gateway {contact} unreachable: {exc}",
+                          file=out)
+                    return 1
+                if events:
+                    since = max(e.get("seq", since) for e in events)
+                frame = build_frame(metrics, queue=queue, events=events,
+                                    prev=prev)
+                text = render_top(frame)
+                if once:
+                    print(text, file=out)
+                    return 0
+                print(_CLEAR + text, file=out, flush=True)
+                prev = frame
+                if (duration is not None
+                        and time.monotonic() - t0 >= duration):
+                    return 0
+                time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0

@@ -296,6 +296,9 @@ class RamseyClient(Component):
         self.checkpoint_acks = 0
         self.checkpoint_denials = 0
         self.checkpoint_give_ups = 0
+        #: Site label for per-site delivered-vs-available accounting
+        #: (DESIGN §14); the live topology assigns it via node options.
+        self.site = ""
 
     # -- helpers ------------------------------------------------------------
     @property
@@ -397,6 +400,14 @@ class RamseyClient(Component):
         self.unit = unit
         self._unit_done = False
         self._last_work_mark = now
+        tracer = self.telemetry.tracer
+        if tracer.enabled and unit.get("trace"):
+            # Join the job's end-to-end trace: the gateway's ingress
+            # context rides inside the unit dict, so this incarnation's
+            # work links back to the original POST /jobs.
+            tracer.instant("job accept", now, component=self.name,
+                           parent=tuple(unit["trace"]),
+                           args={"unit_id": unit.get("id")})
         return []
 
     # -- timers ------------------------------------------------------------
@@ -452,7 +463,22 @@ class RamseyClient(Component):
             return []
         assert self.runtime is not None
         ops_budget = self.runtime.speed() * elapsed
+        tracer = self.telemetry.tracer
+        work_span = None
+        if tracer.enabled and self.unit.get("trace"):
+            work_span = tracer.begin(
+                "job work", component=self.name,
+                parent=tuple(self.unit["trace"]), start=now, mtype="work")
         status = self.engine.advance(ops_budget)
+        if work_span is not None:
+            work_span.args["unit_id"] = self.unit.get("id")
+            work_span.args["ops"] = float(status.ops_done)
+            tracer.finish(work_span, self.runtime.now())
+            if status.done:
+                tracer.instant("job complete", self.runtime.now(),
+                               component=self.name,
+                               parent=tuple(self.unit["trace"]),
+                               args={"unit_id": self.unit.get("id")})
         self._interval_ops += status.ops_done
         self._total_ops += status.ops_done
         effects: list[Effect] = []

@@ -67,6 +67,54 @@ class EngineProfiler:
             },
         }
 
+    def chrome_events(self, pid: int = 0) -> list[dict]:
+        """The handler-latency profile as Chrome ``trace_event`` dicts,
+        for a profiler lane inside the simulation's trace export
+        (``export_chrome_trace(..., extra_events=...)``).
+
+        Handlers are laid out *sequentially* by accumulated wall time —
+        this lane answers "where did host CPU go", not "when did things
+        happen", so its timeline is wall seconds of callback work, not
+        simulated time. Each handler gets one complete ("X") event whose
+        duration is its total wall time, plus a counter ("C") event with
+        its call count. ``pid`` 0 picks a lane id far from the
+        component pids the span exporter assigns."""
+        pid = pid or 9999
+        events: list[dict] = [{
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": pid,
+            "tid": pid,
+            "args": {"name": "engine profiler (wall)"},
+        }]
+        cursor = 0.0
+        ranked = sorted(self.handlers.items(), key=lambda kv: -kv[1][1])
+        for (comp, mtype), (calls, total, mx) in ranked:
+            events.append({
+                "name": f"{comp}:{mtype}",
+                "cat": "profile",
+                "ph": "X",
+                "ts": round(cursor * 1e6, 3),
+                "dur": round(total * 1e6, 3),
+                "pid": pid,
+                "tid": pid,
+                "args": {
+                    "calls": calls,
+                    "mean_us": round(1e6 * total / calls, 2) if calls else 0.0,
+                    "max_us": round(1e6 * mx, 2),
+                },
+            })
+            events.append({
+                "name": "handler calls",
+                "ph": "C",
+                "ts": round(cursor * 1e6, 3),
+                "pid": pid,
+                "args": {f"{comp}:{mtype}": calls},
+            })
+            cursor += total
+        return events
+
     def render(self, top: int = 15) -> str:
         """Human-readable profile summary."""
         lines = [

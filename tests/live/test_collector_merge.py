@@ -1,0 +1,145 @@
+"""Epoch-merge edge cases across process incarnations (DESIGN §14).
+
+A restarted node is a *different* process with its own wall epoch and
+sequence space. These tests pin the collector's behaviour on the messy
+interleavings real kills produce: stragglers from a dead life arriving
+after the successor's hello, duplicate sequence numbers after a
+reconnect resend, and flight-recorder dumps recovered post-mortem that
+re-offer spans the shipper already delivered.
+"""
+
+import pytest
+
+from repro.core.linguafranca.messages import Message
+from repro.live import Collector
+from repro.live.collector import COL_HELLO, COL_REPORT
+
+
+@pytest.fixture
+def collector():
+    col = Collector()
+    yield col
+    col.close()
+
+
+def _hello(name, epoch, incarnation=0):
+    return Message(mtype=COL_HELLO, sender="127.0.0.1:1",
+                   body={"node": name, "pid": 42,
+                         "incarnation": incarnation, "epoch": epoch})
+
+
+def _report(name, seq, incarnation=0, **extra):
+    body = {"node": name, "seq": seq, "incarnation": incarnation,
+            "metrics": {}, "spans": [], "logs": [], "stats": {}}
+    body.update(extra)
+    return Message(mtype=COL_REPORT, sender="127.0.0.1:1", body=body)
+
+
+def _span(span_id, start, end, name="x", trace_id=7):
+    return {"trace_id": trace_id, "span_id": span_id, "parent_id": None,
+            "name": name, "component": "n1", "start": start, "end": end,
+            "outcome": "ok"}
+
+
+def test_straggler_from_dead_incarnation_uses_its_own_epoch(collector):
+    # inc0 booted at collector epoch +1s; inc1 at +10s. A report from
+    # inc0 still in flight when inc1's hello lands must be shifted by
+    # inc0's epoch — not the successor's.
+    collector._handle(_hello("n1", epoch=collector.epoch + 1.0,
+                             incarnation=0))
+    collector._handle(_report("n1", 1, incarnation=0))
+    collector._handle(_hello("n1", epoch=collector.epoch + 10.0,
+                             incarnation=1))
+    collector._handle(_report("n1", 2, incarnation=0,
+                              spans=[_span(101, 2.0, 2.5)]))
+    collector._handle(_report("n1", 1, incarnation=1,
+                              spans=[_span(201, 2.0, 2.5)]))
+    rec = collector.nodes["n1"]
+    assert rec.reports == 3  # the straggler was not dropped
+    by_id = {s.span_id: s for s in rec.spans}
+    assert by_id[101].start == pytest.approx(3.0)   # 2.0 + 1.0
+    assert by_id[201].start == pytest.approx(12.0)  # 2.0 + 10.0
+
+
+def test_duplicate_seq_after_reconnect_dropped_per_incarnation(collector):
+    collector._handle(_hello("n1", epoch=collector.epoch, incarnation=0))
+    collector._handle(_report("n1", 3, incarnation=0,
+                              spans=[_span(11, 1.0, 1.1)]))
+    # Reconnect resend: same incarnation, same seq — a duplicate.
+    collector._handle(_report("n1", 3, incarnation=0,
+                              spans=[_span(11, 1.0, 1.1)]))
+    # But seq 3 from the NEXT incarnation is new data, not a duplicate.
+    collector._handle(_hello("n1", epoch=collector.epoch, incarnation=1))
+    collector._handle(_report("n1", 3, incarnation=1,
+                              spans=[_span(1000011, 1.0, 1.1)]))
+    rec = collector.nodes["n1"]
+    assert rec.duplicate_reports == 1
+    assert sorted(s.span_id for s in rec.spans) == [11, 1000011]
+
+
+def test_span_dedup_is_by_id_even_across_paths(collector):
+    collector._handle(_hello("n1", epoch=collector.epoch, incarnation=0))
+    collector._handle(_report("n1", 1, incarnation=0,
+                              spans=[_span(5, 0.0, 0.5)]))
+    collector._handle(_report("n1", 2, incarnation=0,
+                              spans=[_span(5, 0.0, 0.5),
+                                     _span(6, 0.6, 0.9)]))
+    rec = collector.nodes["n1"]
+    assert sorted(s.span_id for s in rec.spans) == [5, 6]
+
+
+def test_flight_dump_after_successor_hello_merges_idempotently(collector):
+    # inc0 shipped spans 1-2, died (span 3 never shipped), inc1 said
+    # hello — THEN the supervisor recovers inc0's flight dump holding
+    # all three. Only span 3 is new; timestamps use inc0's epoch.
+    epoch0 = collector.epoch + 2.0
+    collector._handle(_hello("n1", epoch=epoch0, incarnation=0))
+    collector._handle(_report("n1", 1, incarnation=0,
+                              spans=[_span(1, 0.1, 0.2),
+                                     _span(2, 0.3, 0.4)]))
+    collector._handle(_hello("n1", epoch=collector.epoch + 9.0,
+                             incarnation=1))
+
+    added = collector.ingest_flight({
+        "node": "n1", "incarnation": 0, "epoch": epoch0,
+        "capacity": 2048, "sealed": False, "reason": "",
+        "spans": [_span(1, 0.1, 0.2), _span(2, 0.3, 0.4),
+                  _span(3, 0.5, 0.6, name="last gasp")],
+        "logs": [],
+    })
+    assert added == 1
+    rec = collector.nodes["n1"]
+    assert rec.flight_dumps == 1 and rec.flight_spans == 1
+    by_id = {s.span_id: s for s in rec.spans}
+    assert sorted(by_id) == [1, 2, 3]
+    assert by_id[3].start == pytest.approx(2.5)  # 0.5 + inc0's 2.0
+    # Re-recovery (e.g. a second poll) adds nothing.
+    assert collector.ingest_flight({
+        "node": "n1", "incarnation": 0, "epoch": epoch0,
+        "spans": [_span(3, 0.5, 0.6)], "logs": []}) == 0
+
+
+def test_flight_dump_for_unknown_node_creates_record(collector):
+    # A node that died before its first report still gets its black box
+    # into the merged trace.
+    added = collector.ingest_flight({
+        "node": "ghost", "incarnation": 0, "epoch": collector.epoch + 1.0,
+        "spans": [_span(77, 1.0, 1.5)], "logs": [
+            {"t": 1.0, "component": "ghost", "level": "warn", "text": "uh"}],
+    })
+    assert added == 1
+    rec = collector.nodes["ghost"]
+    assert rec.spans[0].start == pytest.approx(2.0)
+    assert rec.logs[0]["t"] == pytest.approx(2.0)
+    assert collector.ingest_flight({"node": "", "spans": []}) == 0
+    assert collector.bad_messages == 1
+
+
+def test_log_dedup_between_shipment_and_flight_dump(collector):
+    collector._handle(_hello("n1", epoch=collector.epoch, incarnation=0))
+    line = {"t": 1.0, "component": "n1", "level": "info", "text": "hi"}
+    collector._handle(_report("n1", 1, incarnation=0, logs=[line]))
+    collector.ingest_flight({"node": "n1", "incarnation": 0,
+                             "epoch": collector.epoch,
+                             "spans": [], "logs": [dict(line)]})
+    assert len(collector.nodes["n1"].logs) == 1

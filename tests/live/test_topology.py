@@ -46,7 +46,7 @@ def test_topology_round_trips_through_dict():
     assert clone.to_dict() == topo.to_dict()
     assert clone.k == 9 and clone.speed == 123.0 and clone.seed == 42
     assert [s.name for s in clone.nodes] == [s.name for s in topo.nodes]
-    assert clone.named("cli1").options == {"infra": "live"}
+    assert clone.named("cli1").options == {"infra": "live", "site": "utk"}
 
 
 def test_build_manifest_assigns_distinct_contacts():

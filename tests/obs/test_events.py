@@ -1,0 +1,47 @@
+"""The bounded job-lifecycle feed behind ``GET /events``."""
+
+from repro.obs.events import EventLog, parse_jsonl, render_jsonl
+
+
+def test_append_stamps_monotonic_seq():
+    log = EventLog()
+    assert log.latest_seq == -1
+    for i in range(3):
+        log.append({"event": "submitted", "job": f"j-{i}"})
+    assert log.latest_seq == 2
+    assert [e["seq"] for e in log.since(-1)] == [0, 1, 2]
+
+
+def test_ring_drops_oldest_and_counts():
+    log = EventLog(capacity=4)
+    for i in range(10):
+        log.append({"i": i})
+    assert len(log) == 4
+    assert log.dropped == 6
+    assert [e["i"] for e in log.since(-1)] == [6, 7, 8, 9]
+    assert log.latest_seq == 9
+
+
+def test_since_is_strictly_greater_and_limited():
+    log = EventLog()
+    for i in range(5):
+        log.append({"i": i})
+    assert [e["seq"] for e in log.since(2)] == [3, 4]
+    assert [e["seq"] for e in log.since(-1, limit=2)] == [0, 1]
+    assert log.since(99) == []
+
+
+def test_jsonl_round_trip():
+    log = EventLog()
+    log.append({"event": "submitted", "job": "a-1", "t": 0.5})
+    log.append({"event": "done", "job": "a-1", "t": 1.25})
+    text = render_jsonl(log.since(-1))
+    assert text.count("\n") == 2
+    events = parse_jsonl(text)
+    assert [e["event"] for e in events] == ["submitted", "done"]
+    assert events[0]["seq"] == 0
+
+
+def test_empty_feed_renders_empty_string():
+    assert render_jsonl([]) == ""
+    assert parse_jsonl("") == []

@@ -1,0 +1,95 @@
+"""Prometheus text exposition over the telemetry snapshot shape.
+
+The renderer and the (strict) parser are tested against each other:
+every snapshot must round-trip, because CI's obs-smoke job gates on
+``parse_prometheus(scrape)`` succeeding against a live gateway.
+"""
+
+import math
+
+import pytest
+
+from repro.core.telemetry import MetricsRegistry
+from repro.obs.prom import (
+    parse_prometheus,
+    render_prometheus,
+    sample_value,
+    split_metric_key,
+)
+
+
+def _snapshot():
+    m = MetricsRegistry()
+    m.counter("http.requests", route="POST /jobs", status="201").inc(7)
+    m.counter("http.requests", route="GET /queue", status="200").inc(3)
+    m.counter("sch.units", outcome="done").inc()
+    m.gauge("site.utilisation", site="ucsd").set(0.75)
+    m.gauge("site.utilisation", site="utk").set(0.5)
+    m.gauge("sch.queue_depth").set(12.0)
+    h = m.histogram("http.latency_ms", bounds=(1.0, 5.0, 25.0),
+                    route="POST /jobs")
+    for v in (0.5, 2.0, 4.0, 30.0):
+        h.observe(v)
+    return m.snapshot()
+
+
+def test_split_metric_key():
+    assert split_metric_key("plain") == ("plain", {})
+    name, labels = split_metric_key("http.requests{route=POST /jobs,status=201}")
+    assert name == "http.requests"
+    assert labels == {"route": "POST /jobs", "status": "201"}
+
+
+def test_render_produces_typed_families():
+    text = render_prometheus(_snapshot())
+    assert "# TYPE http_requests counter" in text
+    assert "# TYPE site_utilisation gauge" in text
+    assert "# TYPE http_latency_ms histogram" in text
+    assert text.endswith("\n")
+
+
+def test_round_trip_every_sample():
+    text = render_prometheus(_snapshot())
+    samples = parse_prometheus(text)
+    assert sample_value(samples, "http_requests",
+                        route="POST /jobs", status="201") == 7
+    assert sample_value(samples, "site_utilisation", site="ucsd") == 0.75
+    assert sample_value(samples, "sch_queue_depth") == 12
+
+
+def test_histogram_buckets_are_cumulative_with_inf():
+    samples = parse_prometheus(render_prometheus(_snapshot()))
+    le = {s["labels"]["le"]: s["value"] for s in samples
+          if s["name"] == "http_latency_ms_bucket"}
+    assert le["1"] == 1
+    assert le["5"] == 3
+    assert le["25"] == 3
+    assert le["+Inf"] == 4
+    assert sample_value(samples, "http_latency_ms_count",
+                        route="POST /jobs") == 4
+    total = sample_value(samples, "http_latency_ms_sum", route="POST /jobs")
+    assert math.isclose(total, 36.5)
+
+
+def test_label_values_escaped():
+    m = MetricsRegistry()
+    m.counter("odd", path='a"b\\c').inc()
+    samples = parse_prometheus(render_prometheus(m.snapshot()))
+    assert samples and samples[0]["labels"]["path"] == 'a"b\\c'
+
+
+def test_metric_names_sanitised():
+    m = MetricsRegistry()
+    m.counter("http.requests-total").inc(2)
+    text = render_prometheus(m.snapshot())
+    assert "http_requests_total 2" in text
+
+
+def test_parser_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_prometheus("this is { not prometheus\n")
+
+
+def test_empty_snapshot_renders_empty():
+    assert parse_prometheus(render_prometheus(
+        {"counters": {}, "gauges": {}, "histograms": {}})) == []

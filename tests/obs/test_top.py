@@ -1,0 +1,74 @@
+"""The repro-top frame builder and renderer (pure functions, no I/O)."""
+
+from repro.obs.top import build_frame, quantile_from_histogram, render_top
+
+
+def _metrics():
+    return {
+        "counters": {
+            "http.requests{route=POST /jobs,status=201}": 40,
+            "http.requests{route=POST /jobs,status=400}": 2,
+            "http.requests{route=GET /queue,status=200}": 8,
+        },
+        "gauges": {
+            "sch.queue_depth": 5.0,
+            "site.utilisation{site=ucsd}": 0.8,
+            "site.delivered_ops{site=ucsd}": 800.0,
+            "site.available_ops{site=ucsd}": 1000.0,
+            "site.utilisation{site=utk}": 0.25,
+        },
+        "histograms": {
+            "http.latency_ms{route=POST /jobs}": {
+                "bounds": [1.0, 5.0, 25.0],
+                "counts": [10, 25, 4, 1],
+                "count": 40,
+                "total": 120.0,
+            },
+        },
+    }
+
+
+def test_quantiles_pick_bucket_bounds():
+    hist = _metrics()["histograms"]["http.latency_ms{route=POST /jobs}"]
+    assert quantile_from_histogram(hist, 0.50) == 5.0
+    assert quantile_from_histogram(hist, 0.99) == 25.0
+    assert quantile_from_histogram({"count": 0}, 0.5) == 0.0
+
+
+def test_build_frame_totals_and_sites():
+    frame = build_frame(_metrics(), queue={"depth": 5, "queued": 3,
+                                           "done": 2}, now=10.0)
+    assert frame["submitted_total"] == 42  # both statuses on POST /jobs
+    assert frame["requests_total"] == 50
+    assert frame["queue_depth"] == 5.0
+    assert frame["sites"]["ucsd"]["utilisation"] == 0.8
+    assert frame["sites"]["ucsd"]["delivered"] == 800.0
+    assert frame["routes"]["POST /jobs"]["p50_ms"] == 5.0
+    # First sample: no rates yet.
+    assert frame["submissions_per_s"] == 0.0
+
+
+def test_rates_are_deltas_against_prev_frame():
+    prev = build_frame(_metrics(), now=10.0)
+    metrics = _metrics()
+    metrics["counters"]["http.requests{route=POST /jobs,status=201}"] = 60
+    frame = build_frame(metrics, prev=prev, now=12.0)
+    assert frame["submissions_per_s"] == 10.0  # +20 over 2s
+
+
+def test_render_top_mentions_everything():
+    frame = build_frame(_metrics(), queue={"depth": 5, "queued": 3},
+                        events=[{"event": "done", "job": "j-9", "t": 4.5}],
+                        now=10.0)
+    text = render_top(frame)
+    assert "repro top" in text
+    assert "queue depth      5" in text
+    assert "ucsd" in text and "80.0%" in text
+    assert "POST /jobs" in text
+    assert "j-9" in text
+
+
+def test_render_top_survives_empty_frame():
+    text = render_top(build_frame({}, now=0.0))
+    assert "repro top" in text
+    assert "?" in text  # unknown queue depth
