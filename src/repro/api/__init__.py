@@ -59,7 +59,9 @@ _LAYERS: dict[str, tuple[str, ...]] = {
         # forecasting
         "ForecastRegistry", "ForecasterBank", "default_bank", "event_tag",
         # gossip and services
-        "ComparatorRegistry", "GossipAgent", "GossipServer", "StateStore",
+        "ComparatorRegistry", "GossipAgent", "GossipServer", "GossipStats",
+        "StateDigest", "StateStore", "SuspicionTable", "plan_exchange",
+        "plan_shards",
         "LoggingServer", "PersistentStateServer", "QueueWorkSource",
         "SchedulerServer", "TaskFarmMaster", "TaskFarmWorker",
         # Ramsey application
@@ -88,6 +90,10 @@ _LAYERS: dict[str, tuple[str, ...]] = {
         "PROFILES", "ChaosConfig", "ChaosReport", "build_plan",
         "run_chaos", "run_chaos_matrix",
         "ObserveConfig", "ObserveWorld", "requeue_chains", "run_observe",
+        # scale pools (DESIGN §15)
+        "BigPool", "PoolConfig", "build_pool", "churn_plan",
+        "export_state", "gossip_rollup", "inject_write",
+        "run_until_converged",
     ),
     "net": (
         "NetDriver", "AsyncSender", "EventLoop", "TcpClient", "TcpServer",

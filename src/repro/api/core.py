@@ -57,7 +57,12 @@ from ..core.gossip import (
     ComparatorRegistry,
     GossipAgent,
     GossipServer,
+    GossipStats,
+    StateDigest,
     StateStore,
+    SuspicionTable,
+    plan_exchange,
+    plan_shards,
 )
 from ..core.services import (
     LoggingServer,
@@ -116,7 +121,12 @@ __all__ = [
     "ComparatorRegistry",
     "GossipAgent",
     "GossipServer",
+    "GossipStats",
+    "StateDigest",
     "StateStore",
+    "SuspicionTable",
+    "plan_exchange",
+    "plan_shards",
     "LoggingServer",
     "PersistentStateServer",
     "QueueWorkSource",

@@ -70,6 +70,16 @@ from ..experiments.observe import (
     requeue_chains,
     run_observe,
 )
+from ..experiments.bigpool import (
+    BigPool,
+    PoolConfig,
+    build_pool,
+    churn_plan,
+    export_state,
+    gossip_rollup,
+    inject_write,
+    run_until_converged,
+)
 
 __all__ = [
     # driver
@@ -128,4 +138,13 @@ __all__ = [
     "ObserveWorld",
     "requeue_chains",
     "run_observe",
+    # scale pools (DESIGN §15)
+    "BigPool",
+    "PoolConfig",
+    "build_pool",
+    "churn_plan",
+    "export_state",
+    "gossip_rollup",
+    "inject_write",
+    "run_until_converged",
 ]

@@ -361,6 +361,50 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pool(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments.bigpool import (build_pool, churn_plan, export_state,
+                                      gossip_rollup, inject_write,
+                                      run_until_converged)
+
+    config_kw = dict(n_hosts=args.hosts, n_sites=args.sites,
+                     n_records=args.records, seed=args.seed)
+    if args.window:
+        config_kw["window"] = args.window
+    pool = build_pool(**config_kw)
+    if args.churn:
+        churn_plan(pool.config).install(pool.env, pool.network)
+    pool.run(until=args.warm)
+    inject_write(pool)
+    result = run_until_converged(pool, deadline=args.deadline)
+    rollup = gossip_rollup(pool.servers)
+    if args.json:
+        doc = export_state(pool)
+        doc["convergence"] = result
+        doc["rollup"] = rollup
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print(f"pool: {args.hosts} hosts / {args.sites} sites / "
+              f"{args.records} records (seed {args.seed}"
+              f"{', churn' if args.churn else ''})")
+        print(f"converged: {result['converged']} after "
+              f"{result['rounds']:.0f} rounds ({result['time']:.1f}s sim)")
+        print(f"digest rounds: {rollup['digest_rounds']:,}  "
+              f"delta records: {rollup['delta_records']:,}")
+        print(f"sync bytes: {rollup['bytes_sent']:,}  "
+              f"saved vs full-sync: {rollup['bytes_saved']:,}")
+        print(f"suspicion transitions: {rollup['suspicion']}  "
+              f"evictions: {rollup['evictions']}")
+    if args.gateway:
+        from .control.client import GatewayClient
+
+        with GatewayClient(args.gateway) as client:
+            client.publish_gossip(rollup)
+        print(f"published rollup to {args.gateway}")
+    return 0 if result["converged"] else 1
+
+
 def _cmd_live(args: argparse.Namespace) -> int:
     from .experiments.report import render_live_summary
     from .live import run_live, sc98_topology
@@ -611,6 +655,31 @@ def build_parser() -> argparse.ArgumentParser:
                        parents=[_common_parent(**observed_parent)])
     _observed_arguments(p)
     p.set_defaults(func=_cmd_metrics)
+
+    p = sub.add_parser(
+        "pool",
+        help="build a 1k-10k host gossip pool; inject a write, converge")
+    p.add_argument("--hosts", type=int, default=1024,
+                   help="pool size (default 1024)")
+    p.add_argument("--sites", type=int, default=16)
+    p.add_argument("--records", type=int, default=32,
+                   help="pre-seeded shared state records")
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--warm", type=float, default=30.0, metavar="S",
+                   help="sim seconds to run before injecting the write")
+    p.add_argument("--deadline", type=float, default=2000.0, metavar="S",
+                   help="sim-time budget for convergence")
+    p.add_argument("--window", type=float, default=0.0, metavar="S",
+                   help="use the windowed parallel engine with this window")
+    p.add_argument("--churn", action="store_true",
+                   help="install the deterministic churn plan "
+                        "(crashes + a healed partition)")
+    p.add_argument("--json", action="store_true",
+                   help="print the full deterministic state export")
+    p.add_argument("--gateway", metavar="HOST:PORT",
+                   help="publish the rollup to a live gateway's "
+                        "POST /telemetry/gossip")
+    p.set_defaults(func=_cmd_pool)
 
     p = sub.add_parser(
         "live", help="run the world as real processes on localhost",

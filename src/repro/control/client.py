@@ -173,6 +173,15 @@ class GatewayClient:
             raise HttpError(f"site publish rejected ({status}): {doc}")
         return doc
 
+    def publish_gossip(self, rollup: dict) -> dict:
+        """Push a pool-wide gossip sync-plane rollup (see
+        :func:`repro.experiments.bigpool.gossip_rollup`)."""
+        status, doc = self.request("POST", "/telemetry/gossip",
+                                   {"gossip": rollup})
+        if status != 200:
+            raise HttpError(f"gossip publish rejected ({status}): {doc}")
+        return doc
+
     def close(self) -> None:
         self._drop()
 

@@ -59,6 +59,7 @@ ROUTES = (
     "GET /metrics.json",
     "GET /events",
     "POST /telemetry/sites",
+    "POST /telemetry/gossip",
 )
 
 #: Routes whose payload is pre-rendered text, and the content type each
@@ -200,6 +201,8 @@ class GatewayCore:
             return (*self._events(query), "GET /events")
         if path == "/telemetry/sites" and method == "POST":
             return (*self._sites(body), "POST /telemetry/sites")
+        if path == "/telemetry/gossip" and method == "POST":
+            return (*self._gossip(body), "POST /telemetry/gossip")
         return 404, {"error": f"no route for {method} {path}"}, "none"
 
     # -- handlers -------------------------------------------------------------
@@ -295,6 +298,51 @@ class GatewayCore:
                     except (TypeError, ValueError):
                         pass
         return 200, {"ok": True, "sites": len(sites)}
+
+    #: Pool-wide GossipStats fields accepted by ``POST /telemetry/gossip``
+    #: and the gauge each lands as (DESIGN §15).
+    GOSSIP_FIELDS = (
+        ("digest_rounds", "gossip.digest_rounds"),
+        ("delta_records", "gossip.delta_records"),
+        ("bytes_sent", "gossip.bytes_sent"),
+        ("bytes_saved", "gossip.bytes_saved"),
+        ("members", "gossip.members"),
+        ("registered", "gossip.registered"),
+        ("tombstones_created", "gossip.tombstones_created"),
+        ("evictions", "gossip.evictions"),
+    )
+
+    def _gossip(self, body: bytes) -> tuple[int, dict]:
+        """Pool-wide gossip sync-plane rollup, pushed by whichever process
+        owns the Gossip pool (e.g. :func:`repro.experiments.bigpool.
+        gossip_rollup`). Lands as ``gossip.*`` gauges — digest rounds,
+        delta records shipped, bytes saved vs full-sync — plus per-state
+        suspicion transition counts, so /metrics exposes the anti-entropy
+        plane's health."""
+        try:
+            doc = json.loads(body) if body else None
+        except (ValueError, UnicodeDecodeError):
+            return 400, {"error": "body is not valid JSON"}
+        pool = (doc or {}).get("gossip") if isinstance(doc, dict) else None
+        if not isinstance(pool, dict):
+            return 400, {"error": "body must be {'gossip': {...}}"}
+        metrics = self.telemetry.metrics
+        for field, gauge in self.GOSSIP_FIELDS:
+            if field in pool:
+                try:
+                    metrics.gauge(gauge).set(float(pool[field]))
+                except (TypeError, ValueError):
+                    pass
+        transitions = pool.get("suspicion")
+        if isinstance(transitions, dict):
+            for state in sorted(transitions):
+                try:
+                    metrics.gauge("gossip.suspicion_transitions",
+                                  to=str(state)).set(
+                                      float(transitions[state]))
+                except (TypeError, ValueError):
+                    pass
+        return 200, {"ok": True}
 
     def _queue(self) -> tuple[int, dict]:
         return 200, {"depth": len(self.work), **self.work.stats()}

@@ -1,9 +1,18 @@
 """Distributed state exchange: Gossip pool, clique protocol, state stores."""
 
 from .agent import GossipAgent
-from .clique import CLIQUE_MTYPES, CliqueState
+from .clique import CLIQUE_MTYPES, CliqueState, plan_shards
+from .digest import (
+    DIGEST_BUCKETS,
+    StateDigest,
+    bucket_of,
+    freshness_hash,
+    plan_exchange,
+)
 from .server import (
     GOS_DELCOMP,
+    GOS_DELTA,
+    GOS_DIGEST,
     GOS_NEWCOMP,
     GOS_POLL,
     GOS_REG,
@@ -21,14 +30,23 @@ from .state import (
     StateStore,
     default_comparator,
 )
+from .swim import ALIVE, DEAD, SUSPECT, MemberView, SuspicionTable
 
 __all__ = [
     "GossipAgent",
     "CLIQUE_MTYPES",
     "CliqueState",
+    "plan_shards",
+    "DIGEST_BUCKETS",
+    "StateDigest",
+    "bucket_of",
+    "freshness_hash",
+    "plan_exchange",
     "GossipServer",
     "GossipStats",
     "GOS_DELCOMP",
+    "GOS_DELTA",
+    "GOS_DIGEST",
     "GOS_NEWCOMP",
     "GOS_POLL",
     "GOS_REG",
@@ -41,4 +59,9 @@ __all__ = [
     "StateRecord",
     "StateStore",
     "default_comparator",
+    "ALIVE",
+    "SUSPECT",
+    "DEAD",
+    "MemberView",
+    "SuspicionTable",
 ]

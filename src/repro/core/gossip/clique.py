@@ -39,8 +39,40 @@ from typing import Optional
 from ..component import CancelTimer, Effect, LogLine, Send, SetTimer
 from ..linguafranca.messages import Message
 
-__all__ = ["CliqueState", "CLQ_PROBE", "CLQ_ALIVE", "CLQ_TOKEN", "CLQ_ELECT",
-           "CLQ_ELECT_OK", "CLQ_JOIN", "CLIQUE_MTYPES"]
+__all__ = ["CliqueState", "plan_shards", "CLQ_PROBE", "CLQ_ALIVE", "CLQ_TOKEN",
+           "CLQ_ELECT", "CLQ_ELECT_OK", "CLQ_JOIN", "CLIQUE_MTYPES"]
+
+
+def plan_shards(members: list[str], shard_size: int) -> list[list[str]]:
+    """Deterministically partition a membership list into sub-cliques.
+
+    The paper's clique protocol partitions *by failure* ("dynamically
+    partition itself into subcliques... then merge when conditions
+    permit", §2.3); at a thousand nodes we additionally partition *by
+    design*: synchronization responsibility is sharded so each member
+    gossips mostly within its sub-clique and only shard representatives
+    bridge between them — the sync traffic a member sees stays constant
+    as the pool grows.
+
+    Members are sorted, then cut into ``ceil(N / shard_size)`` contiguous
+    near-equal chunks, so every node with the same membership view
+    derives the same shards with no coordination. The first member of a
+    shard is its *representative* for inter-shard rounds.
+    """
+    ordered = sorted(members)
+    n = len(ordered)
+    if n == 0:
+        return []
+    shard_size = max(int(shard_size), 1)
+    n_shards = max((n + shard_size - 1) // shard_size, 1)
+    base, extra = divmod(n, n_shards)
+    shards: list[list[str]] = []
+    start = 0
+    for i in range(n_shards):
+        width = base + (1 if i < extra else 0)
+        shards.append(ordered[start:start + width])
+        start += width
+    return shards
 
 CLQ_PROBE = "CLQ_PROBE"
 CLQ_ALIVE = "CLQ_ALIVE"
@@ -93,6 +125,35 @@ class CliqueState:
     @property
     def is_leader(self) -> bool:
         return self.leader == self.self_id
+
+    # -- sharded sync ring ---------------------------------------------------
+    def shards(self, shard_size: int = 32) -> list[list[str]]:
+        """The current membership cut into sync sub-cliques; see
+        :func:`plan_shards`."""
+        return plan_shards(self.members, shard_size)
+
+    def shard_index(self, shard_size: int = 32) -> int:
+        """Index of the shard this member belongs to (0 when unknown,
+        e.g. before the first token names us)."""
+        for i, shard in enumerate(self.shards(shard_size)):
+            if self.self_id in shard:
+                return i
+        return 0
+
+    def my_shard(self, shard_size: int = 32) -> list[str]:
+        shards = self.shards(shard_size)
+        for shard in shards:
+            if self.self_id in shard:
+                return shard
+        # Not yet in the membership view (joiner awaiting its first
+        # token): gossip with whatever members we know about.
+        return sorted(set(self.members) | {self.self_id})
+
+    def is_representative(self, shard_size: int = 32) -> bool:
+        """Whether this member speaks for its shard in inter-shard
+        rounds (the shard's first member does)."""
+        shard = self.my_shard(shard_size)
+        return bool(shard) and shard[0] == self.self_id
 
     def _key(self) -> tuple[int, str]:
         return (self.version, self.leader)

@@ -15,10 +15,36 @@ Per the paper (§2.3):
   benchmarked* and forecast to derive the time-outs used for failure
   detection — the "dynamic time-out discovery" the paper credits for
   overall stability (§2.2).
+
+The paper flags its own weakest hot path: the SC98 prototype's
+state-exchange protocol "can be substantially optimized" (§2.3). The
+pool-side synchronization here is that optimization, a three-phase
+**digest/delta anti-entropy** exchange (DESIGN §15):
+
+1. each sync round a member sends a compact ``GOS_DIGEST`` — root hash,
+   hot *rumor* records (recent adoptions, retransmitted for O(log pool)
+   rounds), and piggybacked tombstones/suspicion claims — to a bounded
+   fan-out of peers drawn from its clique *shard* (plus a slower-cadence
+   inter-shard representative round);
+2. a diverged receiver answers ``GOS_DELTA`` with its bucket hashes; the
+   pair localizes disagreement to a few buckets, exchanges per-record
+   digest entries for those buckets only, and the receiver nacks the
+   records it wants while shipping the ones it has fresher;
+3. the originator ships the requested records (``GOS_SYNC``).
+
+Converged peers therefore exchange two tiny messages per round — bytes
+are O(divergence), not O(registered state) — and evictions ride digests
+as TTL'd tombstones instead of an O(pool) ``GOS_DELCOMP`` broadcast.
+Failure detection is SWIM-style (:mod:`.swim`): missed digest-acks make a
+peer *suspect* (never instantly dead), suspicion piggybacks on digests,
+refutations with bumped incarnations clear it, and only an expired
+suspicion evicts.
 """
 
 from __future__ import annotations
 
+import json
+import math
 import zlib
 from dataclasses import dataclass, field
 from typing import Optional
@@ -28,7 +54,9 @@ from ..forecasting.benchmarking import EventTimer, ForecastRegistry, event_tag
 from ..policy import TimeoutPolicy
 from ..linguafranca.messages import Message
 from .clique import CLIQUE_MTYPES, CliqueState
+from .digest import StateDigest, plan_exchange
 from .state import ComparatorRegistry, StateRecord
+from .swim import ALIVE, DEAD, SUSPECT, SuspicionTable
 
 __all__ = [
     "GossipServer",
@@ -39,6 +67,8 @@ __all__ = [
     "GOS_STATE",
     "GOS_UPDATE",
     "GOS_SYNC",
+    "GOS_DIGEST",
+    "GOS_DELTA",
     "GOS_NEWCOMP",
     "GOS_DELCOMP",
 ]
@@ -49,6 +79,8 @@ GOS_POLL = "GOS_POLL"
 GOS_STATE = "GOS_STATE"
 GOS_UPDATE = "GOS_UPDATE"
 GOS_SYNC = "GOS_SYNC"
+GOS_DIGEST = "GOS_DIGEST"
+GOS_DELTA = "GOS_DELTA"
 GOS_NEWCOMP = "GOS_NEWCOMP"
 GOS_DELCOMP = "GOS_DELCOMP"
 
@@ -65,6 +97,29 @@ class GossipStats:
     comparisons: int = 0
     evictions: int = 0
     syncs_sent: int = 0
+    # -- digest/delta anti-entropy (DESIGN §15) -----------------------------
+    digest_rounds: int = 0
+    digests_sent: int = 0
+    digest_acks: int = 0
+    deltas_sent: int = 0
+    delta_records: int = 0
+    #: Comparator invocations spent on the sync plane (full-state syncs
+    #: pay one per record per merge; digest rounds pay O(divergence)).
+    sync_comparisons: int = 0
+    #: Actual sync-plane bytes put on the wire by this member.
+    bytes_sent: int = 0
+    #: What the same sends would have cost had each carried the full
+    #: freshest state (the SC98 path) — ``bytes_saved`` is the difference.
+    bytes_full_equiv: int = 0
+    tombstones_created: int = 0
+    tombstones_applied: int = 0
+    suspicions: int = 0
+    refutations: int = 0
+    deaths: int = 0
+
+    @property
+    def bytes_saved(self) -> int:
+        return max(self.bytes_full_equiv - self.bytes_sent, 0)
 
 
 @dataclass
@@ -72,6 +127,11 @@ class _Registration:
     contact: str
     types: set[str]
     last_seen: float = 0.0
+
+
+def _body_size(body: dict) -> int:
+    """Serialized size of a record body (byte accounting)."""
+    return len(json.dumps(body, separators=(",", ":")))
 
 
 class GossipServer(Component):
@@ -90,6 +150,13 @@ class GossipServer(Component):
         token_period: float = 10.0,
         token_timeout: float = 35.0,
         pairwise_compare: bool = False,
+        sync_mode: str = "digest",
+        fanout: int = 2,
+        shard_size: int = 32,
+        intershard_period: int = 2,
+        rumor_rounds: Optional[int] = None,
+        suspicion_factor: float = 2.0,
+        tombstone_ttl: Optional[float] = None,
     ) -> None:
         super().__init__(name)
         self.well_known = list(well_known)
@@ -107,8 +174,25 @@ class GossipServer(Component):
         #: comparison of application component state"); False (default) is
         #: the optimized freshest-record design the paper anticipated.
         self.pairwise_compare = pairwise_compare
+        #: Pool sync flavor: "digest" = three-phase anti-entropy (DESIGN
+        #: §15, the default); "full" = the pre-digest design that shipped
+        #: every freshest record to one random peer per round (kept for
+        #: the ablation curve).
+        if sync_mode not in ("digest", "full"):
+            raise ValueError(f"unknown sync_mode {sync_mode!r}")
+        self.sync_mode = sync_mode
+        self.fanout = max(int(fanout), 1)
+        self.shard_size = max(int(shard_size), 2)
+        self.intershard_period = max(int(intershard_period), 1)
+        #: Rounds a freshly-adopted record stays hot (rumor-mongered on
+        #: every digest). None = ceil(log2(pool)) + 4, derived per round.
+        self.rumor_rounds = rumor_rounds
+        self.suspicion_factor = suspicion_factor
+        self._tombstone_ttl = tombstone_ttl
         self.registry: dict[str, _Registration] = {}
         self.freshest: dict[str, StateRecord] = {}
+        #: Incremental digest over ``freshest`` (kept current by ``_adopt``).
+        self.digest = StateDigest()
         #: Last state seen per component (pairwise mode only).
         self.component_state: dict[str, dict[str, StateRecord]] = {}
         self.forecasts = ForecastRegistry()
@@ -124,8 +208,36 @@ class GossipServer(Component):
             floor=0.25,
             ceiling=4.0 * poll_period,
         )
+        #: Digest-ack dead-man policy: same forecast machinery, ceilinged
+        #: by the sync cadence instead of the poll cadence.
+        self._digest_timeout = TimeoutPolicy.forecast(
+            registry=self.forecasts,
+            multiplier=4.0,
+            default=default_timeout,
+            floor=0.25,
+            ceiling=4.0 * sync_period,
+        )
         self.stats = GossipStats()
         self.clique: Optional[CliqueState] = None
+        #: SWIM-style liveness table covering pool members *and*
+        #: registered components (contacts are unique across both).
+        self.suspicion: Optional[SuspicionTable] = None
+        #: Active tombstones: contact -> eviction stamp. Piggybacked on
+        #: digests, GC'd after the TTL.
+        self.tombstones: dict[str, float] = {}
+        #: Registration announcements awaiting piggyback: contact -> budget.
+        self._reg_queue: dict[str, int] = {}
+        #: Hot records (rumors): tag -> remaining rounds.
+        self._rumors: dict[str, int] = {}
+        #: Digest sends awaiting their ack: peer -> send time.
+        self._pending_acks: dict[str, float] = {}
+        #: Our own pending SWIM refutation, piggybacked on the next round.
+        self._refutation: Optional[list] = None
+        self._round = 0
+        self._bytes_counter = None
+        self._saved_counter = None
+        self._rounds_counter = None
+        self._delta_counter = None
         #: Last observed clique membership, for reconfiguration detection
         #: (``gossip.clique_reconfigs`` counts regime changes this member
         #: witnessed — elections, joins, partitions shrinking the pool).
@@ -140,6 +252,11 @@ class GossipServer(Component):
             token_period=self._token_period,
             token_timeout=self._token_timeout,
         )
+        self.suspicion = SuspicionTable(
+            contact,
+            suspicion_timeout=self._suspicion_window,
+            on_transition=self._on_liveness_transition,
+        )
         effects: list[Effect] = []
         if contact not in self.well_known:
             effects.extend(self.clique.join_effects(self.well_known))
@@ -152,14 +269,40 @@ class GossipServer(Component):
                 len(self._members_view))
         return effects
 
+    def _suspicion_window(self) -> float:
+        """How long a suspect lives before it is declared dead. The
+        *entry* into suspicion is forecast-timed (missed digest-ack /
+        poll deadline); the expiry window is a deterministic multiple of
+        the detection cadence."""
+        return self.suspicion_factor * (self.poll_period + self.default_timeout)
+
+    def _on_liveness_transition(self, member: str, old: str, new: str) -> None:
+        scope = "component" if member in self.registry else "member"
+        if new == SUSPECT:
+            self.stats.suspicions += 1
+        elif new == ALIVE and old != ALIVE:
+            self.stats.refutations += 1
+        elif new == DEAD:
+            self.stats.deaths += 1
+        self.telemetry.metrics.counter(
+            "gossip.suspicion", component=self.name, to=new, scope=scope).inc()
+
     # -- responsibility partitioning ------------------------------------------
     def pool_members(self) -> list[str]:
         assert self.clique is not None
         return sorted(self.clique.members)
 
+    def alive_members(self) -> list[str]:
+        """Pool members not currently declared dead by the failure
+        detector (suspects stay in: suspicion is a hint, not a verdict)."""
+        susp = self.suspicion
+        return [m for m in self.pool_members()
+                if m == (self.clique.self_id if self.clique else None)
+                or susp is None or susp.is_usable(m)]
+
     def responsible_for(self, contact: str) -> bool:
         """Consistent assignment of components across the current clique."""
-        members = self.pool_members()
+        members = self.alive_members()
         if not members:
             return True
         idx = zlib.crc32(contact.encode("utf-8")) % len(members)
@@ -176,6 +319,8 @@ class GossipServer(Component):
             GOS_REG: self._on_register,
             GOS_STATE: self._on_state,
             GOS_SYNC: self._on_sync,
+            GOS_DIGEST: self._on_digest,
+            GOS_DELTA: self._on_delta,
             GOS_NEWCOMP: self._on_newcomp,
             GOS_DELCOMP: self._on_delcomp,
         }.get(message.mtype)
@@ -189,6 +334,10 @@ class GossipServer(Component):
         if members == self._members_view:
             return
         before, self._members_view = self._members_view, members
+        current = set(members)
+        for peer in list(self._pending_acks):
+            if peer not in current:
+                self._pending_acks.pop(peer, None)
         metrics = self.telemetry.metrics
         metrics.counter("gossip.clique_reconfigs", component=self.name).inc()
         metrics.gauge("gossip.clique_size", component=self.name).set(
@@ -199,44 +348,90 @@ class GossipServer(Component):
             joined=sorted(set(members) - set(before)),
             left=sorted(set(before) - set(members)))
 
+    def _piggyback_budget(self) -> int:
+        """Retransmission budget for piggybacked claims/tombstones/
+        registrations: O(log pool) rounds spreads a claim epidemic-wide."""
+        pool = max(len(self._members_view), 2)
+        return int(math.ceil(math.log2(pool))) + 3
+
+    def _rumor_budget(self) -> int:
+        if self.rumor_rounds is not None:
+            return max(int(self.rumor_rounds), 1)
+        pool = max(len(self._members_view), 2)
+        return int(math.ceil(math.log2(pool))) + 4
+
+    # -- registration ---------------------------------------------------------
     def _on_register(self, message: Message, now: float) -> list[Effect]:
         contact = message.sender
         types = set(message.body.get("types", []))
         self.registry[contact] = _Registration(contact, types, last_seen=now)
+        self.tombstones.pop(contact, None)
+        if self.suspicion is not None:
+            self.suspicion.confirm_alive(contact, now,
+                                         budget=self._piggyback_budget())
         effects: list[Effect] = [
             Send(contact, message.reply(GOS_REG_OK, sender=self.contact,
-                                        body={"gossips": self.pool_members()}))
+                                        body={"gossips": self.alive_members()}))
         ]
-        # Spread the registration through the pool so any member can take
-        # over responsibility when the clique reconfigures.
-        announce = {"contact": contact, "types": sorted(types)}
-        for peer in self.pool_members():
-            if peer != self.contact:
-                effects.append(Send(peer, Message(
-                    mtype=GOS_NEWCOMP, sender=self.contact, body=announce)))
+        # Tell this member's shard directly; the rest of the pool learns
+        # through the registration piggyback on digest rounds (O(shard)
+        # sends instead of O(pool), with epidemic coverage behind it).
+        announce = {"contact": contact, "types": sorted(types), "ts": now}
+        for peer in self._shard_peers():
+            effects.append(Send(peer, Message(
+                mtype=GOS_NEWCOMP, sender=self.contact, body=announce)))
+        self._reg_queue[contact] = self._piggyback_budget()
         return effects
+
+    def _shard_peers(self) -> list[str]:
+        """Usable members of this node's sync shard, excluding self."""
+        assert self.clique is not None
+        susp = self.suspicion
+        me = self.clique.self_id
+        return [p for p in self.clique.my_shard(self.shard_size)
+                if p != me and (susp is None or susp.is_usable(p))]
 
     def _on_newcomp(self, message: Message, now: float) -> list[Effect]:
         contact = message.body["contact"]
         types = set(message.body.get("types", []))
+        stamp = float(message.body.get("ts", now))
+        self._note_registration(contact, types, stamp)
+        return []
+
+    def _note_registration(self, contact: str, types: set[str],
+                           stamp: float) -> None:
+        tomb = self.tombstones.get(contact)
+        if tomb is not None:
+            if stamp <= tomb:
+                return  # the eviction post-dates this registration
+            self.tombstones.pop(contact, None)
         existing = self.registry.get(contact)
         if existing is None:
-            self.registry[contact] = _Registration(contact, types, last_seen=now)
+            self.registry[contact] = _Registration(contact, types,
+                                                   last_seen=stamp)
         else:
             existing.types |= types
-            existing.last_seen = max(existing.last_seen, now)
-        return []
+            existing.last_seen = max(existing.last_seen, stamp)
 
     def _on_delcomp(self, message: Message, now: float) -> list[Effect]:
-        self.registry.pop(message.body["contact"], None)
+        # Legacy eviction broadcast (pre-§15 wire compat): treat as a
+        # tombstone from the sender's clock.
+        self._apply_tombstone(message.body.get("contact"),
+                              float(message.body.get("ts", now)), now)
         return []
 
+    # -- state plane (polls / component pushes) --------------------------------
     def _on_state(self, message: Message, now: float) -> list[Effect]:
         contact = message.sender
         self.stats.states_received += 1
         reg = self.registry.get(contact)
         if reg is not None:
             reg.last_seen = now
+        if self.suspicion is not None:
+            # First-hand contact refutes any suspicion: a suspected-then-
+            # refuted component must never proceed to eviction.
+            self.suspicion.confirm_alive(contact, now,
+                                         budget=self._piggyback_budget())
         tag = event_tag(contact, GOS_POLL)
         self.timer.end(tag, now)
         remote = self._merge_records(message.body.get("records", []))
@@ -276,10 +471,12 @@ class GossipServer(Component):
         return []
 
     def _on_sync(self, message: Message, now: float) -> list[Effect]:
-        self._merge_records(message.body.get("records", []))
+        self._merge_records(message.body.get("records", []), sync_plane=True)
+        self._note_peer_alive(message.sender, now)
         return []
 
-    def _merge_records(self, bodies: list[dict]) -> dict[str, StateRecord]:
+    def _merge_records(self, bodies: list[dict],
+                       sync_plane: bool = False) -> dict[str, StateRecord]:
         """Adopt fresher records; returns the parsed remote records by type."""
         remote: dict[str, StateRecord] = {}
         for body in bodies:
@@ -290,14 +487,36 @@ class GossipServer(Component):
             remote[rec.mtype] = rec
             current = self.freshest.get(rec.mtype)
             if current is None:
-                self.freshest[rec.mtype] = rec
-                self.stats.records_adopted += 1
+                self._adopt(rec, body)
                 continue
-            self.stats.comparisons += 1
+            if sync_plane:
+                self.stats.sync_comparisons += 1
+            else:
+                self.stats.comparisons += 1
             if self.comparators.compare(rec, current) > 0:
-                self.freshest[rec.mtype] = rec
-                self.stats.records_adopted += 1
+                self._adopt(rec, body)
         return remote
+
+    def _adopt(self, rec: StateRecord, body: Optional[dict] = None) -> None:
+        """Single funnel for freshest-map writes: keeps the incremental
+        digest current and queues the record for rumor-mongering."""
+        self.freshest[rec.mtype] = rec
+        self.stats.records_adopted += 1
+        self.digest.adopt(
+            rec, _body_size(body if body is not None else rec.to_body()))
+        self._rumors[rec.mtype] = self._rumor_budget()
+
+    def seed_records(self, records: list[StateRecord],
+                     hot: bool = False) -> None:
+        """World-builder hook: install records directly (pre-converged
+        pools for scale experiments). ``hot=False`` skips the rumor queue
+        so seeding N nodes with identical state does not trigger an
+        O(N^2) gossip storm at t=0."""
+        for rec in records:
+            self.freshest[rec.mtype] = rec
+            self.digest.adopt(rec, _body_size(rec.to_body()))
+            if hot:
+                self._rumors[rec.mtype] = self._rumor_budget()
 
     # -- timers ------------------------------------------------------------
     def on_timer(self, key: str, now: float) -> list[Effect]:
@@ -309,7 +528,9 @@ class GossipServer(Component):
         if key == T_POLL:
             return self._poll_round(now) + [SetTimer(T_POLL, self.poll_period)]
         if key == T_SYNC:
-            return self._sync_round(now) + [SetTimer(T_SYNC, self.sync_period)]
+            round_fn = (self._sync_round if self.sync_mode == "digest"
+                        else self._sync_round_full)
+            return round_fn(now) + [SetTimer(T_SYNC, self.sync_period)]
         return []
 
     def timeout_policy(self) -> TimeoutPolicy:
@@ -319,10 +540,25 @@ class GossipServer(Component):
     def _component_timeout(self, contact: str) -> float:
         return self.timeout_policy().timeout_for(event_tag(contact, GOS_POLL))
 
+    def _ack_timeout(self, peer: str) -> float:
+        if not self.dynamic_timeouts:
+            return self.default_timeout
+        return self._digest_timeout.timeout_for(event_tag(peer, GOS_DIGEST))
+
+    # -- poll plane -----------------------------------------------------------
     def _poll_round(self, now: float) -> list[Effect]:
         effects: list[Effect] = []
+        assert self.suspicion is not None
+        budget = self._piggyback_budget()
+        self.suspicion.tick(now)
         for contact in sorted(self.registry):
             if not self.responsible_for(contact):
+                continue
+            if self.suspicion.state_of(contact) == DEAD:
+                # Suspicion expired (or a relayed death claim confirmed):
+                # the responsible member performs the one pool-wide
+                # eviction; everyone else learns via the tombstone.
+                effects.extend(self._evict(contact, now))
                 continue
             reg = self.registry[contact]
             # The state-message gap is one poll cycle plus the response
@@ -331,19 +567,12 @@ class GossipServer(Component):
             deadline = self.dead_factor * (
                 self.poll_period + self._component_timeout(contact))
             if reg.last_seen and now - reg.last_seen > deadline:
-                # Presumed dead: evict and tell the pool.
-                del self.registry[contact]
-                self.forecasts.drop(event_tag(contact, GOS_POLL))
-                self.stats.evictions += 1
-                self.telemetry.metrics.counter(
-                    "gossip.evictions", component=self.name).inc()
-                effects.append(LogLine(f"evicting silent component {contact}"))
-                for peer in self.pool_members():
-                    if peer != self.contact:
-                        effects.append(Send(peer, Message(
-                            mtype=GOS_DELCOMP, sender=self.contact,
-                            body={"contact": contact})))
-                continue
+                # Missed the deadline: *suspect* — never evict outright.
+                # The suspicion piggybacks on digests; contact from the
+                # component refutes it, expiry (tick below) evicts it.
+                # Keep polling meanwhile: a slow-but-live component's next
+                # GOS_STATE is the first-hand refutation.
+                self.suspicion.suspect(contact, now, budget=budget)
             tag = event_tag(contact, GOS_POLL)
             self.timer.abandon(tag)  # a lost previous poll must not skew stats
             self.timer.begin(tag, now)
@@ -352,7 +581,216 @@ class GossipServer(Component):
                 mtype=GOS_POLL, sender=self.contact, body={})))
         return effects
 
+    def _evict(self, contact: str, now: float) -> list[Effect]:
+        del self.registry[contact]
+        self.forecasts.drop(event_tag(contact, GOS_POLL))
+        self.tombstones[contact] = now
+        self.stats.evictions += 1
+        self.stats.tombstones_created += 1
+        metrics = self.telemetry.metrics
+        metrics.counter("gossip.evictions", component=self.name).inc()
+        metrics.counter("gossip.tombstones", component=self.name,
+                        event="created").inc()
+        return [LogLine(f"evicting silent component {contact}")]
+
+    # -- sync plane: digest/delta anti-entropy (DESIGN §15) --------------------
+    def _tombstone_ttl_value(self) -> float:
+        if self._tombstone_ttl is not None:
+            return self._tombstone_ttl
+        return 30.0 * self.sync_period
+
+    def _gc_tombstones(self, now: float) -> None:
+        ttl = self._tombstone_ttl_value()
+        for contact in [c for c, t in self.tombstones.items()
+                        if now - t > ttl]:
+            del self.tombstones[contact]
+            if self.suspicion is not None:
+                self.suspicion.forget(contact)
+
+    def _pick_targets(self) -> list[str]:
+        """Bounded fan-out: ``fanout`` peers from this member's shard,
+        plus (on the slower inter-shard cadence, representatives only)
+        one peer from a rotating foreign shard."""
+        assert self.clique is not None and self.runtime is not None
+        targets: list[str] = []
+        shard_peers = self._shard_peers()
+        pool = list(shard_peers)
+        for _ in range(min(self.fanout, len(pool))):
+            idx = int(self.runtime.random() * len(pool)) % len(pool)
+            targets.append(pool.pop(idx))
+        if (self._round % self.intershard_period == 0
+                and self.clique.is_representative(self.shard_size)):
+            shards = self.clique.shards(self.shard_size)
+            me = self.clique.self_id
+            foreign = [s for s in shards if me not in s]
+            if foreign:
+                turn = (self._round // self.intershard_period) % len(foreign)
+                susp = self.suspicion
+                for candidate in foreign[turn]:
+                    if susp is None or susp.is_usable(candidate):
+                        if candidate not in targets:
+                            targets.append(candidate)
+                        break
+        return targets
+
+    def _piggyback(self, body: dict) -> dict:
+        """Attach tombstones, suspicion claims, and pending registration
+        announcements to an outgoing sync-plane message."""
+        if self.tombstones:
+            body["tomb"] = [[c, self.tombstones[c]]
+                            for c in sorted(self.tombstones)]
+        if self.suspicion is not None:
+            claims = self.suspicion.gossip_claims()
+            if claims:
+                body["susp"] = claims
+        if self._reg_queue:
+            regs = []
+            for contact in sorted(self._reg_queue):
+                reg = self.registry.get(contact)
+                if reg is None:
+                    continue
+                regs.append([contact, sorted(reg.types), reg.last_seen])
+                self._reg_queue[contact] -= 1
+                if self._reg_queue[contact] <= 0:
+                    del self._reg_queue[contact]
+            if regs:
+                body["reg"] = regs
+        return body
+
+    def _apply_piggyback(self, body: dict, now: float) -> None:
+        for item in body.get("tomb", []):
+            try:
+                contact, stamp = str(item[0]), float(item[1])
+            except (IndexError, TypeError, ValueError):
+                continue
+            self._apply_tombstone(contact, stamp, now)
+        claims = body.get("susp")
+        if claims and self.suspicion is not None:
+            refutation = self.suspicion.apply_claims(
+                claims, now, budget=self._piggyback_budget())
+            if refutation is not None:
+                # We are suspected somewhere: piggyback the refutation on
+                # the next digest round (with its dominating incarnation).
+                self._refutation = refutation
+        for item in body.get("reg", []):
+            try:
+                contact, types, stamp = (
+                    str(item[0]), set(map(str, item[1])), float(item[2]))
+            except (IndexError, TypeError, ValueError):
+                continue
+            self._note_registration(contact, types, stamp)
+
+    def _apply_tombstone(self, contact: Optional[str], stamp: float,
+                         now: float) -> None:
+        if not contact:
+            return
+        known = self.tombstones.get(contact)
+        if known is not None and known >= stamp:
+            return  # already applied this (or a newer) tombstone
+        reg = self.registry.get(contact)
+        if reg is not None and reg.last_seen > stamp:
+            return  # we have seen the component alive since the eviction
+        if reg is not None:
+            del self.registry[contact]
+        self.tombstones[contact] = stamp
+        self.stats.tombstones_applied += 1
+        self.telemetry.metrics.counter(
+            "gossip.tombstones", component=self.name, event="applied").inc()
+
+    def _note_peer_alive(self, peer: str, now: float) -> None:
+        if self.suspicion is not None:
+            self.suspicion.confirm_alive(peer, now,
+                                         budget=self._piggyback_budget())
+
+    def _hot_records(self) -> list[dict]:
+        """Rumor payload for this round: hot records, budget-limited."""
+        if not self._rumors:
+            return []
+        sent: list[dict] = []
+        for tag in sorted(self._rumors)[:32]:
+            rec = self.freshest.get(tag)
+            if rec is None:
+                self._rumors.pop(tag, None)
+                continue
+            sent.append(rec.to_body())
+            self._rumors[tag] -= 1
+            if self._rumors[tag] <= 0:
+                del self._rumors[tag]
+        return sent
+
+    def _account_send(self, message: Message) -> None:
+        size = len(message.encode())
+        self.stats.bytes_sent += size
+        # What the SC98-style path would have shipped for the same send:
+        # the entire freshest state, plus framing.
+        self.stats.bytes_full_equiv += self.digest.entry_bytes + 64
+        if self._bytes_counter is None:
+            self._bytes_counter = self.telemetry.metrics.counter(
+                "gossip.sync_bytes", component=self.name)
+            self._saved_counter = self.telemetry.metrics.counter(
+                "gossip.bytes_saved", component=self.name)
+        self._bytes_counter.inc(size)
+        self._saved_counter.inc(max(self.digest.entry_bytes + 64 - size, 0))
+
+    def _note_delta_records(self, shipped: int) -> None:
+        if not shipped:
+            return
+        self.stats.delta_records += shipped
+        if self._delta_counter is None:
+            self._delta_counter = self.telemetry.metrics.counter(
+                "gossip.delta_records", component=self.name)
+        self._delta_counter.inc(shipped)
+
     def _sync_round(self, now: float) -> list[Effect]:
+        assert self.suspicion is not None
+        self._round += 1
+        self.stats.digest_rounds += 1
+        self._gc_tombstones(now)
+        effects: list[Effect] = []
+        # Overdue digest-acks: the forecast-informed dead-man switch that
+        # feeds the SWIM alive -> suspect edge.
+        budget = self._piggyback_budget()
+        for peer in sorted(self._pending_acks):
+            if now - self._pending_acks[peer] > self._ack_timeout(peer):
+                del self._pending_acks[peer]
+                self.timer.abandon(event_tag(peer, GOS_DIGEST))
+                self.suspicion.suspect(peer, now, budget=budget)
+        # Advance suspect -> dead; component evictions happen on the poll
+        # plane (responsible member only), member deaths just leave the
+        # sync rotation via alive_members().
+        self.suspicion.tick(now)
+        targets = self._pick_targets()
+        if not targets:
+            return effects
+        hot = self._hot_records()
+        refutation, self._refutation = self._refutation, None
+        for peer in targets:
+            body: dict = {"r": self._round,
+                          "root": self.digest.root,
+                          "n": self.digest.count}
+            if hot:
+                body["d"] = hot
+            self._piggyback(body)
+            if refutation is not None:
+                body.setdefault("susp", []).append(refutation)
+            message = Message(mtype=GOS_DIGEST, sender=self.contact, body=body)
+            self._account_send(message)
+            self.stats.digests_sent += 1
+            tag = event_tag(peer, GOS_DIGEST)
+            if peer not in self._pending_acks:
+                self.timer.abandon(tag)
+                self.timer.begin(tag, now)
+                self._pending_acks[peer] = now
+            effects.append(Send(peer, message))
+        if self._rounds_counter is None:
+            self._rounds_counter = self.telemetry.metrics.counter(
+                "gossip.digest_rounds", component=self.name)
+        self._rounds_counter.inc()
+        return effects
+
+    def _sync_round_full(self, now: float) -> list[Effect]:
+        """Pre-§15 sync: every freshest record to one random peer."""
+        self._round += 1
         if not self.freshest:
             return []
         peers = [p for p in self.pool_members() if p != self.contact]
@@ -362,5 +800,98 @@ class GossipServer(Component):
         peer = peers[int(self.runtime.random() * len(peers)) % len(peers)]
         self.stats.syncs_sent += 1
         records = [self.freshest[t].to_body() for t in sorted(self.freshest)]
-        return [Send(peer, Message(
-            mtype=GOS_SYNC, sender=self.contact, body={"records": records}))]
+        message = Message(mtype=GOS_SYNC, sender=self.contact,
+                          body={"records": records})
+        self._account_send(message)
+        return [Send(peer, message)]
+
+    def _on_digest(self, message: Message, now: float) -> list[Effect]:
+        peer = message.sender
+        body = message.body
+        self._note_peer_alive(peer, now)
+        self._apply_piggyback(body, now)
+        if "d" in body:
+            merged = self._merge_records(body.get("d", []), sync_plane=True)
+            self._note_delta_records(len(merged))
+        reply: dict = {"a": body.get("r", 0)}
+        digest = self.digest
+        if int(body.get("root", -1)) == digest.root and int(
+                body.get("n", -1)) == digest.count:
+            reply["ok"] = 1
+        else:
+            reply["bh"] = list(digest.buckets)
+            reply["n"] = digest.count
+        self._piggyback(reply)
+        out = Message(mtype=GOS_DELTA, sender=self.contact, body=reply)
+        self._account_send(out)
+        return [Send(peer, out)]
+
+    def _on_delta(self, message: Message, now: float) -> list[Effect]:
+        peer = message.sender
+        body = message.body
+        self._note_peer_alive(peer, now)
+        self._apply_piggyback(body, now)
+        if "a" in body:
+            # The ack closes the dead-man window and feeds the forecast
+            # that sizes the next one.
+            if peer in self._pending_acks:
+                del self._pending_acks[peer]
+                self.timer.end(event_tag(peer, GOS_DIGEST), now)
+            self.stats.digest_acks += 1
+        if "ok" in body:
+            return []
+        digest = self.digest
+        effects: list[Effect] = []
+        if "bh" in body:
+            # Phase 2: localize the disagreement, ship per-record digest
+            # entries for the diverged buckets only.
+            try:
+                remote_buckets = [int(h) for h in body["bh"]]
+            except (TypeError, ValueError):
+                return []
+            buckets = digest.diverged_buckets(remote_buckets)
+            if digest.count == 0 and int(body.get("n", 0)) == 0:
+                buckets = []
+            if not buckets:
+                return []
+            entries = digest.entries_for(self.freshest, buckets)
+            out_body: dict = {"e": entries, "bk": buckets}
+            self._piggyback(out_body)
+            out = Message(mtype=GOS_DELTA, sender=self.contact, body=out_body)
+            self._account_send(out)
+            self.stats.deltas_sent += 1
+            effects.append(Send(peer, out))
+            return effects
+        if "e" in body:
+            # Phase 3: the peer's entries tell us exactly what to ship
+            # and what to nack.
+            ship, want, comparisons = plan_exchange(
+                self.freshest, digest, self.comparators,
+                body.get("e", []), buckets=body.get("bk"))
+            self.stats.sync_comparisons += comparisons
+            if ship or want:
+                out_body = {"d": [r.to_body() for r in ship], "w": want}
+                self._piggyback(out_body)
+                out = Message(mtype=GOS_DELTA, sender=self.contact,
+                              body=out_body)
+                self._account_send(out)
+                self.stats.deltas_sent += 1
+                self._note_delta_records(len(ship))
+                effects.append(Send(peer, out))
+            return effects
+        if "d" in body or "w" in body:
+            # Phase 4 (ship): merge the peer's fresher records, answer its
+            # nack list with ours.
+            merged = self._merge_records(body.get("d", []), sync_plane=True)
+            self._note_delta_records(len(merged))
+            wanted = [t for t in body.get("w", []) if t in self.freshest]
+            if wanted:
+                out_body = {"records": [self.freshest[t].to_body()
+                                        for t in sorted(set(wanted))]}
+                out = Message(mtype=GOS_SYNC, sender=self.contact,
+                              body=out_body)
+                self._account_send(out)
+                self._note_delta_records(len(wanted))
+                effects.append(Send(peer, out))
+            return effects
+        return effects

@@ -77,6 +77,15 @@ class ComparatorRegistry:
     def register(self, mtype: str, comparator: Optional[Comparator] = None) -> None:
         self._comparators[mtype] = comparator or default_comparator
 
+    def is_custom(self, mtype: str) -> bool:
+        """True when the type's freshness is decided by an application
+        comparator — i.e. version triples ``(stamp, seq, origin)`` alone
+        cannot order two records, and anti-entropy must exchange full
+        records for the comparator to arbitrate (see
+        :func:`repro.core.gossip.digest.plan_exchange`)."""
+        registered = self._comparators.get(mtype)
+        return registered is not None and registered is not default_comparator
+
     def compare(self, a: StateRecord, b: StateRecord) -> int:
         if a.mtype != b.mtype:
             raise ValueError(f"comparing records of different types: {a.mtype} vs {b.mtype}")

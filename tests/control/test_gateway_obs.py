@@ -92,6 +92,61 @@ def test_sites_push_lands_as_labelled_gauges():
     assert core.handle("POST", "/telemetry/sites", b"{nope", now=0.0)[0] == 400
 
 
+def test_gossip_push_lands_as_gauges():
+    core = _core()
+    body = {"gossip": {"digest_rounds": 120, "delta_records": 37,
+                       "bytes_sent": 51200, "bytes_saved": 480000,
+                       "members": 8, "registered": 64,
+                       "suspicion": {"suspect": 3, "dead": 1}}}
+    status, doc, route = core.handle("POST", "/telemetry/gossip",
+                                     _json(body), now=1.0)
+    assert (status, route) == (200, "POST /telemetry/gossip")
+    assert doc == {"ok": True}
+    samples = parse_prometheus(
+        core.handle("GET", "/metrics", b"", now=2.0)[1])
+    assert sample_value(samples, "gossip_digest_rounds") == 120
+    assert sample_value(samples, "gossip_delta_records") == 37
+    assert sample_value(samples, "gossip_bytes_saved") == 480000
+    assert sample_value(samples, "gossip_suspicion_transitions",
+                        to="suspect") == 3
+    assert sample_value(samples, "gossip_suspicion_transitions",
+                        to="dead") == 1
+
+    assert core.handle("POST", "/telemetry/gossip", b"[]", now=0.0)[0] == 400
+    assert core.handle("POST", "/telemetry/gossip", b"{no", now=0.0)[0] == 400
+
+
+def test_gossip_rollup_round_trips_from_a_live_pool():
+    from repro.experiments.bigpool import (build_pool, gossip_rollup,
+                                           inject_write)
+
+    pool = build_pool(n_hosts=16, n_sites=2, n_records=8)
+    pool.run(until=30.0)
+    inject_write(pool)
+    pool.run(until=60.0)
+    rollup = gossip_rollup(pool.servers)
+    assert rollup["digest_rounds"] > 0
+    assert rollup["delta_records"] > 0
+    assert rollup["bytes_saved"] > 0
+
+    core = _core()
+    status, _, _ = core.handle("POST", "/telemetry/gossip",
+                               _json({"gossip": rollup}), now=1.0)
+    assert status == 200
+    samples = parse_prometheus(
+        core.handle("GET", "/metrics", b"", now=2.0)[1])
+    assert sample_value(samples, "gossip_digest_rounds") == float(
+        rollup["digest_rounds"])
+    assert sample_value(samples, "gossip_members") == 16.0
+
+    # The pool members also expose the same plane first-hand through
+    # their own telemetry registries (counters, not pushed gauges).
+    counters = pool.servers[0].telemetry.metrics.snapshot()["counters"]
+    assert any(k.startswith("gossip.delta_records") for k in counters)
+    assert any(k.startswith("gossip.bytes_saved") for k in counters)
+    assert any(k.startswith("gossip.sync_bytes") for k in counters)
+
+
 # -- end-to-end trace propagation --------------------------------------------
 def test_submit_roots_trace_and_unit_carries_context():
     tel = Telemetry(trace=True, id_base=1000)
