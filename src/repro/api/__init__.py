@@ -25,6 +25,9 @@ for callers that want exactly one plane:
 * :mod:`repro.api.obs` — the observability plane: end-to-end job
   tracing, the per-node flight recorder, Prometheus text exposition,
   and the ``repro top`` dashboard.
+* :mod:`repro.api.explore` — the model-exploration plane: the
+  EMEWS-style :class:`ExploreQueue`, the ME algorithms, and the
+  ``repro explore`` harnesses (live + simulated twin).
 
 Importing a name from ``repro.api`` directly keeps working for every
 previously public name (the flat-module compatibility contract, frozen
@@ -68,6 +71,9 @@ _LAYERS: dict[str, tuple[str, ...]] = {
         "RAMSEY_BEST", "Coloring", "ModelEngine", "RamseyClient",
         "RealEngine", "TabuSearch", "is_counter_example",
         "ramsey_comparator", "unit_generator", "counter_example_validator",
+        # app-agnostic work-unit kinds
+        "AppKind", "KindEngine", "KindRegistry", "ResultCheckError",
+        "kind_of", "register_kind",
     ),
     "sim": (
         "SimDriver",
@@ -119,6 +125,13 @@ _LAYERS: dict[str, tuple[str, ...]] = {
         "job_trace", "load_flight", "load_spans", "parse_prometheus",
         "render_job_trace", "render_prometheus", "render_top", "run_top",
         "sample_value", "span_origin",
+    ),
+    "explore": (
+        "EVAL_FUNCTIONS", "EVAL_KIND", "ExploreConfig", "ExploreEngine",
+        "ExploreQueue", "ExploreWorker", "GridSweep", "HillClimber",
+        "MEDriverComponent", "check_eval_result", "evaluate",
+        "execute_unit", "make_driver", "make_eval_spec", "run_driver",
+        "run_explore", "run_sim_explore", "validate_eval",
     ),
 }
 

@@ -72,6 +72,16 @@ from ..core.services import (
 )
 from ..core.services.framework import TaskFarmMaster, TaskFarmWorker
 
+# -- app-agnostic work-unit kinds (§3.1 distrust, pluggable engines) --------
+from ..core.services.kinds import (
+    AppKind,
+    KindEngine,
+    KindRegistry,
+    ResultCheckError,
+    kind_of,
+    register_kind,
+)
+
 # -- application: Ramsey search --------------------------------------------
 from ..ramsey import (
     RAMSEY_BEST,
@@ -144,4 +154,11 @@ __all__ = [
     "ramsey_comparator",
     "unit_generator",
     "counter_example_validator",
+    # app-agnostic work-unit kinds
+    "AppKind",
+    "KindEngine",
+    "KindRegistry",
+    "ResultCheckError",
+    "kind_of",
+    "register_kind",
 ]

@@ -1,0 +1,54 @@
+"""``repro.api.explore`` — the model-exploration plane.
+
+The toolkit's second first-class application (ROADMAP item 4, DESIGN
+§16): an EMEWS EQ/Py-style :class:`ExploreQueue` through which ME
+algorithms (:class:`GridSweep`, :class:`HillClimber`) push black-box
+evaluation tasks to the unchanged gateway/scheduler/WorkQueue stack and
+consume results asynchronously. :func:`run_explore` is the live
+harness (``repro explore``); :func:`run_sim_explore` is its
+byte-deterministic simulated twin.
+"""
+
+from __future__ import annotations
+
+from ..explore import (
+    EVAL_FUNCTIONS,
+    EVAL_KIND,
+    ExploreConfig,
+    ExploreEngine,
+    ExploreQueue,
+    ExploreWorker,
+    GridSweep,
+    HillClimber,
+    MEDriverComponent,
+    check_eval_result,
+    evaluate,
+    execute_unit,
+    make_driver,
+    make_eval_spec,
+    run_driver,
+    run_explore,
+    run_sim_explore,
+    validate_eval,
+)
+
+__all__ = [
+    "EVAL_FUNCTIONS",
+    "EVAL_KIND",
+    "ExploreConfig",
+    "ExploreEngine",
+    "ExploreQueue",
+    "ExploreWorker",
+    "GridSweep",
+    "HillClimber",
+    "MEDriverComponent",
+    "check_eval_result",
+    "evaluate",
+    "execute_unit",
+    "make_driver",
+    "make_eval_spec",
+    "run_driver",
+    "run_explore",
+    "run_sim_explore",
+    "validate_eval",
+]

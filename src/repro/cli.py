@@ -14,6 +14,9 @@ Commands
 ``live``    run the world as real OS processes on localhost
 ``serve``   stand up the HTTP/JSON job gateway and storm it with
             synthetic users (``--simulate`` for the deterministic twin)
+``explore`` run a model-exploration algorithm (grid sweep or hill
+            climber) whose evaluations execute on the grid
+            (``--simulate`` for the deterministic twin)
 ``top``     live dashboard over a running gateway (submissions/s, queue
             depth, per-site utilisation, route latency)
 ``info``    print version and system inventory
@@ -21,7 +24,7 @@ Commands
 (``live-node`` is internal: the supervisor spawns one per world node.)
 
 Every experiment-shaped command (``sc98``, ``bench``, ``trace``,
-``metrics``, ``live``, ``serve``) shares one flag vocabulary —
+``metrics``, ``live``, ``serve``, ``explore``) shares one flag vocabulary —
 ``--seed``, ``--duration``, ``--out`` — declared once in
 :func:`_common_parent` so defaults and help text cannot drift apart.
 """
@@ -507,6 +510,76 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    kill_at = args.kill_at if args.kill_at and args.kill_at > 0 else None
+    if args.simulate:
+        from .explore import run_sim_explore
+
+        ops_budget = args.ops_budget or 20_000.0
+        print(f"simulated twin: {args.algo!r} over fn={args.fn!r}, "
+              f"{args.clients} workers, {args.duration:.0f}s simulated"
+              + (f" (gateway restart at t={kill_at:.1f}s)" if kill_at else "")
+              + (f" ({args.corrupt_first} corrupted result(s))"
+                 if args.corrupt_first else "")
+              + " ...")
+        report = run_sim_explore(
+            seed=args.seed, algo=args.algo, fn=args.fn,
+            workers=args.clients, duration=args.duration,
+            scale=args.scale, ops_budget=ops_budget,
+            restart_after=kill_at, corrupt_first=args.corrupt_first)
+        driver = report["driver"]
+        work = report["gateway"]["work"]
+        print(f"ME: {driver['evals']} evaluations consumed, "
+              f"best={driver.get('best')}")
+        print(f"work queue: {work['completed']} completed, "
+              f"{work['requeued']} requeued, "
+              f"{work['results_rejected']} results rejected, "
+              f"{report['gateway']['restarts']} gateway restart(s)")
+        for violation in report["violations"]:
+            print(f"VIOLATION: {violation}")
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, "explore_sim.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote: {path}")
+        return 0 if not report["violations"] else 1
+
+    from .explore import ExploreConfig, run_explore
+
+    config = ExploreConfig(
+        algo=args.algo, fn=args.fn, clients=args.clients,
+        duration=args.duration, scale=args.scale,
+        ops_budget=args.ops_budget or 75_000.0,
+        kill_at=kill_at, kill_node=args.kill_node,
+        batch=args.batch, seed=args.seed)
+    print(f"standing up the grid and running {args.algo!r} over "
+          f"fn={args.fn!r} for up to {args.duration:.0f}s wall"
+          + (f" (chaos: kill at t={kill_at:.1f}s)" if kill_at else "")
+          + " ...")
+    report = run_explore(config, out=args.out,
+                         progress=lambda text: print(f"  {text}"))
+    summary = report["summary"]
+    jobs = report["jobs"]
+    print(f"\nME: {summary['evals']} evaluations consumed in "
+          f"{summary['elapsed']:.1f}s, best={summary.get('best')}")
+    print(f"jobs: {jobs['pushed']} pushed, {jobs['done']} done, "
+          f"{jobs['requeues_total']} requeue(s); queue p99 "
+          f"{report['queue']['pop_p99_ms']} ms")
+    for violation in report["violations"]:
+        print(f"VIOLATION: {violation}")
+    if not report["violations"]:
+        print("invariants: OK (every evaluation done exactly once)")
+    if report.get("artifacts"):
+        print("wrote: " + ", ".join(
+            report["artifacts"][k] for k in sorted(report["artifacts"])))
+    return 0 if report["ok"] else 1
+
+
 def _cmd_top(args: argparse.Namespace) -> int:
     from .obs import run_top
 
@@ -547,6 +620,8 @@ def _cmd_info(args: argparse.Namespace) -> int:
         ("repro.control", "workload control plane: HTTP/JSON job gateway"),
         ("repro.obs", "observability plane: job tracing, flight recorder, "
                       "Prometheus exposition, repro top"),
+        ("repro.explore", "model exploration: EMEWS-style task queue + "
+                          "ME algorithms"),
     ]
     for module, blurb in inventory:
         print(f"  {module:<28} {blurb}")
@@ -555,9 +630,17 @@ def _cmd_info(args: argparse.Namespace) -> int:
     print("\nlive-plane entrypoints:")
     print(f"  {'repro live':<28} stand up, supervise, and report a world")
     print(f"  {'repro serve':<28} gateway world + synthetic HTTP storm")
+    print(f"  {'repro explore':<28} ME algorithm driving grid evaluations")
     print(f"  {'repro live-node':<28} one node process "
           "(spawned by the supervisor)")
     print("  node roles: " + ", ".join(ROLES))
+
+    from . import explore as _explore  # noqa: F401  (registers kinds)
+    from .core.services.kinds import registry
+
+    print("\napp kinds (client-side execution registry):")
+    for name in registry.names():
+        print(f"  {name:<28} {registry.get(name).description}")
     print("\napi surface: repro info --api (layered; see repro.api)")
     return 0
 
@@ -741,6 +824,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the deterministic simulated twin instead of "
                         "real processes")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "explore", help="run a model-exploration algorithm over the grid",
+        parents=[_common_parent(
+            seed=0, duration=60.0,
+            duration_help="wall seconds for the ME pump (simulated "
+                          "seconds with --simulate)",
+            out_help="directory for manifest, node logs, and the "
+                     "explore report JSON")])
+    p.add_argument("--algo", choices=["sweep", "hill"], default="sweep",
+                   help="ME algorithm: deterministic grid sweep or "
+                        "iterative hill climber (default sweep)")
+    p.add_argument("--fn", choices=["sphere", "rastrigin", "forecast"],
+                   default="forecast",
+                   help="black-box objective to explore (default forecast)")
+    p.add_argument("--clients", type=int, default=2,
+                   help="computational clients executing evaluations "
+                        "(sim workers with --simulate)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="workload scale factor (grid density / "
+                        "generations)")
+    p.add_argument("--ops-budget", type=float, default=0.0,
+                   help="simulated ops per evaluation (0 = plane "
+                        "default: 75k live, 20k sim)")
+    p.add_argument("--kill-at", type=float, default=0.0, metavar="T",
+                   help="chaos: SIGKILL a client T seconds in (0 = off); "
+                        "with --simulate, a deterministic in-sim "
+                        "gateway restart")
+    p.add_argument("--kill-node", type=str, default=None,
+                   help="which node --kill-at kills (default: first "
+                        "client)")
+    p.add_argument("--corrupt-first", type=int, default=0, metavar="N",
+                   help="--simulate only: worker 0 corrupts its first N "
+                        "results (exercises the §3.1 result check)")
+    p.add_argument("--no-batch", dest="batch", action="store_false",
+                   help="submit one POST /jobs per task instead of "
+                        "POST /jobs/batch")
+    p.add_argument("--simulate", action="store_true",
+                   help="run the deterministic simulated twin instead of "
+                        "real processes")
+    p.set_defaults(func=_cmd_explore)
 
     p = sub.add_parser(
         "top", help="live dashboard over a running gateway")

@@ -120,6 +120,16 @@ class GatewayClient:
             raise HttpError(f"submit rejected ({status}): {doc}")
         return doc
 
+    def submit_batch(self, specs: list[dict]) -> list[str]:
+        """Submit N jobs in one request (one journal flush gateway-side);
+        returns all assigned ids, in spec order. Raises on 4xx — the
+        batch is atomic, so a rejection means nothing was accepted."""
+        status, doc = self.request("POST", "/jobs/batch",
+                                   {"specs": list(specs)})
+        if status != 201:
+            raise HttpError(f"batch submit rejected ({status}): {doc}")
+        return [str(job_id) for job_id in doc.get("ids", [])]
+
     def job(self, job_id: str) -> Optional[dict]:
         """Full job record, or None if the gateway does not know the id."""
         status, doc = self.request("GET", f"/jobs/{job_id}")

@@ -11,6 +11,7 @@ sim/live contract every other EveryWare component honors.
 Routes (diracx-style job management + health, ROADMAP item 2)::
 
     POST /jobs              submit one job (body = the JSON spec)
+    POST /jobs/batch        submit N jobs, one journal flush (201 + ids)
     GET  /jobs              queue counts + recent job ids
     GET  /jobs/{id}         full job record (state, spec, result)
     POST /jobs/{id}/cancel  cancel (idempotent; 409 once done)
@@ -50,6 +51,7 @@ __all__ = ["GatewayCore", "ROUTES", "TEXT_ROUTES", "render_payload"]
 #: Route keys as they appear in telemetry labels.
 ROUTES = (
     "POST /jobs",
+    "POST /jobs/batch",
     "GET /jobs",
     "GET /jobs/{id}",
     "POST /jobs/{id}/cancel",
@@ -75,6 +77,9 @@ LATENCY_BUCKETS_MS = (0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
 
 #: ``GET /jobs`` returns at most this many recent ids.
 MAX_LISTED_JOBS = 100
+
+#: ``POST /jobs/batch`` accepts at most this many specs per request.
+MAX_BATCH_JOBS = 10_000
 
 
 def render_payload(status: int, payload: Union[dict, str], route: str,
@@ -176,6 +181,11 @@ class GatewayCore:
             if method == "GET":
                 return (*self._list_jobs(), "GET /jobs")
             return 405, {"error": f"{method} not allowed on {path}"}, "/jobs"
+        if path == "/jobs/batch":
+            if method != "POST":
+                return (405, {"error": f"{method} not allowed on {path}"},
+                        "POST /jobs/batch")
+            return (*self._submit_batch(body, now), "POST /jobs/batch")
         if len(segments) == 2 and segments[0] == "jobs":
             if method != "GET":
                 return (405, {"error": f"{method} not allowed on {path}"},
@@ -236,6 +246,44 @@ class GatewayCore:
             tracer.finish(ingress, now)
         return 201, {"id": job.id, "state": job.state,
                      "submitted_at": job.submitted_at}
+
+    def _submit_batch(self, body: bytes, now: float) -> tuple[int, dict]:
+        """N specs, one journal flush. Validation is atomic: a single
+        bad spec 400s the whole batch and nothing is journaled — an ME
+        pushing a generation either gets every task accepted or none."""
+        try:
+            doc = json.loads(body) if body else None
+        except (ValueError, UnicodeDecodeError):
+            return 400, {"error": "body is not valid JSON"}
+        specs = doc.get("specs") if isinstance(doc, dict) else None
+        if not isinstance(specs, list) or not specs:
+            return 400, {"error": "body must be {'specs': [spec, ...]} "
+                                  "with at least one spec"}
+        if len(specs) > MAX_BATCH_JOBS:
+            return 400, {"error": f"batch too large "
+                                  f"(max {MAX_BATCH_JOBS} specs)"}
+        for i, spec in enumerate(specs):
+            if not isinstance(spec, dict):
+                return 400, {"error": f"specs[{i}] is not a JSON object"}
+            if "id" in spec:
+                return 400, {"error": f"specs[{i}] may not carry 'id' "
+                                      "(the gateway assigns ids)"}
+        tracer = self.telemetry.tracer
+        ingress = None
+        if tracer.enabled:
+            # One ingress root for the whole generation: every job in
+            # the batch parents on it, mirroring the one-flush journal.
+            ingress = tracer.begin("job ingress", component=self.name,
+                                   start=now, mtype="POST /jobs/batch")
+        jobs = self.work.submit_batch(
+            specs, now,
+            trace=None if ingress is None
+            else (ingress.trace_id, ingress.span_id))
+        if ingress is not None:
+            ingress.args["jobs"] = len(jobs)
+            tracer.finish(ingress, now)
+        return 201, {"ids": [job.id for job in jobs], "count": len(jobs),
+                     "state": "queued", "submitted_at": now}
 
     def _list_jobs(self) -> tuple[int, dict]:
         ids = list(self.work.jobs)

@@ -35,6 +35,9 @@ import os
 from collections import deque
 from typing import Optional
 
+from ..core.services.kinds import ResultCheckError
+from ..core.services.kinds import registry as kind_registry
+
 __all__ = ["Job", "WorkQueue", "MemoryJournal", "FileJournal",
            "JOB_STATES"]
 
@@ -83,6 +86,9 @@ class MemoryJournal:
     def append(self, record: dict) -> None:
         self._records.append(record)
 
+    def append_many(self, records: list[dict]) -> None:
+        self._records.extend(records)
+
     def records(self) -> list[dict]:
         return list(self._records)
 
@@ -128,6 +134,19 @@ class FileJournal:
                                   separators=(",", ":")) + "\n")
         self._fh.flush()
 
+    def append_many(self, records: list[dict]) -> None:
+        """Append N records with ONE flush — the batch-submit durability
+        point. All-or-nothing to the same degree as ``append``: every
+        line is in the userspace buffer before the single flush."""
+        if not records:
+            return
+        if self._fh is None:
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._fh.write("".join(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+            for record in records))
+        self._fh.flush()
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
@@ -161,6 +180,7 @@ class WorkQueue:
         self.cancelled = 0
         self.requeued = 0
         self.results_dropped = 0
+        self.results_rejected = 0
         if journal is not None:
             self.replay()
 
@@ -212,6 +232,12 @@ class WorkQueue:
                     top = max(top, int(tail))
             elif job_id in self.jobs:
                 job = self.jobs[job_id]
+                if job.state in ("done", "cancelled"):
+                    # Terminal states are final on replay exactly as they
+                    # are live: a stray "done" record landing after a
+                    # cancel (torn journal, hostile edit) must not
+                    # resurrect the job, and vice versa.
+                    continue
                 if op == "done":
                     job.state = "done"
                     job.result = record.get("result")
@@ -257,6 +283,49 @@ class WorkQueue:
         self.submitted += 1
         self._event("submitted", job.id, now)
         return job
+
+    def submit_batch(self, specs: list[dict], now: float,
+                     trace: Optional[tuple[int, int]] = None) -> list[Job]:
+        """Accept N jobs with ONE journal flush (``POST /jobs/batch``).
+
+        An ME algorithm pushing a generation of evaluations should not
+        pay a flush per task: all submit records are written together
+        and flushed once, then the jobs enter the queue in list order.
+        Callers validate specs *before* calling — by the time we are
+        here the whole batch is accepted.
+        """
+        jobs: list[Job] = []
+        records: list[dict] = []
+        for spec in specs:
+            self._seq += 1
+            job = Job(f"{self.prefix}-{self._seq}", dict(spec), now)
+            record = {"op": "submit", "id": job.id, "spec": job.spec,
+                      "t": now}
+            if trace is not None:
+                job.trace = (int(trace[0]), int(trace[1]))
+                record["trace"] = job.trace
+            jobs.append(job)
+            records.append(record)
+        if self.journal is not None:
+            append_many = getattr(self.journal, "append_many", None)
+            if append_many is not None:
+                append_many(records)
+            else:
+                for record in records:
+                    self.journal.append(record)
+        tel = self.telemetry
+        if (jobs and tel is not None and jobs[0].trace is not None
+                and tel.tracer.enabled):
+            tel.tracer.instant("journal flush", now,
+                               component=self.component,
+                               parent=jobs[0].trace,
+                               args={"jobs": len(jobs)})
+        for job in jobs:
+            self.jobs[job.id] = job
+            self._queue.append(job.id)
+            self.submitted += 1
+            self._event("submitted", job.id, now)
+        return jobs
 
     def get(self, job_id: str) -> Optional[Job]:
         return self.jobs.get(job_id)
@@ -341,6 +410,25 @@ class WorkQueue:
             return
         if job.state == "done":
             return  # duplicate completion report
+        check = kind_registry.checker_for(job.spec)
+        if check is not None:
+            try:
+                check(job.spec, result)
+            except ResultCheckError:
+                # §3.1: distrust remote results. A completion that fails
+                # its kind's sanity check is requeued for honest re-
+                # execution, and nothing reaches the journal — as if the
+                # report never arrived.
+                self.results_rejected += 1
+                if job.state == "assigned":
+                    job.state = "queued"
+                    self._queue.appendleft(job.id)
+                # (state "queued" means a reaper already requeued it —
+                # just count the rejection.)
+                self._span("job result rejected", now, job.trace,
+                           outcome="rejected", id=job.id)
+                self._event("rejected", job.id, now)
+                return
         self._log({"op": "done", "id": job.id, "result": result, "t": now})
         job.state = "done"
         job.result = result
@@ -363,6 +451,7 @@ class WorkQueue:
             "cancelled": self.cancelled,
             "requeued": self.requeued,
             "results_dropped": self.results_dropped,
+            "results_rejected": self.results_rejected,
             "depth": len(self._queue),
             **{f"state_{k}": v for k, v in self.counts().items()},
         }

@@ -1,5 +1,17 @@
-"""Application-level services: scheduling, persistent state, logging."""
+"""Application-level services: scheduling, persistent state, logging,
+and the app-kind registry that keeps the work-unit contract agnostic."""
 
+from .kinds import (
+    DEFAULT_KIND,
+    KIND_FIELD,
+    AppKind,
+    KindEngine,
+    KindRegistry,
+    ResultCheckError,
+    kind_of,
+    register_kind,
+    registry,
+)
 from .logging import LOG_APPEND, LOG_QUERY, LOG_RECORDS, LoggingServer, LogRecord
 from .persistent import (
     PST_DENIED,
@@ -27,6 +39,8 @@ from .scheduler import (
 )
 
 __all__ = [
+    "DEFAULT_KIND", "KIND_FIELD", "AppKind", "KindEngine", "KindRegistry",
+    "ResultCheckError", "kind_of", "register_kind", "registry",
     "LOG_APPEND", "LOG_QUERY", "LOG_RECORDS", "LoggingServer", "LogRecord",
     "PST_DENIED", "PST_FETCH", "PST_KEYS", "PST_LIST", "PST_MISSING",
     "PST_STORE", "PST_STORE_OK", "PST_VALUE",

@@ -1,0 +1,62 @@
+"""Model exploration: the toolkit's second first-class application.
+
+EveryWare's generality claim, made executable (ROADMAP item 4, DESIGN
+§16): an EMEWS EQ/Py-style model-exploration service where a search
+algorithm pushes black-box evaluation tasks through a queue API
+(:class:`ExploreQueue`: ``push_tasks`` / ``pop_results`` / ``done``) and
+consumes results asynchronously — running entirely on the *unchanged*
+scheduler/gateway/WorkQueue stack. The pieces:
+
+* :mod:`~repro.explore.evals` — deterministic black-box objectives
+  (sphere, rastrigin, a miniature forecast-skill model) and the §3.1
+  recompute-and-distrust result check.
+* :mod:`~repro.explore.engine` — the client-side ComputeEngine for
+  ``explore.eval`` units; importing this module registers the kind.
+* :mod:`~repro.explore.drivers` — the ME algorithms (:class:`GridSweep`,
+  :class:`HillClimber`) and the blocking EMEWS pump
+  (:func:`run_driver`).
+* :mod:`~repro.explore.queue` — :class:`ExploreQueue` over the HTTP
+  gateway.
+* :mod:`~repro.explore.sim` — the byte-deterministic simulated twin
+  (:func:`run_sim_explore`), restart and corrupted-result chaos
+  included.
+* :mod:`~repro.explore.serve` — ``repro explore``, the live harness
+  (:func:`run_explore`) with SIGKILL chaos and the exactly-once verify
+  sweep.
+"""
+
+from .drivers import GridSweep, HillClimber, make_driver, run_driver
+from .engine import ExploreEngine
+from .evals import (
+    EVAL_FUNCTIONS,
+    EVAL_KIND,
+    check_eval_result,
+    evaluate,
+    execute_unit,
+    make_eval_spec,
+    validate_eval,
+)
+from .queue import ExploreQueue
+from .serve import ExploreConfig, run_explore
+from .sim import ExploreWorker, MEDriverComponent, run_sim_explore
+
+__all__ = [
+    "EVAL_FUNCTIONS",
+    "EVAL_KIND",
+    "ExploreConfig",
+    "ExploreEngine",
+    "ExploreQueue",
+    "ExploreWorker",
+    "GridSweep",
+    "HillClimber",
+    "MEDriverComponent",
+    "check_eval_result",
+    "evaluate",
+    "execute_unit",
+    "make_driver",
+    "make_eval_spec",
+    "run_driver",
+    "run_explore",
+    "run_sim_explore",
+    "validate_eval",
+]

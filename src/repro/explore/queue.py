@@ -1,0 +1,176 @@
+"""The EMEWS EQ/Py-style task queue over the job gateway.
+
+:class:`ExploreQueue` is the ME algorithm's *only* interface to the
+grid: ``push_tasks`` submits a batch of evaluation specs (one ``POST
+/jobs/batch``, one journal flush), ``pop_results`` blocks until
+completed evaluations are available, ``done`` closes the session with a
+consistency check. Underneath it is nothing but the unchanged control
+plane — the gateway journals the specs, the scheduler hands them to
+whatever computational clients say HELLO, the WorkQueue distrusts and
+accepts their reports — which is the point: the ME side needs no
+EveryWare-specific machinery at all, just HTTP.
+
+Result consumption tails the gateway's ``/events`` feed (the cheap
+path: one poll notices any number of completions) and falls back to
+directly probing outstanding job records whenever the feed goes quiet —
+the events ring is bounded, so a burst larger than its capacity could
+otherwise hide completions. Per-result submit→pop latency is recorded
+for the bench.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Optional
+
+__all__ = ["ExploreQueue"]
+
+#: Terminal job states: popping one of these retires the outstanding id.
+_TERMINAL = ("done", "cancelled")
+
+
+class ExploreQueue:
+    """Blocking push/pop facade over a gateway client (see module doc).
+
+    ``client`` is anything :class:`~repro.control.client.GatewayClient`
+    -shaped (``submit``/``submit_batch``/``job``/``events``). ``pump``,
+    when given, is called on every poll iteration — the live harness
+    hooks its collector/supervisor step loop in so the grid keeps
+    running while the ME blocks.
+    """
+
+    def __init__(self, client, batch: bool = True, poll: float = 0.05,
+                 probe_limit: int = 64,
+                 clock: Callable[[], float] = time.monotonic,
+                 pump: Optional[Callable[[], None]] = None) -> None:
+        self.client = client
+        self.batch = batch
+        self.poll = poll
+        self.probe_limit = probe_limit
+        self.clock = clock
+        self.pump = pump
+        #: job id -> push timestamp (clock units).
+        self.outstanding: dict[str, float] = {}
+        self._ready: deque[dict] = deque()
+        self._since = -1
+        #: Every id ever pushed, in push order (the verify sweep's list).
+        self.pushed_ids: list[str] = []
+        self.pushed = 0
+        self.popped = 0
+        self.cancelled_seen = 0
+        #: submit→pop latency per popped result, ms (bench fodder).
+        self.pop_latencies_ms: list[float] = []
+
+    # -- push ----------------------------------------------------------------
+    def push_tasks(self, specs: list[dict]) -> list[str]:
+        """Submit a batch of evaluation specs; returns the job ids."""
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.batch:
+            ids = self.client.submit_batch(specs)
+        else:
+            ids = [str(self.client.submit(spec)["id"]) for spec in specs]
+        now = self.clock()
+        for job_id in ids:
+            self.outstanding[job_id] = now
+        self.pushed_ids.extend(ids)
+        self.pushed += len(ids)
+        return ids
+
+    # -- pop -----------------------------------------------------------------
+    def _retire(self, job_id: str, doc: dict) -> None:
+        pushed_at = self.outstanding.pop(job_id, None)
+        latency_ms = (None if pushed_at is None
+                      else round((self.clock() - pushed_at) * 1000.0, 3))
+        if latency_ms is not None:
+            self.pop_latencies_ms.append(latency_ms)
+        if doc.get("state") == "cancelled":
+            self.cancelled_seen += 1
+        self._ready.append({
+            "id": job_id,
+            "state": doc.get("state"),
+            "spec": doc.get("spec") or {},
+            "result": doc.get("result"),
+            "requeues": doc.get("requeues", 0),
+            "latency_ms": latency_ms,
+        })
+
+    def _ingest_events(self) -> int:
+        """One /events poll; returns how many outstanding jobs retired."""
+        retired = 0
+        while True:
+            events = self.client.events(since=self._since, limit=500)
+            for event in events:
+                seq = event.get("seq")
+                if isinstance(seq, int):
+                    self._since = max(self._since, seq)
+                if (event.get("event") in _TERMINAL
+                        and event.get("job") in self.outstanding):
+                    doc = self.client.job(event["job"])
+                    if doc is not None and doc.get("state") in _TERMINAL:
+                        self._retire(event["job"], doc)
+                        retired += 1
+            if len(events) < 500:
+                return retired
+
+    def _probe_outstanding(self) -> int:
+        """Directly poll a bounded slice of outstanding job records — the
+        safety net for completions the bounded events ring aged out."""
+        retired = 0
+        for job_id in list(self.outstanding)[:self.probe_limit]:
+            doc = self.client.job(job_id)
+            if doc is not None and doc.get("state") in _TERMINAL:
+                self._retire(job_id, doc)
+                retired += 1
+        return retired
+
+    def pop_results(self, min_results: int = 1,
+                    timeout: float = 30.0) -> list[dict]:
+        """Block until at least ``min_results`` results are ready (or
+        nothing is outstanding, or ``timeout`` expires); returns *all*
+        ready results. Each is ``{"id", "state", "spec", "result",
+        "requeues", "latency_ms"}``.
+        """
+        deadline = self.clock() + timeout
+        while (len(self._ready) < min_results and self.outstanding
+               and self.clock() < deadline):
+            if self._ingest_events() == 0:
+                self._probe_outstanding()
+            if len(self._ready) >= min_results:
+                break
+            if self.pump is not None:
+                self.pump()
+            time.sleep(self.poll)
+        out = list(self._ready)
+        self._ready.clear()
+        self.popped += len(out)
+        return out
+
+    # -- session -------------------------------------------------------------
+    def done(self) -> dict:
+        """End the ME session; returns (and asserts nothing is lost in)
+        the final accounting."""
+        summary = self.stats()
+        if self.outstanding:
+            raise RuntimeError(
+                f"ExploreQueue.done() with {len(self.outstanding)} "
+                f"evaluations still outstanding: "
+                f"{sorted(self.outstanding)[:5]}...")
+        return summary
+
+    def stats(self) -> dict:
+        lat = sorted(self.pop_latencies_ms)
+        def pct(p: float) -> Optional[float]:
+            if not lat:
+                return None
+            return lat[min(len(lat) - 1, int(p * len(lat)))]
+        return {
+            "pushed": self.pushed,
+            "popped": self.popped,
+            "outstanding": len(self.outstanding),
+            "cancelled_seen": self.cancelled_seen,
+            "pop_p50_ms": pct(0.50),
+            "pop_p99_ms": pct(0.99),
+        }

@@ -1,0 +1,348 @@
+"""The model-exploration subsystem's simulated-time twin.
+
+Same shape as :func:`repro.control.sim.run_sim_serve`, different
+workload: instead of synthetic users submitting noop jobs, an
+:class:`MEDriverComponent` runs a real ME algorithm (sweep or hill
+climber — the identical :mod:`repro.explore.drivers` objects the live
+pump uses) against the *unchanged* :class:`GatewayComponent`, pushing
+generations through ``POST /jobs/batch`` frames, tailing ``/events``,
+and fetching finished job records — the sans-IO mirror of
+:class:`~repro.explore.queue.ExploreQueue` + ``run_driver``.
+
+:class:`ExploreWorker` plays the computational client: it *really
+executes* each evaluation (``delay = ops_budget / speed`` simulated
+seconds, then :func:`~repro.explore.evals.execute_unit`), so results —
+and therefore the driver's decisions — are the true objective values. A
+``corrupt_first`` knob makes the first worker falsify its first N
+results, exercising the §3.1 rejection path end-to-end: the WorkQueue
+distrusts the result, requeues the unit, and an honest re-execution
+completes it — deterministically, restart included.
+
+Everything runs on seeded RNG streams and the virtual clock, so
+:func:`run_sim_explore` reports are byte-identical for the same seed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from typing import Optional
+
+from ..core.component import Component, Effect, Send, SetTimer
+from ..core.linguafranca.messages import Message
+from ..core.services.kinds import kind_of
+from ..core.services.scheduler import SCH_REPORT
+from ..core.simdriver import SimDriver
+from ..core.telemetry import Telemetry
+from ..simgrid.engine import Environment
+from ..simgrid.host import Host, HostSpec
+from ..simgrid.load import ConstantLoad
+from ..simgrid.network import Network
+from ..simgrid.rand import RngStreams
+from ..control.sim import (
+    GW_REQ,
+    GW_RES,
+    GatewayComponent,
+    SimJobWorker,
+    T_DONE,
+)
+from .drivers import make_driver
+from .evals import EVAL_KIND, execute_unit
+from . import engine as _engine  # noqa: F401  (registers the kind)
+
+__all__ = ["ExploreWorker", "MEDriverComponent", "run_sim_explore"]
+
+T_POLL = "me:poll"
+
+
+class ExploreWorker(SimJobWorker):
+    """A twin computational client that genuinely executes evaluations.
+
+    ``speed`` is its delivered ops/s: an evaluation occupies the worker
+    for ``ops_budget / speed`` simulated seconds before the (real,
+    deterministic) result is reported. ``corrupt_first`` falsifies the
+    first N results — the dishonest-host injector for the §3.1 path.
+    """
+
+    def __init__(self, name: str, gateway: str, speed: float = 40_000.0,
+                 corrupt_first: int = 0, hello_retry: float = 1.0) -> None:
+        super().__init__(name, gateway, hello_retry=hello_retry)
+        self.speed = float(speed)
+        self.corrupt_first = int(corrupt_first)
+        self.results_corrupted = 0
+
+    def _take(self, unit: Optional[dict], now: float) -> list[Effect]:
+        if unit is not None and kind_of(unit) == EVAL_KIND:
+            self.unit = unit
+            delay = float(unit.get("ops_budget", 0.0)) / max(self.speed, 1.0)
+            return [SetTimer(T_DONE, max(delay, 0.001))]
+        return super()._take(unit, now)
+
+    def on_timer(self, key: str, now: float) -> list[Effect]:
+        if (key == T_DONE and self.unit is not None
+                and kind_of(self.unit) == EVAL_KIND):
+            unit, self.unit = self.unit, None
+            self.units_done += 1
+            result = execute_unit(unit)
+            if self.results_corrupted < self.corrupt_first:
+                self.results_corrupted += 1
+                # A falsified value with a now-stale digest: exactly what
+                # an unreliable (or hostile) host would report.
+                result = {**result, "value": result["value"] + 1.0}
+            return [Send(self.gateway, Message(
+                mtype=SCH_REPORT, sender=self.contact,
+                body={"unit_id": unit.get("id"), "done": True,
+                      "rate": self.speed, "infra": "sim",
+                      "result": result}))]
+        return super().on_timer(key, now)
+
+    def stats(self) -> dict:
+        return {"units_done": self.units_done,
+                "results_corrupted": self.results_corrupted}
+
+
+class MEDriverComponent(Component):
+    """The ME algorithm as a sim component (the EMEWS pump, event-driven).
+
+    push initial batch → poll /events → fetch finished jobs → feed the
+    driver → push follow-up generations, all over GW_REQ/GW_RES frames
+    against the unchanged gateway router.
+    """
+
+    def __init__(self, name: str, gateway: str, driver,
+                 poll_period: float = 0.25) -> None:
+        super().__init__(name)
+        self.gateway = gateway
+        self.driver = driver
+        self.poll_period = poll_period
+        self._rid = 0
+        #: rid -> ("batch",) | ("events",) | ("job", job_id)
+        self._inflight: dict[int, tuple] = {}
+        self._since = -1
+        self._events_pending = False
+        #: job id -> push sim-time.
+        self.outstanding: dict[str, float] = {}
+        self.pushed = 0
+        self.popped = 0
+        self.pushed_ids: list[str] = []
+        self.pop_latencies: list[float] = []
+        #: Sim-times at which follow-up generations went out (ME round
+        #: trips) and at which the driver finished.
+        self.rounds: list[float] = []
+        self.finished_at: Optional[float] = None
+        self.batch_rejected = 0
+
+    # -- request plumbing -----------------------------------------------------
+    def _request(self, tag: tuple, method: str, path: str,
+                 body=None) -> Send:
+        self._rid += 1
+        self._inflight[self._rid] = tag
+        return Send(self.gateway, Message(
+            mtype=GW_REQ, sender=self.contact,
+            body={"method": method, "path": path, "body": body,
+                  "rid": self._rid}))
+
+    def _push(self, specs: list[dict]) -> list[Effect]:
+        if not specs:
+            return []
+        return [self._request(("batch",), "POST", "/jobs/batch",
+                              {"specs": specs})]
+
+    # -- lifecycle ------------------------------------------------------------
+    def on_start(self, now: float) -> list[Effect]:
+        return self._push(self.driver.initial_tasks()) + [
+            SetTimer(T_POLL, self.poll_period)]
+
+    def on_timer(self, key: str, now: float) -> list[Effect]:
+        if key != T_POLL:
+            return []
+        if self.driver.finished():
+            if self.finished_at is None:
+                self.finished_at = round(now, 6)
+            return []  # stop polling; the world can wind down
+        effects: list[Effect] = [SetTimer(T_POLL, self.poll_period)]
+        if not self._events_pending:
+            self._events_pending = True
+            effects.append(self._request(
+                ("events",), "GET",
+                f"/events?since={self._since}&limit=500"))
+        return effects
+
+    # -- responses ------------------------------------------------------------
+    def on_message(self, message: Message, now: float) -> list[Effect]:
+        if message.mtype != GW_RES:
+            return []
+        tag = self._inflight.pop(message.body.get("rid"), None)
+        if tag is None:
+            return []
+        status = int(message.body.get("status", 0))
+        doc = message.body.get("body")
+        if tag[0] == "batch":
+            return self._on_batch(status, doc, now)
+        if tag[0] == "events":
+            return self._on_events(status, doc, now)
+        return self._on_job(tag[1], status, doc, now)
+
+    def _on_batch(self, status: int, doc, now: float) -> list[Effect]:
+        if status != 201 or not isinstance(doc, dict):
+            self.batch_rejected += 1
+            return []
+        for job_id in doc.get("ids", []):
+            self.outstanding[str(job_id)] = now
+            self.pushed_ids.append(str(job_id))
+        self.pushed += int(doc.get("count", 0))
+        return []
+
+    def _on_events(self, status: int, doc, now: float) -> list[Effect]:
+        self._events_pending = False
+        if status != 200 or not isinstance(doc, str):
+            return []
+        effects: list[Effect] = []
+        for line in doc.splitlines():
+            if not line.strip():
+                continue
+            event = json.loads(line)
+            seq = event.get("seq")
+            if isinstance(seq, int):
+                self._since = max(self._since, seq)
+            if (event.get("event") in ("done", "cancelled")
+                    and event.get("job") in self.outstanding):
+                effects.append(self._request(
+                    ("job", event["job"]), "GET", f"/jobs/{event['job']}"))
+        return effects
+
+    def _on_job(self, job_id: str, status: int, doc,
+                now: float) -> list[Effect]:
+        if status != 200 or not isinstance(doc, dict):
+            return []
+        if doc.get("state") not in ("done", "cancelled"):
+            return []
+        pushed_at = self.outstanding.pop(job_id, None)
+        if pushed_at is None:
+            return []  # already consumed (duplicate event)
+        self.popped += 1
+        self.pop_latencies.append(round(now - pushed_at, 6))
+        self.driver.observe(doc.get("spec") or {}, doc.get("result"))
+        follow_up = self.driver.next_tasks()
+        if follow_up:
+            self.rounds.append(round(now, 6))
+            return self._push(follow_up)
+        return []
+
+    def stats(self) -> dict:
+        lat = sorted(self.pop_latencies)
+        return {
+            "pushed": self.pushed,
+            "popped": self.popped,
+            "outstanding": len(self.outstanding),
+            "batch_rejected": self.batch_rejected,
+            "rounds": self.rounds,
+            "finished_at": self.finished_at,
+            "pop_p50": lat[len(lat) // 2] if lat else None,
+            "pop_max": lat[-1] if lat else None,
+        }
+
+
+def run_sim_explore(
+    seed: int = 0,
+    algo: str = "sweep",
+    fn: str = "forecast",
+    workers: int = 3,
+    duration: float = 120.0,
+    scale: float = 1.0,
+    ops_budget: float = 20_000.0,
+    worker_speed: float = 40_000.0,
+    restart_after: Optional[float] = None,
+    corrupt_first: int = 0,
+    telemetry: Optional[Telemetry] = None,
+) -> dict:
+    """Run the ME twin; returns a JSON-safe, deterministic report (same
+    seed ⇒ byte-identical ``json.dumps(..., sort_keys=True)``).
+
+    The report carries the twin's own exactly-once checklist: the driver
+    must finish inside ``duration``, every pushed evaluation must end
+    ``done`` with the completion counter agreeing (nothing lost, nothing
+    doubly accepted), every corrupted result must have been rejected and
+    re-executed, and the simulated restart — when scheduled — must have
+    requeued-not-dropped the in-flight generation.
+    """
+    env = Environment()
+    streams = RngStreams(seed=seed)
+    telemetry = telemetry if telemetry is not None else Telemetry()
+    network = Network(env, streams, base_latency=0.01, jitter=0.1)
+    network.attach_telemetry(telemetry)
+    sites = ["ucsd", "utk", "uva", "ncsa"]
+
+    def spawn(name: str, idx: int, port: str, component: Component) -> None:
+        host = Host(env, HostSpec(
+            name=name, site=sites[idx % len(sites)], infra="service",
+            speed=2e7, load_model=ConstantLoad(1.0)), streams)
+        network.add_host(host)
+        host.start()
+        SimDriver(env, network, host, port, component, streams).start()
+
+    gateway = GatewayComponent("gw0", restart_after=restart_after)
+    spawn("gw0", 0, "gw", gateway)
+    contact = "gw0/gw"
+    worker_components = [
+        ExploreWorker(f"wrk{i}", contact, speed=worker_speed,
+                      corrupt_first=corrupt_first if i == 0 else 0)
+        for i in range(workers)]
+    for i, wrk in enumerate(worker_components):
+        spawn(f"wrk{i}", i + 1, "wrk", wrk)
+    driver = make_driver(algo, seed=seed, fn=fn, ops_budget=ops_budget,
+                         scale=scale)
+    me = MEDriverComponent("me0", contact, driver)
+    spawn("me0", workers + 1, "me", me)
+
+    env.run(until=duration)
+
+    work = gateway.work
+    states = {job_id: work.jobs[job_id].state if job_id in work.jobs else None
+              for job_id in me.pushed_ids}
+    not_done = sorted(job_id for job_id, state in states.items()
+                      if state != "done")
+    stats = work.stats()
+    violations: list[str] = []
+    if me.finished_at is None:
+        violations.append(
+            f"driver did not finish inside {duration} simulated seconds "
+            f"(popped {me.popped}/{me.pushed})")
+    if me.outstanding:
+        violations.append(
+            f"{len(me.outstanding)} evaluation(s) still outstanding")
+    if not_done:
+        violations.append(
+            f"{len(not_done)} pushed evaluation(s) not done: {not_done[:5]}")
+    if stats["completed"] != me.pushed:
+        violations.append(
+            f"exactly-once broken: {stats['completed']} completions for "
+            f"{me.pushed} pushed evaluations")
+    if stats["results_rejected"] != corrupt_first:
+        violations.append(
+            f"expected {corrupt_first} rejected result(s), "
+            f"saw {stats['results_rejected']}")
+    if restart_after is not None and gateway.restarts != 1:
+        violations.append(
+            f"expected exactly one simulated restart, saw {gateway.restarts}")
+    return {
+        "config": {
+            "seed": seed, "algo": algo, "fn": fn, "workers": workers,
+            "duration": duration, "scale": scale, "ops_budget": ops_budget,
+            "worker_speed": worker_speed, "restart_after": restart_after,
+            "corrupt_first": corrupt_first,
+        },
+        "driver": driver.summary(),
+        "me": me.stats(),
+        "gateway": {
+            "requests": gateway.core.requests,
+            "rejected": gateway.core.rejected,
+            "restarts": gateway.restarts,
+            "requeued_on_restart": gateway.requeued_on_restart,
+            "scheduler": asdict(gateway.stats),
+            "work": stats,
+        },
+        "workers": {wrk.name: wrk.stats() for wrk in worker_components},
+        "violations": violations,
+        "metrics": telemetry.snapshot(),
+    }

@@ -27,6 +27,7 @@ from ..core.services.persistent import (
     DirectoryBackend,
     PersistentStateServer,
 )
+from ..core.services.kinds import KindEngine
 from ..core.services.scheduler import QueueWorkSource, SchedulerServer
 from ..core.telemetry import Telemetry
 from ..control.gateway import GatewayCore, render_payload
@@ -120,12 +121,18 @@ def build_component(manifest: Manifest, name: str,
     if spec.role == "logger":
         return LoggingServer(name)
     if spec.role == "client":
+        # Clients execute whichever app kind the scheduler hands them:
+        # the KindEngine dispatches per-unit (ramsey units to the tuned
+        # RealEngine below, explore.* units to the registry-built
+        # ExploreEngine — registered by the import side effect here).
+        from ..explore import engine as _explore_engine  # noqa: F401
         client = RamseyClient(
             name=name,
             schedulers=_rotated(manifest.contacts_for("scheduler")
                                 + manifest.contacts_for("gateway"), idx),
-            engine=RealEngine(
-                max_steps_per_advance=int(opts.get("max_steps_per_advance", 2000))),
+            engine=KindEngine(engines={"ramsey": RealEngine(
+                max_steps_per_advance=int(
+                    opts.get("max_steps_per_advance", 2000)))}),
             infra=str(opts.get("infra", "live")),
             loggers=_rotated(manifest.contacts_for("logger"), idx)[:1],
             persistent=(manifest.contacts_for("persistent") or [None])[0],

@@ -40,6 +40,7 @@ from ..core.services.scheduler import (
     SCH_REPORT,
     SCH_WORK,
 )
+from ..core.services.kinds import kind_of
 from .graphs import OpCounter
 from .heuristics import SearchSnapshot, TabuSearch, make_search
 from .tasks import validate_unit
@@ -482,7 +483,10 @@ class RamseyClient(Component):
         self._interval_ops += status.ops_done
         self._total_ops += status.ops_done
         effects: list[Effect] = []
-        if self.store is not None:
+        # Best-so-far gossip and counter-example checkpointing are
+        # Ramsey-specific; other app kinds run through this same slice
+        # loop but report results through the work queue alone.
+        if self.store is not None and kind_of(self.unit) == "ramsey":
             best = self.store.get_data(RAMSEY_BEST)
             mine = {
                 "k": self.unit["k"],
@@ -520,7 +524,13 @@ class RamseyClient(Component):
             "progress": self.engine.progress() if self.unit else {},
         }
         if self._unit_done and self.unit is not None:
-            body["result"] = {"progress": self.engine.progress()}
+            # Engines that mint a structured result (explore evaluations)
+            # ship it verbatim; the classic engines report progress and
+            # the getattr misses, keeping their reports byte-identical.
+            produce = getattr(self.engine, "result", None)
+            result = produce() if callable(produce) else None
+            body["result"] = (result if result is not None
+                              else {"progress": self.engine.progress()})
         effects.append(Send(self.scheduler, Message(
             mtype=SCH_REPORT, sender=self.contact, body=body)))
         # Forward the performance record before discarding it (§3.1.3).

@@ -14,10 +14,12 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..core.services.kinds import ResultCheckError, register_kind
 from .graphs import OpCounter
 from .heuristics import SearchSnapshot, make_search
 
-__all__ = ["make_unit", "unit_generator", "run_unit", "validate_unit"]
+__all__ = ["check_ramsey_result", "make_unit", "unit_generator", "run_unit",
+           "validate_ramsey_spec", "validate_unit"]
 
 HEURISTICS = ("tabu", "anneal", "minconflict")
 
@@ -52,6 +54,64 @@ def validate_unit(unit: dict) -> None:
         raise ValueError(f"unknown heuristic {unit['heuristic']!r}")
     if int(unit["k"]) < int(unit["n"]):
         raise ValueError("unit has k < n")
+
+
+def validate_ramsey_spec(spec: dict) -> None:
+    """Like :func:`validate_unit` for gateway-side *specs*, which have
+    no ``id`` yet (the gateway assigns one at submit)."""
+    for field in ("k", "n", "heuristic", "seed", "ops_budget"):
+        if field not in spec:
+            raise ValueError(f"ramsey spec missing {field!r}")
+    if spec["heuristic"] not in HEURISTICS:
+        raise ValueError(f"unknown heuristic {spec['heuristic']!r}")
+    if int(spec["k"]) < int(spec["n"]):
+        raise ValueError("spec has k < n")
+
+
+def check_ramsey_result(spec: dict, result: Optional[dict]) -> None:
+    """Distrust remote results (paper §3.1): a completion claiming a
+    counter-example (``best_energy == 0``) must carry a coloring that an
+    independent verifier confirms. Progress-only results make no claim
+    and pass; a claim that cannot be re-verified is rejected, which
+    requeues the unit for honest re-execution."""
+    progress = result.get("progress") if isinstance(result, dict) else None
+    if not isinstance(progress, dict):
+        return
+    claimed = progress.get("best_energy")
+    try:
+        if claimed is None or float(claimed) != 0.0:
+            return
+    except (TypeError, ValueError):
+        raise ResultCheckError(f"unreadable best_energy {claimed!r}")
+    from .graphs import Coloring
+    from .verify import is_counter_example
+    try:
+        k = int(spec.get("k", progress.get("k")))
+        n = int(spec.get("n", progress.get("n")))
+        coloring = Coloring.from_hex(k, str(progress["best_coloring"]))
+        ok = is_counter_example(coloring, n)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ResultCheckError(
+            f"unverifiable counter-example claim: {exc}") from exc
+    if not ok:
+        raise ResultCheckError(
+            "claimed counter-example fails independent verification")
+
+
+def _ramsey_engine():
+    from .client import RealEngine  # deferred: client imports this module
+    return RealEngine()
+
+
+register_kind(
+    "ramsey",
+    validate=validate_ramsey_spec,
+    engine_factory=_ramsey_engine,
+    check_result=check_ramsey_result,
+    description="distributed Ramsey counter-example search (the paper's "
+                "original application; the default for unlabelled units)",
+    replace=True,
+)
 
 
 def unit_generator(

@@ -125,3 +125,58 @@ def test_requests_accounted_per_route_and_status(core):
     counters = core.telemetry.metrics.snapshot()["counters"]
     assert any("POST /jobs" in k and "201" in k for k in counters)
     assert any("404" in k for k in counters)
+
+
+# -- POST /jobs/batch (one flush for a whole ME generation) -----------------
+
+def test_batch_submit_returns_201_with_all_ids(core):
+    status, doc, route = core.handle(
+        "POST", "/jobs/batch",
+        _json({"specs": [{"i": 0}, {"i": 1}, {"i": 2}]}), now=1.0)
+    assert (status, route) == (201, "POST /jobs/batch")
+    assert doc["ids"] == ["t-1", "t-2", "t-3"]
+    assert doc["count"] == 3
+    assert doc["state"] == "queued"
+    assert doc["submitted_at"] == 1.0
+    assert all(core.work.get(i).state == "queued" for i in doc["ids"])
+
+
+def test_batch_submit_rejects_malformed_atomically(core):
+    bad_bodies = (
+        b"{not json",
+        b"",
+        _json([1, 2]),                      # not an object
+        _json({"specs": []}),               # empty batch
+        _json({"specs": "nope"}),           # not a list
+        _json({"jobs": [{}]}),              # wrong key
+        _json({"specs": [{"i": 0}, "nope"]}),          # non-dict spec
+        _json({"specs": [{"i": 0}, {"id": "t-9"}]}),   # forged id
+    )
+    for body in bad_bodies:
+        status, doc, route = core.handle(
+            "POST", "/jobs/batch", body, now=0.0)
+        assert status == 400, body
+        assert "error" in doc
+        assert route == "POST /jobs/batch"
+    # Atomic: no spec from any rejected batch was accepted.
+    assert len(core.work.jobs) == 0
+    assert core.rejected == len(bad_bodies)
+
+
+def test_batch_submit_caps_batch_size(core):
+    from repro.control.gateway import MAX_BATCH_JOBS
+
+    body = _json({"specs": [{} for _ in range(MAX_BATCH_JOBS + 1)]})
+    status, doc, _ = core.handle("POST", "/jobs/batch", body, now=0.0)
+    assert status == 400
+    assert len(core.work.jobs) == 0
+
+
+def test_batch_route_methods_and_id_routing(core):
+    # Wrong method on the batch route is 405, not a /jobs/{id} lookup.
+    assert core.handle("GET", "/jobs/batch", b"", now=0.0)[0] == 405
+    assert core.handle("DELETE", "/jobs/batch", b"", now=0.0)[0] == 405
+    # And /jobs/{id} still routes: "batch" is not a job id.
+    core.handle("POST", "/jobs", _json({}), now=0.0)
+    status, doc, route = core.handle("GET", "/jobs/t-1", b"", now=0.0)
+    assert (status, route) == (200, "GET /jobs/{id}")

@@ -167,3 +167,163 @@ def test_stats_are_json_safe_counters():
     assert stats["state_queued"] == 1
     assert stats["state_total"] == 1
     assert stats["depth"] == 1
+
+
+# -- batch submission (POST /jobs/batch) ------------------------------------
+
+class _SpyJournal(MemoryJournal):
+    """Counts journal calls: a batch must cost ONE append_many."""
+
+    def __init__(self):
+        super().__init__()
+        self.appends = 0
+        self.batches = 0
+
+    def append(self, record):
+        self.appends += 1
+        super().append(record)
+
+    def append_many(self, records):
+        self.batches += 1
+        super().append_many(records)
+
+
+def test_submit_batch_mints_ids_in_order_one_journal_call():
+    spy = _SpyJournal()
+    work = WorkQueue(journal=spy, prefix="t")
+    jobs = work.submit_batch([{"i": 0}, {"i": 1}, {"i": 2}], now=1.0)
+    assert [j.id for j in jobs] == ["t-1", "t-2", "t-3"]
+    assert all(j.state == "queued" for j in jobs)
+    assert (spy.appends, spy.batches) == (0, 1)  # one flush for N specs
+    assert work.stats()["submitted"] == 3
+    # FIFO: the batch drains in list order.
+    assert [work.next_unit()["id"] for _ in range(3)] == ["t-1", "t-2", "t-3"]
+
+
+def test_submit_batch_replays_like_single_submits(tmp_path):
+    path = str(tmp_path / "q.jsonl")
+    work = WorkQueue(journal=FileJournal(path), prefix="t")
+    work.submit_batch([{"i": 0}, {"i": 1}], now=1.0)
+    work.next_unit()                       # t-1 assigned at crash time
+    work.close()
+    reborn = WorkQueue(journal=FileJournal(path), prefix="t")
+    assert reborn.get("t-1").state == "queued"   # requeued, not lost
+    assert reborn.get("t-2").state == "queued"
+    assert reborn.get("t-1").spec == {"i": 0}
+    assert reborn.submit({}, now=2.0).id == "t-3"
+
+
+# -- cancel vs in-flight completions (live AND replay must agree) -----------
+
+def test_cancel_then_late_complete_live_and_replay_agree(tmp_path):
+    path = str(tmp_path / "q.jsonl")
+    work = WorkQueue(journal=FileJournal(path), prefix="t")
+    work.submit({"a": 1}, now=0.0)
+    unit = work.next_unit()
+    work.cancel(unit["id"], now=1.0)
+    # The client the scheduler assigned t-1 to reports late:
+    work.complete(unit["id"], {"answer": 1}, now=2.0)
+    assert work.get("t-1").state == "cancelled"
+    assert work.get("t-1").result is None
+    assert work.results_dropped == 1
+    work.close()
+    # Replay of the same journal must agree byte-for-byte on the state.
+    reborn = WorkQueue(journal=FileJournal(path), prefix="t")
+    assert reborn.get("t-1").state == "cancelled"
+    assert reborn.get("t-1").result is None
+    assert reborn.get("t-1").to_dict() == work.get("t-1").to_dict()
+
+
+def test_replay_ignores_done_record_after_cancel(tmp_path):
+    # A journal that *does* carry a done record after a cancel (e.g.
+    # written by a pre-hardening gateway, or interleaved across a
+    # restart) must not resurrect the job: terminal states are final.
+    import json as _json
+
+    path = str(tmp_path / "q.jsonl")
+    records = [
+        {"op": "submit", "id": "t-1", "spec": {"a": 1}, "t": 0.0},
+        {"op": "cancel", "id": "t-1", "t": 1.0},
+        {"op": "done", "id": "t-1", "result": {"answer": 1}, "t": 2.0},
+    ]
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(_json.dumps(record) + "\n")
+    work = WorkQueue(journal=FileJournal(path), prefix="t")
+    assert work.get("t-1").state == "cancelled"
+    assert work.get("t-1").result is None
+    assert work.next_unit() is None
+
+
+def test_replay_ignores_cancel_record_after_done(tmp_path):
+    import json as _json
+
+    path = str(tmp_path / "q.jsonl")
+    records = [
+        {"op": "submit", "id": "t-1", "spec": {"a": 1}, "t": 0.0},
+        {"op": "done", "id": "t-1", "result": {"answer": 1}, "t": 1.0},
+        {"op": "cancel", "id": "t-1", "t": 2.0},
+    ]
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(_json.dumps(record) + "\n")
+    work = WorkQueue(journal=FileJournal(path), prefix="t")
+    assert work.get("t-1").state == "done"
+    assert work.get("t-1").result == {"answer": 1}
+
+
+# -- §3.1 result checks: distrust remote results ----------------------------
+
+def _register_reject_kind():
+    from repro.core.services.kinds import ResultCheckError, register_kind
+
+    def check(spec, result):
+        if not isinstance(result, dict) or result.get("bad"):
+            raise ResultCheckError("corrupted result")
+
+    register_kind("test.reject", check_result=check, replace=True,
+                  description="test kind whose checker rejects bad=True")
+
+
+def test_rejected_result_requeues_without_journal_record(tmp_path):
+    _register_reject_kind()
+    path = str(tmp_path / "q.jsonl")
+    work = WorkQueue(journal=FileJournal(path), prefix="t")
+    work.submit({"kind": "test.reject"}, now=0.0)
+    unit = work.next_unit()
+    work.complete(unit["id"], {"bad": True}, now=1.0)
+    # Rejected: requeued for honest re-execution, nothing recorded.
+    assert work.get("t-1").state == "queued"
+    assert work.results_rejected == 1
+    assert work.stats()["results_rejected"] == 1
+    assert work.completed == 0
+    unit = work.next_unit()
+    work.complete(unit["id"], {"value": 7}, now=2.0)
+    assert work.get("t-1").state == "done"
+    assert work.get("t-1").result == {"value": 7}
+    work.close()
+    # The journal never saw the rejected completion.
+    reborn = WorkQueue(journal=FileJournal(path), prefix="t")
+    assert reborn.get("t-1").state == "done"
+    assert reborn.get("t-1").result == {"value": 7}
+
+
+def test_rejected_result_after_reaper_requeue_only_counts():
+    _register_reject_kind()
+    work = WorkQueue(prefix="t")
+    work.submit({"kind": "test.reject"}, now=0.0)
+    unit = work.next_unit()
+    work.requeue(unit)                     # the reaper got there first
+    work.complete(unit["id"], {"bad": True}, now=1.0)
+    assert work.get("t-1").state == "queued"
+    assert work.results_rejected == 1
+    assert work.get("t-1").requeues == 1   # no double requeue
+
+
+def test_unregistered_kind_results_accepted_unchecked():
+    work = WorkQueue(prefix="t")
+    work.submit({"kind": "noop"}, now=0.0)
+    unit = work.next_unit()
+    work.complete(unit["id"], {"bad": True}, now=1.0)
+    assert work.get("t-1").state == "done"
+    assert work.results_rejected == 0

@@ -1,0 +1,118 @@
+"""The app-kind registry: the contract that makes work units agnostic.
+
+The queue/scheduler/gateway stack never interprets a spec; everything
+that *does* — validation, client-side engines, §3.1 result checks — is
+looked up here by the unit's ``kind`` field.
+"""
+
+import pytest
+
+from repro.core.services.kinds import (
+    DEFAULT_KIND,
+    AppKind,
+    KindEngine,
+    KindRegistry,
+    ResultCheckError,
+    kind_of,
+    registry,
+)
+
+
+def test_kind_of_defaults_unlabelled_specs_to_ramsey():
+    # Pre-registry journal records must keep meaning what they meant.
+    assert kind_of({"k": 8, "n": 4}) == DEFAULT_KIND == "ramsey"
+    assert kind_of({"kind": "explore.eval"}) == "explore.eval"
+    assert kind_of({"kind": ""}) == DEFAULT_KIND
+
+
+def test_registry_exact_then_family_wildcard():
+    reg = KindRegistry()
+    family = reg.register(AppKind(name="fam.*"))
+    exact = reg.register(AppKind(name="fam.special"))
+    assert reg.get("fam.special") is exact
+    assert reg.get("fam.other") is family
+    assert reg.get("other.thing") is None
+    assert reg.get("fam") is None            # no bare-head fallback
+    assert reg.names() == ["fam.*", "fam.special"]
+
+
+def test_register_refuses_silent_replacement():
+    reg = KindRegistry()
+    reg.register(AppKind(name="a"))
+    with pytest.raises(ValueError):
+        reg.register(AppKind(name="a"))
+    reg.register(AppKind(name="a", description="v2"), replace=True)
+    assert reg.get("a").description == "v2"
+
+
+def test_validate_and_checker_dispatch_by_spec_kind():
+    reg = KindRegistry()
+
+    def validate(spec):
+        if "x" not in spec:
+            raise ValueError("needs x")
+
+    def check(spec, result):
+        raise ResultCheckError("always distrust")
+
+    reg.register(AppKind(name="v", validate=validate, check_result=check))
+    reg.validate({"kind": "v", "x": 1})
+    with pytest.raises(ValueError):
+        reg.validate({"kind": "v"})
+    reg.validate({"kind": "unknown-kind"})   # unregistered: admitted
+    assert reg.checker_for({"kind": "v"}) is check
+    assert reg.checker_for({"kind": "unknown-kind"}) is None
+
+
+def test_default_registry_knows_both_first_class_apps():
+    import repro.explore  # noqa: F401  (import registers explore.eval)
+    import repro.ramsey.tasks  # noqa: F401  (import registers ramsey)
+
+    assert "ramsey" in registry.names()
+    assert "explore.eval" in registry.names()
+    assert registry.checker_for({"k": 8, "n": 4}) is not None
+    assert registry.checker_for({"kind": "explore.eval"}) is not None
+
+
+class _FakeEngine:
+    def __init__(self, tag):
+        self.tag = tag
+        self.loaded = None
+
+    def load(self, unit, rng):
+        self.loaded = unit
+
+    def advance(self, ops_budget):
+        return f"{self.tag}:{ops_budget}"
+
+    def progress(self):
+        return {"tag": self.tag}
+
+
+def test_kind_engine_dispatches_per_unit_and_caches():
+    reg = KindRegistry()
+    reg.register(AppKind(name="made", engine_factory=lambda: _FakeEngine("made")))
+    engine = KindEngine(engines={"ramsey": _FakeEngine("r")}, kinds=reg)
+
+    engine.load({"id": "u-1", "kind": "made"}, rng=None)
+    assert engine.active_kind == "made"
+    assert engine.advance(10.0) == "made:10.0"
+    made = engine.active
+
+    engine.load({"id": "u-2"}, rng=None)     # unlabelled -> ramsey
+    assert engine.active_kind == "ramsey"
+    assert engine.progress() == {"tag": "r"}
+
+    engine.load({"id": "u-3", "kind": "made"}, rng=None)
+    assert engine.active is made             # cached, still warm
+
+    with pytest.raises(ValueError):
+        engine.load({"id": "u-4", "kind": "nope"}, rng=None)
+
+
+def test_kind_engine_result_is_optional():
+    reg = KindRegistry()
+    engine = KindEngine(engines={"plain": _FakeEngine("p")}, kinds=reg)
+    engine.load({"kind": "plain"}, rng=None)
+    assert engine.result() is None           # _FakeEngine has no result()
+    assert engine.apply_params({"x": 1}) is False

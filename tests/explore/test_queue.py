@@ -1,0 +1,157 @@
+"""ExploreQueue semantics against the real router, sans IO.
+
+A thin adapter drives :class:`GatewayCore` directly — same routes, same
+status codes, same events feed as the live HTTP plane — so push/pop/done
+semantics are proven without sockets or processes.
+"""
+
+import json
+
+import pytest
+
+from repro.control import GatewayCore, WorkQueue
+from repro.explore import ExploreQueue, make_eval_spec
+
+
+class CoreClient:
+    """GatewayClient-shaped adapter over a sans-IO GatewayCore."""
+
+    def __init__(self, core):
+        self.core = core
+        self.now = 0.0
+
+    def _handle(self, method, path, body=b""):
+        self.now += 0.001
+        return self.core.handle(method, path, body, self.now)
+
+    def submit(self, spec):
+        status, doc, _ = self._handle(
+            "POST", "/jobs", json.dumps(spec).encode())
+        assert status == 201, doc
+        return doc
+
+    def submit_batch(self, specs):
+        status, doc, _ = self._handle(
+            "POST", "/jobs/batch",
+            json.dumps({"specs": list(specs)}).encode())
+        assert status == 201, doc
+        return [str(job_id) for job_id in doc["ids"]]
+
+    def job(self, job_id):
+        status, doc, _ = self._handle("GET", f"/jobs/{job_id}")
+        return doc if status == 200 else None
+
+    def events(self, since=-1, wait=0.0, limit=500):
+        status, payload, _ = self._handle(
+            "GET", f"/events?since={int(since)}&limit={int(limit)}")
+        assert status == 200
+        return [json.loads(line) for line in payload.splitlines()
+                if line.strip()]
+
+    def close(self):
+        pass
+
+
+@pytest.fixture()
+def world():
+    work = WorkQueue(prefix="t")
+    core = GatewayCore("gw-test", work)
+    client = CoreClient(core)
+    queue = ExploreQueue(client, batch=True, poll=0.0)
+    return work, queue
+
+
+def _specs(n):
+    return [make_eval_spec("sphere", {"x": float(i)}, seed=0)
+            for i in range(n)]
+
+
+def _finish(work, n=100):
+    from repro.explore.evals import execute_unit
+
+    for _ in range(n):
+        unit = work.next_unit()
+        if unit is None:
+            return
+        work.complete(str(unit["id"]), execute_unit(unit))
+
+
+def test_push_pop_done_roundtrip(world):
+    work, queue = world
+    ids = queue.push_tasks(_specs(3))
+    assert ids == ["t-1", "t-2", "t-3"]
+    assert queue.pushed == 3
+    assert sorted(queue.outstanding) == ids
+    assert queue.pushed_ids == ids
+
+    _finish(work)
+    results = queue.pop_results(min_results=3, timeout=1.0)
+    assert {r["id"] for r in results} == set(ids)
+    assert all(r["state"] == "done" for r in results)
+    assert all(r["result"]["value"] is not None for r in results)
+    assert all(r["latency_ms"] is not None for r in results)
+
+    stats = queue.done()
+    assert stats["pushed"] == stats["popped"] == 3
+    assert stats["outstanding"] == 0
+    assert stats["pop_p99_ms"] is not None
+
+
+def test_pop_results_returns_early_when_nothing_outstanding(world):
+    _, queue = world
+    assert queue.pop_results(min_results=1, timeout=5.0) == []
+
+
+def test_done_refuses_while_outstanding(world):
+    work, queue = world
+    queue.push_tasks(_specs(1))
+    with pytest.raises(RuntimeError):
+        queue.done()
+    _finish(work)
+    queue.pop_results(min_results=1, timeout=1.0)
+    queue.done()
+
+
+def test_single_submit_mode_matches_batch_mode(world):
+    work, _ = world
+    core = GatewayCore("gw2", WorkQueue(prefix="s"))
+    single = ExploreQueue(CoreClient(core), batch=False, poll=0.0)
+    ids = single.push_tasks(_specs(2))
+    assert ids == ["s-1", "s-2"]
+    assert sorted(single.outstanding) == ids
+
+
+def test_cancelled_jobs_pop_as_cancelled_results(world):
+    work, queue = world
+    ids = queue.push_tasks(_specs(2))
+    work.cancel(ids[0], now=1.0)
+    _finish(work)
+    results = queue.pop_results(min_results=2, timeout=1.0)
+    by_id = {r["id"]: r for r in results}
+    assert by_id[ids[0]]["state"] == "cancelled"
+    assert by_id[ids[0]]["result"] is None
+    assert by_id[ids[1]]["state"] == "done"
+    assert queue.cancelled_seen == 1
+
+
+def test_probe_fallback_survives_events_ring_overflow(world):
+    work, queue = world
+    # Overflow the bounded events ring so the completion events for the
+    # first pushed jobs age out before the queue ever polls.
+    ids = queue.push_tasks(_specs(4))
+    _finish(work)
+    capacity = queue.client.core.events.capacity
+    for i in range(capacity + 10):
+        work._event("noise", f"x-{i}", now=2.0)
+    results = queue.pop_results(min_results=4, timeout=1.0)
+    assert {r["id"] for r in results} == set(ids)
+
+
+def test_queue_tracks_every_pushed_id_across_batches(world):
+    work, queue = world
+    queue.push_tasks(_specs(2))
+    _finish(work)
+    queue.pop_results(min_results=2, timeout=1.0)
+    queue.push_tasks(_specs(3))
+    assert queue.pushed == 5
+    assert len(queue.pushed_ids) == 5        # retired ids stay listed
